@@ -1,0 +1,118 @@
+//! The multicast client: writes messages straight into leader rings.
+
+use crate::cluster::{Mcast, McastInner};
+use crate::layout::encode_sub;
+use crate::timestamp::{GroupId, MsgId};
+use crate::{dest_mask, mask_groups};
+use rdma_sim::{Node, NodeId, QueuePair};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A client attached to an atomic multicast deployment.
+///
+/// `multicast` is fire-and-forget at this layer: one unsignaled RDMA write
+/// into the submission ring of each destination group's believed leader.
+/// Delivery confirmation (and retry decisions) belong to the application —
+/// in Heron, the client retries when no partition responds in time, using
+/// [`McastClient::resubmit`] so the message keeps its original id and is
+/// deduplicated by the ordering layer.
+pub struct McastClient {
+    inner: Arc<McastInner>,
+    node: Node,
+    client_idx: usize,
+    qps: HashMap<NodeId, QueuePair>,
+    /// Next submission stamp per target node.
+    stamps: HashMap<NodeId, u64>,
+    /// Which replica of each group we currently believe leads it.
+    believed_leader: Vec<usize>,
+}
+
+impl fmt::Debug for McastClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("McastClient")
+            .field("client_idx", &self.client_idx)
+            .finish()
+    }
+}
+
+impl McastClient {
+    pub(crate) fn new(inner: Arc<McastInner>, node: Node, client_idx: usize) -> Self {
+        let groups = inner.cfg.groups;
+        McastClient {
+            inner,
+            node,
+            client_idx,
+            qps: HashMap::new(),
+            stamps: HashMap::new(),
+            believed_leader: vec![0; groups],
+        }
+    }
+
+    /// The index this client occupies in every submission ring.
+    pub fn client_idx(&self) -> usize {
+        self.client_idx
+    }
+
+    /// Atomically multicasts `payload` to `dests`; returns the message id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dests` is empty, contains an out-of-range group, or the
+    /// payload exceeds the configured maximum.
+    pub fn multicast(&mut self, dests: &[GroupId], payload: &[u8]) -> MsgId {
+        let uid = Mcast::alloc_uid(&self.inner);
+        self.submit(uid, dests, payload);
+        uid
+    }
+
+    /// Re-submits a message with its original id (for retry after a
+    /// suspected leader failure). Rotates the believed leader of every
+    /// destination group first.
+    pub fn resubmit(&mut self, uid: MsgId, dests: &[GroupId], payload: &[u8]) {
+        for g in dests {
+            let n = self.inner.cfg.replicas_per_group;
+            self.believed_leader[g.0 as usize] = (self.believed_leader[g.0 as usize] + 1) % n;
+        }
+        self.submit(uid, dests, payload);
+    }
+
+    /// Overrides the believed leader of a group (e.g. from an application
+    /// hint).
+    pub fn set_leader_hint(&mut self, group: GroupId, idx: usize) {
+        assert!(idx < self.inner.cfg.replicas_per_group);
+        self.believed_leader[group.0 as usize] = idx;
+    }
+
+    fn submit(&mut self, uid: MsgId, dests: &[GroupId], payload: &[u8]) {
+        assert!(!dests.is_empty(), "multicast needs at least one destination");
+        assert!(
+            payload.len() <= self.inner.cfg.max_payload,
+            "payload exceeds McastConfig::max_payload"
+        );
+        let mask = dest_mask(dests);
+        sim::sleep(self.inner.cfg.submit_cpu);
+        for g in mask_groups(mask) {
+            let leader_idx = self.believed_leader[g.0 as usize];
+            let target = self.inner.nodes[g.0 as usize][leader_idx].clone();
+            let target_id = target.id();
+            let stamp = {
+                let s = self.stamps.entry(target_id).or_insert(1);
+                let stamp = *s;
+                *s += 1;
+                stamp
+            };
+            let layout = self.inner.layouts[&target_id];
+            let slot = self
+                .inner
+                .sizes
+                .sub_slot(layout, self.client_idx, stamp);
+            let buf = encode_sub(stamp, uid.0, mask, payload);
+            let qp = self
+                .qps
+                .entry(target_id)
+                .or_insert_with(|| self.node.connect(&target));
+            let _ = qp.post_write(slot, buf);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Cluster construction and per-replica handles.
+
+use crate::client::McastClient;
+use crate::config::McastConfig;
+use crate::layout::{NodeLayout, Sizes, WORD};
+use crate::replica::McastReplica;
+use crate::timestamp::{GroupId, MsgId, Timestamp};
+use crate::DestMask;
+use bytes::Bytes;
+use rdma_sim::{Fabric, Node, NodeId};
+use sim::Mailbox;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A message handed to the application by atomic multicast.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered {
+    /// Unique message id.
+    pub id: MsgId,
+    /// The unique monotone delivery timestamp.
+    pub ts: Timestamp,
+    /// Destination groups of the message.
+    pub dests: DestMask,
+    /// Application payload.
+    pub payload: Bytes,
+}
+
+/// Events on a replica's delivery stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliveryEvent {
+    /// A message was delivered in order.
+    Deliver(Delivered),
+    /// This replica fell so far behind that log entries were overwritten
+    /// before it applied them: sequence numbers `from..=to` were skipped.
+    /// The application must recover state out of band (in Heron: the state
+    /// transfer protocol).
+    Gap {
+        /// First missed sequence number.
+        from: u64,
+        /// Last missed sequence number.
+        to: u64,
+    },
+}
+
+pub(crate) struct McastInner {
+    pub(crate) cfg: McastConfig,
+    pub(crate) sizes: Sizes,
+    pub(crate) fabric: Fabric,
+    /// Replica nodes, `nodes[group][index]`.
+    pub(crate) nodes: Vec<Vec<Node>>,
+    pub(crate) layouts: HashMap<NodeId, NodeLayout>,
+    /// Delivery mailboxes, `deliveries[group][index]`.
+    pub(crate) deliveries: Vec<Vec<Mailbox<DeliveryEvent>>>,
+    uid_counter: AtomicU32,
+    client_counter: AtomicU32,
+}
+
+impl McastInner {
+    pub(crate) fn global_idx(&self, group: GroupId, idx: usize) -> usize {
+        group.0 as usize * self.cfg.replicas_per_group + idx
+    }
+}
+
+/// Handle to an atomic multicast deployment.
+///
+/// Build it over an existing [`Fabric`] and a set of replica nodes, spawn
+/// the replica processes, then attach clients.
+#[derive(Clone)]
+pub struct Mcast {
+    pub(crate) inner: Arc<McastInner>,
+}
+
+impl fmt::Debug for Mcast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mcast")
+            .field("groups", &self.inner.cfg.groups)
+            .field("replicas_per_group", &self.inner.cfg.replicas_per_group)
+            .finish()
+    }
+}
+
+impl Mcast {
+    /// Lays out the multicast rings on the given replica nodes.
+    ///
+    /// `nodes[g][i]` is the node hosting replica `i` of group `g`. The
+    /// caller may colocate other state (Heron does) on the same nodes;
+    /// regions are allocated from each node's registered memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node grid does not match `cfg.groups` ×
+    /// `cfg.replicas_per_group`.
+    pub fn build(fabric: &Fabric, nodes: Vec<Vec<Node>>, cfg: McastConfig) -> Self {
+        assert_eq!(nodes.len(), cfg.groups, "node grid: wrong group count");
+        for g in &nodes {
+            assert_eq!(
+                g.len(),
+                cfg.replicas_per_group,
+                "node grid: wrong replica count"
+            );
+        }
+        let sizes = Sizes::from_config(&cfg);
+        let mut layouts = HashMap::new();
+        for group in &nodes {
+            for node in group {
+                let layout = NodeLayout {
+                    sub: node.alloc_bytes(sizes.sub_region()),
+                    ctrl: node.alloc_bytes(sizes.ctrl_region()),
+                    log: node.alloc_bytes(sizes.log_region()),
+                    log_seq: node.alloc_words(1),
+                    acks: node.alloc_bytes(cfg.replicas_per_group * WORD),
+                    heartbeat: node.alloc_words(1),
+                };
+                layouts.insert(node.id(), layout);
+            }
+        }
+        // Delivery mailboxes share each node's memory condition so that an
+        // application process (e.g. a Heron replica) can wait on a single
+        // point for both deliveries and RDMA writes into its memory.
+        let deliveries = nodes
+            .iter()
+            .map(|group| {
+                group
+                    .iter()
+                    .map(|node| Mailbox::with_cond(node.mem_cond().clone()))
+                    .collect()
+            })
+            .collect();
+        Mcast {
+            inner: Arc::new(McastInner {
+                cfg,
+                sizes,
+                fabric: fabric.clone(),
+                nodes,
+                layouts,
+                deliveries,
+                uid_counter: AtomicU32::new(1),
+                client_counter: AtomicU32::new(0),
+            }),
+        }
+    }
+
+    /// The configuration this deployment was built with.
+    pub fn config(&self) -> &McastConfig {
+        &self.inner.cfg
+    }
+
+    /// The fabric this deployment runs on (e.g. for operation counters).
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// The node hosting replica `idx` of `group`.
+    pub fn node(&self, group: GroupId, idx: usize) -> Node {
+        self.inner.nodes[group.0 as usize][idx].clone()
+    }
+
+    /// Returns the replica protocol driver for `(group, idx)`. Call
+    /// [`McastReplica::run`] inside a simulated process.
+    pub fn replica(&self, group: GroupId, idx: usize) -> McastReplica {
+        McastReplica::new(Arc::clone(&self.inner), group, idx)
+    }
+
+    /// The ordered delivery stream of replica `(group, idx)`.
+    pub fn deliveries(&self, group: GroupId, idx: usize) -> Mailbox<DeliveryEvent> {
+        self.inner.deliveries[group.0 as usize][idx].clone()
+    }
+
+    /// Spawns every replica process into the simulation.
+    pub fn spawn_replicas(&self, simulation: &sim::Simulation) {
+        for g in 0..self.inner.cfg.groups {
+            for i in 0..self.inner.cfg.replicas_per_group {
+                let replica = self.replica(GroupId(g as u16), i);
+                simulation.spawn(format!("mcast-g{g}r{i}"), move || replica.run());
+            }
+        }
+    }
+
+    /// Attaches a client that multicasts from `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `cfg.max_clients` clients attach.
+    pub fn client(&self, node: &Node) -> McastClient {
+        let idx = self.inner.client_counter.fetch_add(1, Ordering::SeqCst) as usize;
+        assert!(
+            idx < self.inner.cfg.max_clients,
+            "too many multicast clients; raise McastConfig::max_clients"
+        );
+        McastClient::new(Arc::clone(&self.inner), node.clone(), idx)
+    }
+
+    /// Allocates a fresh globally-unique message id.
+    pub(crate) fn alloc_uid(inner: &McastInner) -> MsgId {
+        let uid = inner.uid_counter.fetch_add(1, Ordering::SeqCst);
+        assert!(uid < (1 << 22), "message uid space exhausted (2^22 messages)");
+        MsgId(uid)
+    }
+}

@@ -1,0 +1,130 @@
+//! Multicast timestamps and identifiers.
+
+use std::fmt;
+
+/// Identifier of a multicast group. In Heron, one group = one partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u16);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Globally unique message identifier, allocated at multicast time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub u32);
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+const UID_BITS: u32 = 22;
+const UID_MASK: u64 = (1 << UID_BITS) - 1;
+
+/// The unique, monotone timestamp atomic multicast assigns to every
+/// delivered message (paper §II-B).
+///
+/// Packed into a single `u64` — high 42 bits Skeen clock, low 22 bits the
+/// unique message id — so Heron can store and compare it with single-word
+/// RDMA-atomic accesses (paper §III-B: "timestamps are implemented as
+/// integers, whose access is ensured to be atomic by RDMA"). The packing
+/// makes the numeric order equal to the lexicographic `(clock, uid)` order,
+/// so ties on the Skeen clock break deterministically and timestamps are
+/// globally unique.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The zero timestamp: smaller than every real delivery timestamp
+    /// (clocks start at 1). Used for initial object versions and the
+    /// initial `last_req`.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Packs a Skeen clock value and a message uid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock` exceeds 42 bits or `uid` exceeds 22 bits.
+    pub fn new(clock: u64, uid: MsgId) -> Self {
+        assert!(clock < (1 << 42), "Skeen clock overflow");
+        assert!(u64::from(uid.0) <= UID_MASK, "message uid overflow");
+        Timestamp((clock << UID_BITS) | u64::from(uid.0))
+    }
+
+    /// Reconstructs a timestamp from its packed representation.
+    pub const fn from_raw(raw: u64) -> Self {
+        Timestamp(raw)
+    }
+
+    /// The packed representation (what gets stored in RDMA memory words).
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The Skeen clock component.
+    pub const fn clock(self) -> u64 {
+        self.0 >> UID_BITS
+    }
+
+    /// The unique message id component.
+    pub const fn uid(self) -> MsgId {
+        MsgId((self.0 & UID_MASK) as u32)
+    }
+
+    /// Whether this is the zero timestamp.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts({},{})", self.clock(), self.uid())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        let ts = Timestamp::new(123_456, MsgId(789));
+        assert_eq!(ts.clock(), 123_456);
+        assert_eq!(ts.uid(), MsgId(789));
+        assert_eq!(Timestamp::from_raw(ts.raw()), ts);
+    }
+
+    #[test]
+    fn order_is_clock_major_then_uid() {
+        let a = Timestamp::new(5, MsgId(100));
+        let b = Timestamp::new(5, MsgId(101));
+        let c = Timestamp::new(6, MsgId(0));
+        assert!(a < b);
+        assert!(b < c);
+        assert!(Timestamp::ZERO < a);
+    }
+
+    #[test]
+    fn distinct_uids_make_equal_clocks_unique() {
+        let a = Timestamp::new(9, MsgId(1));
+        let b = Timestamp::new(9, MsgId(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock overflow")]
+    fn clock_overflow_panics() {
+        let _ = Timestamp::new(1 << 42, MsgId(0));
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Timestamp::ZERO.is_zero());
+        assert!(!Timestamp::new(1, MsgId(0)).is_zero());
+    }
+}

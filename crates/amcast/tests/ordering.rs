@@ -1,0 +1,246 @@
+//! Integration tests for the atomic multicast properties of §II-B of the
+//! Heron paper: integrity, agreement, prefix/acyclic order, and unique
+//! monotone timestamps — plus leader failover.
+
+use amcast::{DeliveryEvent, GroupId, Mcast, McastConfig, MsgId, Timestamp};
+use parking_lot::Mutex;
+use rdma_sim::{Fabric, LatencyModel};
+use sim::Simulation;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything one replica delivered, in order.
+type DeliveryLog = Arc<Mutex<Vec<Vec<(MsgId, Timestamp)>>>>;
+
+struct Harness {
+    simulation: Simulation,
+    mcast: Mcast,
+    fabric: Fabric,
+    /// `logs[global_replica]` = ordered deliveries at that replica.
+    logs: DeliveryLog,
+    groups: usize,
+    n: usize,
+}
+
+fn build(seed: u64, cfg: McastConfig) -> Harness {
+    let simulation = Simulation::new(seed);
+    let fabric = Fabric::new(LatencyModel::connectx4());
+    let groups = cfg.groups;
+    let n = cfg.replicas_per_group;
+    let nodes: Vec<Vec<_>> = (0..groups)
+        .map(|g| (0..n).map(|i| fabric.add_node(format!("g{g}r{i}"))).collect())
+        .collect();
+    let mcast = Mcast::build(&fabric, nodes, cfg);
+    mcast.spawn_replicas(&simulation);
+    let logs: DeliveryLog = Arc::new(Mutex::new(vec![Vec::new(); groups * n]));
+    for g in 0..groups {
+        for i in 0..n {
+            let rx = mcast.deliveries(GroupId(g as u16), i);
+            let logs = logs.clone();
+            let slot = g * n + i;
+            simulation.spawn(format!("consumer-g{g}r{i}"), move || loop {
+                match rx.recv() {
+                    DeliveryEvent::Deliver(d) => logs.lock()[slot].push((d.id, d.ts)),
+                    DeliveryEvent::Gap { .. } => {}
+                }
+            });
+        }
+    }
+    Harness {
+        simulation,
+        mcast,
+        fabric,
+        logs,
+        groups,
+        n,
+    }
+}
+
+/// Check that two delivery sequences agree on the relative order of their
+/// common messages.
+fn assert_consistent(a: &[(MsgId, Timestamp)], b: &[(MsgId, Timestamp)]) {
+    let pos_b: HashMap<MsgId, usize> = b.iter().enumerate().map(|(i, (m, _))| (*m, i)).collect();
+    let common: Vec<_> = a.iter().filter(|(m, _)| pos_b.contains_key(m)).collect();
+    for w in common.windows(2) {
+        assert!(
+            pos_b[&w[0].0] < pos_b[&w[1].0],
+            "inconsistent relative delivery order for {:?} and {:?}",
+            w[0].0,
+            w[1].0
+        );
+    }
+}
+
+#[test]
+fn single_group_delivers_everything_in_timestamp_order() {
+    let h = build(11, McastConfig::new(1, 3));
+    let mut client = h.mcast.client(&h.fabric.add_node("client"));
+    h.simulation.spawn("client", move || {
+        for i in 0..50u32 {
+            client.multicast(&[GroupId(0)], &i.to_le_bytes());
+            sim::sleep(Duration::from_micros(5));
+        }
+    });
+    h.simulation.run_until(sim::SimTime::from_millis(20)).unwrap();
+    let logs = h.logs.lock();
+    for r in 0..3 {
+        assert_eq!(logs[r].len(), 50, "replica {r} must deliver all messages");
+        let ts: Vec<_> = logs[r].iter().map(|(_, t)| *t).collect();
+        let mut sorted = ts.clone();
+        sorted.sort();
+        assert_eq!(ts, sorted, "delivery in timestamp order at replica {r}");
+    }
+    // All replicas deliver the identical sequence.
+    assert_eq!(logs[0], logs[1]);
+    assert_eq!(logs[1], logs[2]);
+}
+
+#[test]
+fn timestamps_are_unique_and_carried_consistently() {
+    let h = build(12, McastConfig::new(2, 3));
+    let mut client = h.mcast.client(&h.fabric.add_node("client"));
+    h.simulation.spawn("client", move || {
+        for i in 0..30u32 {
+            let dests = match i % 3 {
+                0 => vec![GroupId(0)],
+                1 => vec![GroupId(1)],
+                _ => vec![GroupId(0), GroupId(1)],
+            };
+            client.multicast(&dests, &i.to_le_bytes());
+            sim::sleep(Duration::from_micros(8));
+        }
+    });
+    h.simulation.run_until(sim::SimTime::from_millis(30)).unwrap();
+    let logs = h.logs.lock();
+    // Uniqueness across the whole system, and per-message agreement on ts.
+    let mut ts_of: HashMap<MsgId, Timestamp> = HashMap::new();
+    let mut all_ts: HashSet<(MsgId, Timestamp)> = HashSet::new();
+    for log in logs.iter() {
+        for &(m, t) in log {
+            if let Some(prev) = ts_of.insert(m, t) {
+                assert_eq!(prev, t, "message {m:?} delivered with two timestamps");
+            }
+            all_ts.insert((m, t));
+        }
+    }
+    let distinct: HashSet<Timestamp> = all_ts.iter().map(|(_, t)| *t).collect();
+    assert_eq!(distinct.len(), ts_of.len(), "timestamps must be unique");
+}
+
+#[test]
+fn cross_group_order_is_acyclic_and_prefix_consistent() {
+    let h = build(13, McastConfig::new(3, 3));
+    // Three clients hammer overlapping destination sets concurrently.
+    for c in 0..3 {
+        let mut client = h.mcast.client(&h.fabric.add_node(format!("client{c}")));
+        h.simulation.spawn(format!("client{c}"), move || {
+            for i in 0..25u32 {
+                let dests = match (c + i as usize) % 4 {
+                    0 => vec![GroupId(0), GroupId(1)],
+                    1 => vec![GroupId(1), GroupId(2)],
+                    2 => vec![GroupId(0), GroupId(2)],
+                    _ => vec![GroupId(0), GroupId(1), GroupId(2)],
+                };
+                client.multicast(&dests, &i.to_le_bytes());
+                sim::sleep(Duration::from_micros(11));
+            }
+        });
+    }
+    h.simulation.run_until(sim::SimTime::from_millis(50)).unwrap();
+    let logs = h.logs.lock();
+    // Every pair of replica logs (same or different groups) must agree on
+    // the relative order of common messages — the uniform prefix/acyclic
+    // order property.
+    for a in 0..h.groups * h.n {
+        for b in (a + 1)..h.groups * h.n {
+            assert_consistent(&logs[a], &logs[b]);
+        }
+    }
+    // And deliveries respect timestamps everywhere.
+    for log in logs.iter() {
+        let ts: Vec<_> = log.iter().map(|(_, t)| *t).collect();
+        let mut sorted = ts.clone();
+        sorted.sort();
+        assert_eq!(ts, sorted);
+    }
+}
+
+#[test]
+fn five_replica_groups_work() {
+    let h = build(14, McastConfig::new(2, 5));
+    let mut client = h.mcast.client(&h.fabric.add_node("client"));
+    h.simulation.spawn("client", move || {
+        for i in 0..20u32 {
+            client.multicast(&[GroupId(0), GroupId(1)], &i.to_le_bytes());
+            sim::sleep(Duration::from_micros(10));
+        }
+    });
+    h.simulation.run_until(sim::SimTime::from_millis(30)).unwrap();
+    let logs = h.logs.lock();
+    for (r, log) in logs.iter().enumerate() {
+        assert_eq!(log.len(), 20, "replica {r} delivered {}", log.len());
+    }
+}
+
+#[test]
+fn deliveries_continue_after_leader_crash_with_client_retry() {
+    let h = build(15, McastConfig::new(1, 3));
+    let fabric = h.fabric.clone();
+    let leader_node = h.mcast.node(GroupId(0), 0).id();
+    let logs = h.logs.clone();
+    let mut client = h.mcast.client(&h.fabric.add_node("client"));
+    h.simulation.spawn("client", move || {
+        // Phase 1: normal traffic through the initial leader.
+        let mut sent: Vec<(MsgId, u32)> = Vec::new();
+        for i in 0..10u32 {
+            sent.push((client.multicast(&[GroupId(0)], &i.to_le_bytes()), i));
+            sim::sleep(Duration::from_micros(20));
+        }
+        // Crash the leader.
+        fabric.crash(leader_node);
+        // Phase 2: keep multicasting with retry until delivered by some
+        // surviving replica (replica 1 or 2 of group 0).
+        for i in 10..20u32 {
+            let uid = client.multicast(&[GroupId(0)], &i.to_le_bytes());
+            loop {
+                sim::sleep(Duration::from_millis(1));
+                let delivered = logs.lock()[1].iter().any(|(m, _)| *m == uid);
+                if delivered {
+                    break;
+                }
+                client.resubmit(uid, &[GroupId(0)], &i.to_le_bytes());
+            }
+        }
+    });
+    h.simulation.run_until(sim::SimTime::from_millis(400)).unwrap();
+    let logs = h.logs.lock();
+    // Survivors delivered all 20 messages exactly once, consistently.
+    for r in [1usize, 2] {
+        assert_eq!(logs[r].len(), 20, "replica {r}: {:?}", logs[r]);
+        let uids: HashSet<MsgId> = logs[r].iter().map(|(m, _)| *m).collect();
+        assert_eq!(uids.len(), 20, "duplicate deliveries at replica {r}");
+    }
+    assert_eq!(logs[1], logs[2]);
+}
+
+#[test]
+fn concurrent_clients_to_disjoint_groups_scale_independently() {
+    let h = build(16, McastConfig::new(2, 3));
+    for (c, g) in [(0usize, 0u16), (1, 1)] {
+        let mut client = h.mcast.client(&h.fabric.add_node(format!("client{c}")));
+        h.simulation.spawn(format!("client{c}"), move || {
+            for i in 0..40u32 {
+                client.multicast(&[GroupId(g)], &i.to_le_bytes());
+                sim::sleep(Duration::from_micros(4));
+            }
+        });
+    }
+    h.simulation.run_until(sim::SimTime::from_millis(20)).unwrap();
+    let logs = h.logs.lock();
+    for g in 0..2 {
+        for i in 0..3 {
+            assert_eq!(logs[g * 3 + i].len(), 40);
+        }
+    }
+}

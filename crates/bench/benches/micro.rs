@@ -1,0 +1,170 @@
+//! Criterion microbenchmarks of the implementation itself (real CPU time,
+//! not virtual time): the hot paths that bound how fast the simulator can
+//! reproduce the paper's experiments, plus the data-plane codecs whose
+//! cost model the TPC-C calibration leans on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use heron_core::{ObjectId, Timestamp, VersionedStore};
+use rdma_sim::{Fabric, LatencyModel};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use tpcc::{CustomerRow, StockRow, TpccApp, TpccScale, Transaction};
+
+fn bench_tpcc_serialization(c: &mut Criterion) {
+    let customer = CustomerRow {
+        w_id: 1,
+        d_id: 2,
+        id: 3,
+        balance: -10_00,
+        ytd_payment: 10_00,
+        payment_cnt: 1,
+        delivery_cnt: 0,
+        last_o_id: 42,
+        credit: *b"GC",
+        last: [b'L'; 16],
+        first: [b'F'; 16],
+        data: [b'c'; 500],
+    };
+    let stock = StockRow {
+        w_id: 1,
+        i_id: 7,
+        quantity: 50,
+        ytd: 0,
+        order_cnt: 0,
+        remote_cnt: 0,
+        dist: [b's'; 240],
+        data: [b'x'; 48],
+    };
+    let cbytes = customer.to_bytes();
+    let sbytes = stock.to_bytes();
+    let mut g = c.benchmark_group("tpcc_serialization");
+    g.bench_function("customer_to_bytes", |b| {
+        b.iter(|| black_box(customer.to_bytes()))
+    });
+    g.bench_function("customer_from_bytes", |b| {
+        b.iter(|| black_box(CustomerRow::from_bytes(black_box(&cbytes))))
+    });
+    g.bench_function("stock_to_bytes", |b| b.iter(|| black_box(stock.to_bytes())));
+    g.bench_function("stock_from_bytes", |b| {
+        b.iter(|| black_box(StockRow::from_bytes(black_box(&sbytes))))
+    });
+    g.finish();
+}
+
+fn bench_txn_codec(c: &mut Criterion) {
+    let app = TpccApp::new(TpccScale::bench(), 8);
+    let mut gen = app.generator(1);
+    let txn = gen.new_order(1);
+    let bytes = txn.encode();
+    let mut g = c.benchmark_group("txn_codec");
+    g.bench_function("new_order_encode", |b| b.iter(|| black_box(txn.encode())));
+    g.bench_function("new_order_decode", |b| {
+        b.iter(|| black_box(Transaction::decode(black_box(&bytes))))
+    });
+    g.finish();
+}
+
+fn bench_versioned_store(c: &mut Criterion) {
+    let fabric = Fabric::new(LatencyModel::zero());
+    let store = VersionedStore::new(fabric.add_node("bench"));
+    let value = vec![7u8; 312];
+    for i in 0..1024u64 {
+        store.bootstrap(ObjectId(i), &value);
+    }
+    let mut g = c.benchmark_group("versioned_store");
+    let mut clock = 1u64;
+    g.bench_function("set", |b| {
+        b.iter(|| {
+            clock += 1;
+            store.set(
+                ObjectId(clock % 1024),
+                &value,
+                Timestamp::new(clock, amcast::MsgId((clock % (1 << 22)) as u32)),
+            );
+        })
+    });
+    g.bench_function("get", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(store.get(ObjectId(i % 1024)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_timestamp(c: &mut Criterion) {
+    c.bench_function("timestamp_pack_unpack", |b| {
+        b.iter(|| {
+            let ts = Timestamp::new(black_box(123_456), amcast::MsgId(black_box(789)));
+            black_box((ts.clock(), ts.uid(), ts.raw()))
+        })
+    });
+}
+
+fn bench_simulator_switch(c: &mut Criterion) {
+    // Real cost of one simulated-process context switch: the number that
+    // bounds how much virtual time per real second the harness reproduces.
+    c.bench_function("sim_context_switch_1k", |b| {
+        b.iter_batched(
+            || {
+                let simulation = sim::Simulation::new(1);
+                simulation.spawn("ticker", || {
+                    for _ in 0..1000 {
+                        sim::sleep_ns(10);
+                    }
+                });
+                simulation
+            },
+            |simulation| simulation.run().unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn bench_end_to_end_request(c: &mut Criterion) {
+    // Real time to simulate one full Heron TPC-C request (ordering +
+    // coordination + execution across 2 partitions × 3 replicas).
+    c.bench_function("heron_tpcc_100_requests", |b| {
+        b.iter_batched(
+            || {
+                let simulation = sim::Simulation::new(3);
+                let fabric = Fabric::new(LatencyModel::connectx4());
+                let app = Arc::new(TpccApp::new(TpccScale::small(), 2));
+                let cluster = heron_core::HeronCluster::build(
+                    &fabric,
+                    heron_core::HeronConfig::new(2, 3),
+                    app.clone(),
+                );
+                cluster.spawn(&simulation);
+                let mut client = cluster.client("bench");
+                simulation.spawn("client", move || {
+                    let mut gen = app.generator(5);
+                    for _ in 0..100 {
+                        client.execute(&gen.next(1).encode());
+                    }
+                    sim::stop();
+                });
+                simulation
+            },
+            |simulation| simulation.run().unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tpcc_serialization, bench_txn_codec, bench_versioned_store,
+              bench_timestamp, bench_simulator_switch, bench_end_to_end_request
+}
+criterion_main!(benches);

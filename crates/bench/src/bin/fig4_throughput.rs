@@ -1,0 +1,66 @@
+//! **Figure 4** — maximum throughput of (1) the ordering layer alone,
+//! (2) Heron with null requests, (3) Heron running TPC-C, and (4) TPC-C
+//! with local-only transactions, as partitions scale 1 → 16.
+//!
+//! The paper's observations this must reproduce:
+//! * the ordering layer scales close to linearly;
+//! * Heron-null and TPCC do not improve from 1→2 partitions (coordination
+//!   appears), then scale: the paper reports TPCC factors of 1.52× /
+//!   2.65× / 3.98× for 4/8/16 WH relative to 2 WH;
+//! * local-only TPCC scales linearly.
+//!
+//! `cargo run -p heron-bench --release --bin fig4_throughput [--quick]`
+
+use heron_bench::{banner, quick_mode, run_heron, RunConfig, Workload};
+
+fn main() {
+    let quick = quick_mode();
+    banner(
+        "Figure 4: throughput scalability (requests/s)",
+        "§V-C1, Fig. 4 — Ramcast / Heron / Tpcc / Local Tpcc, 1..16 partitions",
+    );
+    let partitions = if quick {
+        vec![1usize, 2, 4]
+    } else {
+        vec![1usize, 2, 4, 8, 16]
+    };
+    let workloads = [
+        ("Ramcast (ordering only)", Workload::NullLocal),
+        ("Heron (null requests)", Workload::Null),
+        ("Tpcc", Workload::Tpcc),
+        ("Local Tpcc", Workload::TpccLocal),
+    ];
+
+    print!("{:<26}", "workload \\ partitions");
+    for p in &partitions {
+        print!("{:>12}", format!("{p}WH"));
+    }
+    println!();
+    let mut table: Vec<Vec<f64>> = Vec::new();
+    for (label, wl) in workloads {
+        print!("{label:<26}");
+        let mut row = Vec::new();
+        for &p in &partitions {
+            let summary = run_heron(&RunConfig::new(p, 3, wl).quick(quick));
+            row.push(summary.tps);
+            print!("{:>12.0}", summary.tps);
+            use std::io::Write;
+            std::io::stdout().flush().ok();
+        }
+        table.push(row);
+        println!();
+    }
+
+    println!("\nscaling factors relative to 2 partitions (paper, TPCC: 1.52x / 2.65x / 3.98x):");
+    for ((label, _), row) in workloads.iter().zip(&table) {
+        if row.len() < 3 {
+            continue;
+        }
+        let base = row[1];
+        let factors: Vec<String> = row[2..]
+            .iter()
+            .map(|t| format!("{:.2}x", t / base))
+            .collect();
+        println!("  {label:<26} {}", factors.join(" / "));
+    }
+}

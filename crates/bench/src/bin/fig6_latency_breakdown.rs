@@ -1,0 +1,120 @@
+//! **Figure 6** — latency breakdown of TPC-C NewOrder with a single
+//! closed-loop client: how much of the end-to-end latency is ordering,
+//! coordination, and execution — for the standard TPCC workload and for
+//! modified NewOrders that touch exactly 1–4 partitions — plus the CDF.
+//!
+//! The paper's observations this must reproduce: coordination costs only
+//! ~2–3 µs regardless of the partition count; ordering and execution grow
+//! slowly with partitions; total ≈ 35 µs for the TPCC workload.
+//!
+//! `cargo run -p heron-bench --release --bin fig6_latency_breakdown [--quick]`
+
+use heron_bench::{banner, quantile, quick_mode};
+use heron_core::{HeronCluster, HeronConfig};
+use rdma_sim::{Fabric, LatencyModel};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+use tpcc::{TpccApp, TpccScale};
+
+/// Runs one single-client workload; returns (ordering, coordination,
+/// execution, mean-total, sorted latency samples in µs).
+fn run(
+    label: &str,
+    span: Option<u16>, // None = standard TPCC NewOrder mix
+    requests: u32,
+) -> (Duration, Duration, Duration, Duration, Vec<f64>) {
+    let warehouses = 4u16;
+    let simulation = sim::Simulation::new(7);
+    let fabric = Fabric::new(LatencyModel::connectx4());
+    let app = Arc::new(TpccApp::new(TpccScale::bench(), warehouses));
+    let cluster = HeronCluster::build(&fabric, HeronConfig::new(warehouses as usize, 3), app.clone());
+    cluster.spawn(&simulation);
+    let mut client = cluster.client(label);
+    let app2 = app.clone();
+    simulation.spawn("client", move || {
+        let mut gen = app2.generator(9);
+        for _ in 0..requests {
+            let txn = match span {
+                None => gen.new_order(1),
+                Some(k) => gen.new_order_spanning(1, k),
+            };
+            client.execute(&txn.encode());
+        }
+        sim::stop();
+    });
+    simulation.run().expect("run completes");
+    let metrics = cluster.metrics();
+    let b = metrics.breakdowns.lock();
+    // The client-perceived path runs through the *home* partition (it
+    // executes the full request and finishes last); decompose that path,
+    // as the paper does.
+    let home: Vec<_> = b.iter().filter(|s| s.at_partition == 0).collect();
+    let n = home.len().max(1) as u64;
+    let sums = home.iter().fold((0u64, 0u64, 0u64), |a, s| {
+        (
+            a.0 + s.ordering_ns,
+            a.1 + s.coordination_ns,
+            a.2 + s.execution_ns,
+        )
+    });
+    let mut samples: Vec<f64> = metrics
+        .latencies
+        .lock()
+        .iter()
+        .map(|&ns| ns as f64 / 1_000.0)
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let mean = metrics.mean_latency();
+    let _ = metrics.completed.load(Ordering::Relaxed);
+    (
+        Duration::from_nanos(sums.0 / n),
+        Duration::from_nanos(sums.1 / n),
+        Duration::from_nanos(sums.2 / n),
+        mean,
+        samples,
+    )
+}
+
+fn main() {
+    let quick = quick_mode();
+    let requests = if quick { 300 } else { 2_000 };
+    banner(
+        "Figure 6: NewOrder latency breakdown, one client (µs)",
+        "§V-D1, Fig. 6 — paper: TPCC total 35.4 µs = ordering 18 + execution 16 + coordination ~2; coordination ≤ 3 µs in all workloads",
+    );
+    println!(
+        "{:<10} {:>10} {:>14} {:>11} {:>10}",
+        "workload", "ordering", "coordination", "execution", "total"
+    );
+    let mut cdfs: Vec<(String, Vec<f64>)> = Vec::new();
+    let configs: Vec<(String, Option<u16>)> = vec![
+        ("Tpcc".into(), None),
+        ("1WH".into(), Some(1)),
+        ("2WH".into(), Some(2)),
+        ("3WH".into(), Some(3)),
+        ("4WH".into(), Some(4)),
+    ];
+    for (label, span) in configs {
+        let (o, c, e, total, samples) = run(&label, span, requests);
+        println!(
+            "{:<10} {:>10.2?} {:>14.2?} {:>11.2?} {:>10.2?}",
+            label, o, c, e, total
+        );
+        cdfs.push((label, samples));
+    }
+    println!("\nlatency CDF (µs):");
+    print!("{:<10}", "workload");
+    let qs = [0.10, 0.25, 0.50, 0.75, 0.82, 0.90, 0.95, 0.99, 1.00];
+    for q in qs {
+        print!("{:>8}", format!("p{:.0}", q * 100.0));
+    }
+    println!();
+    for (label, samples) in &cdfs {
+        print!("{label:<10}");
+        for q in qs {
+            print!("{:>8.1}", quantile(samples, q));
+        }
+        println!();
+    }
+}

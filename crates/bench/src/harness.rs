@@ -1,0 +1,323 @@
+//! Shared load-generation harness: spawn a deployment, drive it with
+//! closed-loop clients, and summarize throughput/latency over a
+//! measurement window of virtual time.
+
+use crate::null::NullApp;
+use dynastar::{DynaStar, DynaStarConfig};
+use heron_core::{HeronCluster, HeronConfig, PartitionId, StateMachine};
+use rdma_sim::{Fabric, LatencyModel};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+use tpcc::{TpccApp, TpccScale};
+
+/// Which workload the clients issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The standard TPC-C mix (≈10 % multi-partition).
+    Tpcc,
+    /// TPC-C with every access forced to the home warehouse (Fig. 4's
+    /// "Local Tpcc").
+    TpccLocal,
+    /// Null requests with TPC-C's destination distribution (Fig. 4's
+    /// "Heron" bars: coordination without execution).
+    Null,
+    /// Null requests, single-partition only (approximates Fig. 4's
+    /// "Ramcast" bars: the ordering layer plus a reply, with no
+    /// coordination and no execution).
+    NullLocal,
+}
+
+/// Parameters of one load run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Partitions (= warehouses).
+    pub partitions: usize,
+    /// Replicas per partition.
+    pub replicas: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Dataset scale (TPC-C workloads).
+    pub scale: TpccScale,
+    /// Virtual warm-up time before measuring.
+    pub warmup: Duration,
+    /// Virtual measurement window.
+    pub window: Duration,
+    /// Workload.
+    pub workload: Workload,
+    /// Override for Heron's Phase-4 wait-for-all delay: `None` keeps the
+    /// default; `Some(None)` disables the heuristic; `Some(Some(δ))` sets
+    /// it.
+    pub wait_for_all: Option<Option<Duration>>,
+    /// Multi-partition execution mode (paper §III-D2).
+    pub execution_mode: heron_core::ExecutionMode,
+}
+
+impl RunConfig {
+    /// A standard configuration for the given shape.
+    pub fn new(partitions: usize, replicas: usize, workload: Workload) -> Self {
+        RunConfig {
+            seed: 42,
+            partitions,
+            replicas,
+            // The paper saturates at ~2 outstanding requests per
+            // partition (53 ktps × 35.7 µs ≈ 1.9 at 2P); a few clients per
+            // partition reach peak throughput without deep queues.
+            clients: (partitions * 4).clamp(4, 80),
+            scale: TpccScale::bench(),
+            warmup: Duration::from_millis(5),
+            window: Duration::from_millis(25),
+            workload,
+            wait_for_all: None,
+            execution_mode: heron_core::ExecutionMode::default(),
+        }
+    }
+
+    /// Shrinks the run for `--quick` smoke mode.
+    #[must_use]
+    pub fn quick(mut self, quick: bool) -> Self {
+        if quick {
+            self.warmup = Duration::from_millis(2);
+            self.window = Duration::from_millis(8);
+            self.clients = self.clients.min(32);
+        }
+        self
+    }
+}
+
+/// One latency-breakdown average.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BreakdownSummary {
+    /// Samples.
+    pub n: usize,
+    /// Mean multicast-to-delivery time.
+    pub ordering: Duration,
+    /// Mean Phase 2 + Phase 4 time.
+    pub coordination: Duration,
+    /// Mean execution time.
+    pub execution: Duration,
+}
+
+/// The result of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    /// Completed requests per second of virtual time.
+    pub tps: f64,
+    /// Mean end-to-end latency.
+    pub mean: Duration,
+    /// Latency percentiles over the measurement window: (p50, p95, p99).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Sorted latency samples (µs) for CDF plots.
+    pub samples_us: Vec<f64>,
+    /// Replica-side breakdown of single-partition requests.
+    pub single: BreakdownSummary,
+    /// Replica-side breakdown of multi-partition requests.
+    pub multi: BreakdownSummary,
+    /// Per-partition wait-for-all stats: (delayed fraction, mean delay).
+    pub delays: Vec<(f64, Duration)>,
+    /// State transfers initiated during the run (lagger events).
+    pub transfers_started: u64,
+}
+
+fn percentile_of(sorted: &[u64], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    Duration::from_nanos(sorted[idx])
+}
+
+/// The `q`-quantile of a sorted slice of µs samples.
+pub fn quantile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+/// Builds a Heron deployment for `cfg` and drives it with closed-loop
+/// clients; returns the measured summary.
+pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
+    let simulation = sim::Simulation::new(cfg.seed);
+    let fabric = Fabric::new(LatencyModel::connectx4());
+    let app: Arc<dyn StateMachine> = match cfg.workload {
+        Workload::Tpcc | Workload::TpccLocal => {
+            Arc::new(TpccApp::new(cfg.scale, cfg.partitions as u16))
+        }
+        Workload::Null | Workload::NullLocal => Arc::new(NullApp::new(cfg.partitions as u16)),
+    };
+    let mut hcfg =
+        HeronConfig::new(cfg.partitions, cfg.replicas).with_max_clients(cfg.clients + 2);
+    if let Some(delta) = cfg.wait_for_all {
+        hcfg = hcfg.with_wait_for_all(delta);
+    }
+    hcfg = hcfg.with_execution_mode(cfg.execution_mode);
+    let cluster = HeronCluster::build(&fabric, hcfg, app);
+    cluster.spawn(&simulation);
+
+    let end = sim::SimTime::ZERO + cfg.warmup + cfg.window;
+    for c in 0..cfg.clients {
+        let mut client = cluster.client(format!("c{c}"));
+        let workload = cfg.workload;
+        let scale = cfg.scale;
+        let partitions = cfg.partitions as u16;
+        let seed = cfg.seed * 1000 + c as u64;
+        simulation.spawn(format!("client-{c}"), move || {
+            let mut gen = tpcc::TpccGen::new(scale, partitions, seed);
+            if workload == Workload::TpccLocal {
+                gen.local_only = true;
+            }
+            let home = (c as u16 % partitions) + 1;
+            while sim::now() < end {
+                match workload {
+                    Workload::Tpcc | Workload::TpccLocal => {
+                        client.execute(&gen.next(home).encode());
+                    }
+                    Workload::Null => {
+                        // Mirror the TPC-C destination distribution.
+                        let dests: Vec<PartitionId> = gen
+                            .next(home)
+                            .warehouses()
+                            .into_iter()
+                            .map(|w| PartitionId(w - 1))
+                            .collect();
+                        client.execute_on(&NullApp::request(&dests), &dests);
+                    }
+                    Workload::NullLocal => {
+                        let dests = [PartitionId(home - 1)];
+                        client.execute_on(&NullApp::request(&dests), &dests);
+                    }
+                }
+            }
+        });
+    }
+
+    let metrics = cluster.metrics();
+    // Snapshot at the end of the warm-up.
+    simulation
+        .run_until(sim::SimTime::ZERO + cfg.warmup)
+        .expect("warmup");
+    let completed0 = metrics.completed.load(Ordering::Relaxed);
+    let samples0 = metrics.latencies.lock().len();
+    let breakdown0 = metrics.breakdowns.lock().len();
+    simulation.run_until(end).expect("measurement window");
+    let completed1 = metrics.completed.load(Ordering::Relaxed);
+
+    let mut window_samples: Vec<u64> = metrics.latencies.lock()[samples0..].to_vec();
+    window_samples.sort_unstable();
+    let mean = if window_samples.is_empty() {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos(window_samples.iter().sum::<u64>() / window_samples.len() as u64)
+    };
+    let breakdowns = metrics.breakdowns.lock()[breakdown0..].to_vec();
+    let summarize = |multi: bool| {
+        let sel: Vec<_> = breakdowns
+            .iter()
+            .filter(|b| (b.partitions > 1) == multi)
+            .collect();
+        if sel.is_empty() {
+            return BreakdownSummary::default();
+        }
+        let n = sel.len() as u64;
+        let sum = sel.iter().fold((0u64, 0u64, 0u64), |a, b| {
+            (
+                a.0 + b.ordering_ns,
+                a.1 + b.coordination_ns,
+                a.2 + b.execution_ns,
+            )
+        });
+        BreakdownSummary {
+            n: sel.len(),
+            ordering: Duration::from_nanos(sum.0 / n),
+            coordination: Duration::from_nanos(sum.1 / n),
+            execution: Duration::from_nanos(sum.2 / n),
+        }
+    };
+    let delays = metrics
+        .delays
+        .iter()
+        .map(|d| d.summary())
+        .collect::<Vec<_>>();
+
+    LoadSummary {
+        tps: (completed1 - completed0) as f64 / cfg.window.as_secs_f64(),
+        mean,
+        p50: percentile_of(&window_samples, 0.5),
+        p95: percentile_of(&window_samples, 0.95),
+        p99: percentile_of(&window_samples, 0.99),
+        samples_us: window_samples
+            .iter()
+            .map(|&ns| ns as f64 / 1_000.0)
+            .collect(),
+        single: summarize(false),
+        multi: summarize(true),
+        delays,
+        transfers_started: metrics.transfers_started.load(Ordering::Relaxed),
+    }
+}
+
+/// Drives the DynaStar baseline with the TPC-C mix; returns the summary.
+pub fn run_dynastar_tpcc(cfg: &RunConfig) -> LoadSummary {
+    let simulation = sim::Simulation::new(cfg.seed);
+    let app = Arc::new(TpccApp::new(cfg.scale, cfg.partitions as u16));
+    let ds = DynaStar::build(
+        DynaStarConfig::new(cfg.partitions, cfg.replicas),
+        app.clone(),
+    );
+    ds.spawn(&simulation);
+
+    let end = sim::SimTime::ZERO + cfg.warmup + cfg.window;
+    for c in 0..cfg.clients {
+        let mut client = ds.client(format!("c{c}"));
+        let scale = cfg.scale;
+        let partitions = cfg.partitions as u16;
+        let seed = cfg.seed * 1000 + c as u64;
+        simulation.spawn(format!("ds-client-{c}"), move || {
+            let mut gen = tpcc::TpccGen::new(scale, partitions, seed);
+            let home = (c as u16 % partitions) + 1;
+            while sim::now() < end {
+                client.execute(&gen.next(home).encode());
+            }
+        });
+    }
+
+    let metrics = ds.metrics();
+    simulation
+        .run_until(sim::SimTime::ZERO + cfg.warmup)
+        .expect("warmup");
+    let completed0 = metrics.completed.load(Ordering::Relaxed);
+    let samples0 = metrics.latencies.lock().len();
+    simulation.run_until(end).expect("measurement window");
+    let completed1 = metrics.completed.load(Ordering::Relaxed);
+
+    let mut window_samples: Vec<u64> = metrics.latencies.lock()[samples0..].to_vec();
+    window_samples.sort_unstable();
+    let mean = if window_samples.is_empty() {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos(window_samples.iter().sum::<u64>() / window_samples.len() as u64)
+    };
+    LoadSummary {
+        tps: (completed1 - completed0) as f64 / cfg.window.as_secs_f64(),
+        mean,
+        p50: percentile_of(&window_samples, 0.5),
+        p95: percentile_of(&window_samples, 0.95),
+        p99: percentile_of(&window_samples, 0.99),
+        samples_us: window_samples
+            .iter()
+            .map(|&ns| ns as f64 / 1_000.0)
+            .collect(),
+        single: BreakdownSummary::default(),
+        multi: BreakdownSummary::default(),
+        delays: vec![],
+        transfers_started: 0,
+    }
+}

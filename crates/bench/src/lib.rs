@@ -1,0 +1,41 @@
+//! Benchmark harness reproducing every table and figure of the Heron
+//! paper's evaluation (§V).
+//!
+//! One binary per experiment (see `DESIGN.md` §4 for the index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig4_throughput` | Fig. 4 — RamCast / Heron-null / TPCC / local TPCC scalability |
+//! | `fig5_vs_dynastar` | Fig. 5 — Heron vs DynaStar throughput & latency |
+//! | `fig6_latency_breakdown` | Fig. 6 — ordering/coordination/execution breakdown + CDF |
+//! | `fig7_txn_latency` | Fig. 7 — per-transaction-type latency + CDF |
+//! | `table1_wait_for_all` | Table I — delayed transactions under wait-for-all |
+//! | `fig8_state_transfer` | Fig. 8 — state-transfer latency & full-warehouse recovery |
+//! | `ablation_sweeps` | transfer chunk size (§V-E2), Phase-4 cut-off δ (§V-A), execution mode (§III-D2) |
+//!
+//! Run them with `cargo run -p heron-bench --release --bin <name>`; pass
+//! `--quick` for a shorter, coarser run. Criterion microbenchmarks of the
+//! implementation itself live in `benches/`.
+
+pub mod harness;
+pub mod null;
+pub mod syncapp;
+
+pub use harness::{
+    quantile, run_dynastar_tpcc, run_heron, LoadSummary, RunConfig, Workload,
+};
+pub use null::NullApp;
+
+/// `true` when `--quick` was passed: benchmarks shrink their measurement
+/// windows for a fast smoke run.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a standard experiment header.
+pub fn banner(title: &str, paper: &str) {
+    println!("{}", "=".repeat(76));
+    println!("{title}");
+    println!("paper reference: {paper}");
+    println!("{}", "=".repeat(76));
+}

@@ -1,0 +1,173 @@
+//! The DynaStar baseline executes the same TPC-C application correctly —
+//! and an order of magnitude slower than Heron, as Fig. 5 requires.
+
+use dynastar::{DynaStar, DynaStarConfig};
+use heron_core::{HeronCluster, HeronConfig, PartitionId};
+use rdma_sim::{Fabric, LatencyModel};
+use std::sync::Arc;
+use tpcc::{ids, DistrictRow, TpccApp, TpccScale, Transaction};
+
+fn build_ds(seed: u64, warehouses: u16) -> (sim::Simulation, DynaStar, Arc<TpccApp>) {
+    let simulation = sim::Simulation::new(seed);
+    let app = Arc::new(TpccApp::new(TpccScale::small(), warehouses));
+    let ds = DynaStar::build(
+        DynaStarConfig::new(warehouses as usize, 3),
+        app.clone(),
+    );
+    ds.spawn(&simulation);
+    (simulation, ds, app)
+}
+
+#[test]
+fn single_partition_new_order_executes() {
+    let (simulation, ds, _app) = build_ds(41, 2);
+    let mut client = ds.client("c");
+    let ds2 = ds.clone();
+    simulation.spawn("client", move || {
+        let txn = Transaction::NewOrder {
+            w: 1,
+            d: 1,
+            c: 1,
+            lines: vec![tpcc::OrderLineReq {
+                i_id: 3,
+                supply_w: 1,
+                qty: 2,
+            }],
+        };
+        let resp = client.execute(&txn.encode());
+        let o_id = u32::from_le_bytes(resp[..4].try_into().unwrap());
+        let scale = TpccScale::small();
+        assert_eq!(o_id, scale.initial_orders + 1);
+        // District advanced at the partition leader.
+        let d = DistrictRow::from_bytes(&ds2.peek(PartitionId(0), ids::district(1, 1)).unwrap());
+        assert_eq!(d.next_o_id, o_id + 1);
+        sim::stop();
+    });
+    simulation.run().unwrap();
+}
+
+#[test]
+fn multi_partition_payment_moves_objects_and_writes_back() {
+    let (simulation, ds, _app) = build_ds(42, 2);
+    let mut client = ds.client("c");
+    let ds2 = ds.clone();
+    simulation.spawn("client", move || {
+        // Payment at w1 for a customer of w2: the customer row moves to
+        // the executor (p0) and the update ships back to p1.
+        let txn = Transaction::Payment {
+            w: 1,
+            d: 1,
+            c_w: 2,
+            c_d: 1,
+            c: 5,
+            amount: 77_00,
+        };
+        let before = tpcc::CustomerRow::from_bytes(
+            &ds2.peek(PartitionId(1), ids::customer(2, 1, 5)).unwrap(),
+        );
+        client.execute(&txn.encode());
+        sim::sleep(std::time::Duration::from_millis(5));
+        let after = tpcc::CustomerRow::from_bytes(
+            &ds2.peek(PartitionId(1), ids::customer(2, 1, 5)).unwrap(),
+        );
+        assert_eq!(after.balance, before.balance - 77_00);
+        assert_eq!(after.payment_cnt, before.payment_cnt + 1);
+        // And the district YTD landed at the home partition.
+        let d = DistrictRow::from_bytes(&ds2.peek(PartitionId(0), ids::district(1, 1)).unwrap());
+        assert_eq!(d.ytd, 77_00);
+        sim::stop();
+    });
+    simulation.run().unwrap();
+}
+
+#[test]
+fn mixed_workload_matches_heron_final_state() {
+    // The same transaction sequence applied to Heron and to DynaStar must
+    // produce identical district rows — the two systems implement the same
+    // state machine.
+    let warehouses = 2u16;
+    let txns: Vec<Vec<u8>> = {
+        let app = TpccApp::new(TpccScale::small(), warehouses);
+        let mut g = app.generator(99);
+        (0..40).map(|i| g.next((i % 2 + 1) as u16).encode()).collect()
+    };
+
+    // Run on DynaStar.
+    let (simulation, ds, _app) = build_ds(43, warehouses);
+    let mut client = ds.client("c");
+    let txns2 = txns.clone();
+    simulation.spawn("client", move || {
+        for t in &txns2 {
+            client.execute(t);
+        }
+        sim::sleep(std::time::Duration::from_millis(10));
+        sim::stop();
+    });
+    simulation.run().unwrap();
+
+    // Run on Heron.
+    let sim2 = sim::Simulation::new(44);
+    let fabric = Fabric::new(LatencyModel::connectx4());
+    let app = Arc::new(TpccApp::new(TpccScale::small(), warehouses));
+    let heron = HeronCluster::build(&fabric, HeronConfig::new(warehouses as usize, 3), app);
+    heron.spawn(&sim2);
+    let mut hclient = heron.client("c");
+    let txns3 = txns.clone();
+    sim2.spawn("client", move || {
+        for t in &txns3 {
+            hclient.execute(t);
+        }
+        sim::sleep(std::time::Duration::from_millis(2));
+        sim::stop();
+    });
+    sim2.run().unwrap();
+
+    let scale = TpccScale::small();
+    for w in 1..=warehouses {
+        for d in 1..=scale.districts {
+            let ds_row = ds.peek(PartitionId(w - 1), ids::district(w, d)).unwrap();
+            let h_row = heron.peek(PartitionId(w - 1), 0, ids::district(w, d)).unwrap();
+            assert_eq!(ds_row, h_row, "district w{w}d{d} diverged between systems");
+        }
+    }
+}
+
+#[test]
+fn dynastar_latency_is_an_order_of_magnitude_above_herons() {
+    let warehouses = 2u16;
+    // DynaStar.
+    let (simulation, ds, app) = build_ds(45, warehouses);
+    let mut client = ds.client("c");
+    let app2 = app.clone();
+    simulation.spawn("client", move || {
+        let mut g = app2.generator(5);
+        for i in 0..30 {
+            client.execute(&g.next((i % 2 + 1) as u16).encode());
+        }
+        sim::stop();
+    });
+    simulation.run().unwrap();
+    let ds_mean = ds.metrics().mean_latency();
+
+    // Heron, same workload.
+    let sim2 = sim::Simulation::new(45);
+    let fabric = Fabric::new(LatencyModel::connectx4());
+    let happ = Arc::new(TpccApp::new(TpccScale::small(), warehouses));
+    let heron = HeronCluster::build(&fabric, HeronConfig::new(warehouses as usize, 3), happ.clone());
+    heron.spawn(&sim2);
+    let mut hclient = heron.client("c");
+    sim2.spawn("client", move || {
+        let mut g = happ.generator(5);
+        for i in 0..30 {
+            hclient.execute(&g.next((i % 2 + 1) as u16).encode());
+        }
+        sim::stop();
+    });
+    sim2.run().unwrap();
+    let h_mean = heron.metrics().mean_latency();
+
+    assert!(
+        ds_mean.as_nanos() > 10 * h_mean.as_nanos(),
+        "expected ≥10× gap: DynaStar {ds_mean:?} vs Heron {h_mean:?}"
+    );
+}

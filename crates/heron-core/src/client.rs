@@ -1,0 +1,168 @@
+//! The Heron client: closed-loop request execution.
+
+use crate::cluster::{ClientInfo, ClusterInner, HeronCluster};
+use crate::layout::{encode_envelope, resp_slot, RESP_HDR};
+use crate::types::PartitionId;
+use amcast::{GroupId, McastClient, MsgId};
+use bytes::Bytes;
+use rdma_sim::{Addr, Node};
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A closed-loop Heron client.
+///
+/// `execute` multicasts the request to the involved partitions (asking the
+/// application's [`crate::StateMachine::destinations`]), then waits for a
+/// response from one server in each involved partition — exactly how the
+/// paper's clients measure latency (§V-B). Unanswered requests are
+/// re-multicast with the same message id after `client_retry`.
+pub struct HeronClient {
+    cluster: Arc<ClusterInner>,
+    node: Node,
+    id: u64,
+    seq: u64,
+    resp_base: Addr,
+    mcast: McastClient,
+}
+
+impl fmt::Debug for HeronClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeronClient")
+            .field("id", &self.id)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+impl HeronClient {
+    pub(crate) fn attach(cluster: &HeronCluster, name: String) -> Self {
+        let inner = Arc::clone(&cluster.inner);
+        let node = inner.fabric.add_node(format!("client-{name}"));
+        let id = inner.client_counter.fetch_add(1, Ordering::SeqCst);
+        let resp_base = node.alloc_bytes(
+            inner.cfg.partitions
+                * inner.cfg.replicas_per_partition
+                * (RESP_HDR + inner.cfg.max_response),
+        );
+        inner.clients.lock().insert(
+            id,
+            ClientInfo {
+                node: node.id(),
+                resp_base,
+            },
+        );
+        let mcast = inner.mcast.client(&node);
+        HeronClient {
+            cluster: inner,
+            node,
+            id,
+            seq: 0,
+            resp_base,
+            mcast,
+        }
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Executes one request and blocks until every involved partition has
+    /// responded; returns the response of the lowest-numbered involved
+    /// partition. Records the end-to-end latency in the cluster metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application maps the request to no partition, or if
+    /// the request exceeds the configured maximum size.
+    pub fn execute(&mut self, request: &[u8]) -> Bytes {
+        let mut dests = self.cluster.app.destinations(request);
+        dests.sort_unstable();
+        dests.dedup();
+        self.execute_on(request, &dests)
+    }
+
+    /// Like [`HeronClient::execute`] with an explicit destination set
+    /// (used by workloads that pre-compute request routing).
+    pub fn execute_on(&mut self, request: &[u8], dests: &[PartitionId]) -> Bytes {
+        assert!(!dests.is_empty(), "request must involve ≥ 1 partition");
+        assert!(
+            request.len() <= self.cluster.cfg.max_request,
+            "request exceeds HeronConfig::max_request"
+        );
+        self.seq += 1;
+        let seq = self.seq;
+        let t0 = sim::now();
+        let envelope = encode_envelope(self.id, seq, t0.as_nanos(), request);
+        let groups: Vec<GroupId> = dests.iter().map(|p| p.group()).collect();
+        let uid: MsgId = self.mcast.multicast(&groups, &envelope);
+        // Wait for a response from one server in each involved partition.
+        let retry = self.cluster.cfg.client_retry;
+        loop {
+            let done = self.node.poll_until_timeout(|| self.all_answered(dests, seq), retry);
+            if done {
+                break;
+            }
+            if std::env::var("HERON_DBG_CLIENT").is_ok() {
+                let missing: Vec<u16> = dests
+                    .iter()
+                    .filter(|p| self.answered_slot(**p, seq).is_none())
+                    .map(|p| p.0)
+                    .collect();
+                eprintln!(
+                    "[{}] client {} retrying seq={seq} uid={uid:?} missing partitions {missing:?}",
+                    sim::now(),
+                    self.id
+                );
+            }
+            // Retry: the believed leader of some group may have failed.
+            self.mcast.resubmit(uid, &groups, &envelope);
+        }
+        let latency = sim::now() - t0;
+        self.cluster.metrics.record_latency(latency);
+        // Prefer the first partition with a non-empty response: in
+        // active-only execution the passive partitions answer with empty
+        // acknowledgments.
+        for p in dests {
+            let r = self.read_response(*p, seq);
+            if !r.is_empty() {
+                return r;
+            }
+        }
+        self.read_response(dests[0], seq)
+    }
+
+    /// Whether some replica slot of partition `p` holds a response for
+    /// `seq` — "a response from one server in each partition" (§V-B).
+    fn answered_slot(&self, p: PartitionId, seq: u64) -> Option<Addr> {
+        let cfg = &self.cluster.cfg;
+        (0..cfg.replicas_per_partition).find_map(|r| {
+            let slot = resp_slot(
+                self.resp_base,
+                p.0 as usize,
+                r,
+                cfg.replicas_per_partition,
+                cfg.max_response,
+            );
+            (self.node.local_read_word(slot).unwrap_or(0) >= seq).then_some(slot)
+        })
+    }
+
+    fn all_answered(&self, dests: &[PartitionId], seq: u64) -> bool {
+        dests.iter().all(|p| self.answered_slot(*p, seq).is_some())
+    }
+
+    fn read_response(&self, p: PartitionId, seq: u64) -> Bytes {
+        let slot = self.answered_slot(p, seq).expect("partition answered");
+        let len = self
+            .node
+            .local_read_word(slot.offset(8))
+            .expect("own response slot") as usize;
+        Bytes::from(
+            self.node
+                .local_read(slot.offset(RESP_HDR as u64), len)
+                .expect("own response slot"),
+        )
+    }
+}

@@ -1,0 +1,313 @@
+//! Deployment wiring: nodes, shared replica state, clients, and spawning.
+
+use crate::app::StateMachine;
+use crate::config::HeronConfig;
+use crate::layout::{ReplicaLayout, CHUNK_HDR, COORD_ENTRY, SYNC_ENTRY};
+use crate::metrics::Metrics;
+use crate::replica::Executor;
+use crate::server::Service;
+use crate::store::VersionedStore;
+use crate::types::{ObjectId, PartitionId};
+use amcast::{GroupId, Mcast};
+use parking_lot::Mutex;
+use rdma_sim::{Addr, Fabric, Node, NodeId, QueuePair};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Progress accounting for an in-flight inbound state transfer.
+#[derive(Debug, Default)]
+pub(crate) struct TransferProgress {
+    /// Next chunk stamp the service process expects. `0` = no transfer in
+    /// progress (late chunks are ignored rather than applied against live
+    /// executor state).
+    pub expected: u64,
+    /// Raw bytes applied so far in the current transfer.
+    pub bytes: u64,
+    /// Of which, bytes of `Native` objects (paid deserialization).
+    pub native_bytes: u64,
+    /// The responder snapshot bound this transfer is applying. Set by the
+    /// first chunk; chunks from a different (racing) responder stream are
+    /// ignored.
+    pub stream_bound: Option<u64>,
+}
+
+/// State shared between a replica's executor and service processes.
+pub(crate) struct ReplicaShared {
+    pub cluster: Arc<ClusterInner>,
+    pub partition: PartitionId,
+    pub idx: usize,
+    pub node: Node,
+    pub store: VersionedStore,
+    pub layout: ReplicaLayout,
+    /// Update log: `(ts_raw, oid)` of every local write, used by state
+    /// transfer to bound what must be synchronized (paper §III-A).
+    pub log: Mutex<Vec<(u64, ObjectId)>>,
+    /// `last_req` of Algorithm 1 (raw timestamp; set at delivery).
+    pub last_req: AtomicU64,
+    /// Raw timestamp of the last request whose write phase finished.
+    pub completed_req: AtomicU64,
+    /// True while the executor is inside a write phase; state-transfer
+    /// responders wait it out so they snapshot request boundaries.
+    pub in_write_phase: AtomicBool,
+    /// Cached remote slot addresses: `(oid, node) → (addr, cap)` —
+    /// the paper's `object_map`.
+    pub object_map: Mutex<HashMap<(ObjectId, NodeId), (Addr, usize)>>,
+    /// Address queries answered so far: `oid → nodes heard from` (the
+    /// majority-wait of Algorithm 2, lines 11–13).
+    pub addr_heard: Mutex<HashMap<ObjectId, Vec<NodeId>>>,
+    /// Inbound transfer staging progress (owned by the service process).
+    pub transfer: Mutex<TransferProgress>,
+    /// Debug trace of request handling: `(ts_raw, event)` where event is
+    /// `e`xecuted, `s`kipped, or state-`t`ransferred-to.
+    pub exec_trace: Mutex<Vec<(u64, char)>>,
+    /// Cached queue pairs to other nodes.
+    qps: Mutex<HashMap<NodeId, QueuePair>>,
+}
+
+impl ReplicaShared {
+    pub(crate) fn qp(&self, target: &Node) -> QueuePair {
+        self.qps
+            .lock()
+            .entry(target.id())
+            .or_insert_with(|| self.node.connect(target))
+            .clone()
+    }
+
+    /// The node hosting replica `q` of partition `h`.
+    pub(crate) fn peer(&self, h: PartitionId, q: usize) -> Node {
+        self.cluster.nodes[h.0 as usize][q].clone()
+    }
+
+    /// Rings the local doorbell: wakes anything blocked on this node's
+    /// memory condition (the executor, typically).
+    pub(crate) fn ring_doorbell(&self) {
+        let v = self.node.local_read_word(self.layout.doorbell).unwrap_or(0);
+        let _ = self.node.local_write_word(self.layout.doorbell, v.wrapping_add(1));
+    }
+}
+
+pub(crate) struct ClientInfo {
+    pub node: NodeId,
+    pub resp_base: Addr,
+}
+
+pub(crate) struct ClusterInner {
+    pub cfg: HeronConfig,
+    pub fabric: Fabric,
+    pub app: Arc<dyn StateMachine>,
+    pub mcast: Mcast,
+    pub nodes: Vec<Vec<Node>>,
+    pub metrics: Arc<Metrics>,
+    pub clients: Mutex<HashMap<u64, ClientInfo>>,
+    pub client_counter: AtomicU64,
+}
+
+/// A Heron deployment: partitioned, replicated state machine on shared
+/// memory.
+///
+/// # Example
+///
+/// See the crate-level documentation and `examples/quickstart.rs`.
+#[derive(Clone)]
+pub struct HeronCluster {
+    pub(crate) inner: Arc<ClusterInner>,
+    pub(crate) replicas: Arc<Vec<Vec<Arc<ReplicaShared>>>>,
+}
+
+impl fmt::Debug for HeronCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HeronCluster")
+            .field("partitions", &self.inner.cfg.partitions)
+            .field("replicas_per_partition", &self.inner.cfg.replicas_per_partition)
+            .finish()
+    }
+}
+
+impl HeronCluster {
+    /// Builds a deployment on `fabric`: creates the replica nodes, lays out
+    /// the ordering and coordination memory, and bootstraps every
+    /// partition's store from the application.
+    pub fn build(fabric: &Fabric, cfg: HeronConfig, app: Arc<dyn StateMachine>) -> Self {
+        let nodes: Vec<Vec<Node>> = (0..cfg.partitions)
+            .map(|p| {
+                (0..cfg.replicas_per_partition)
+                    .map(|i| fabric.add_node(format!("heron-p{p}r{i}")))
+                    .collect()
+            })
+            .collect();
+        let mcast = Mcast::build(fabric, nodes.clone(), cfg.mcast.clone());
+        let metrics = Arc::new(Metrics::new(cfg.partitions));
+        let inner = Arc::new(ClusterInner {
+            cfg,
+            fabric: fabric.clone(),
+            app,
+            mcast,
+            nodes,
+            metrics,
+            clients: Mutex::new(HashMap::new()),
+            client_counter: AtomicU64::new(1),
+        });
+        let cfg = &inner.cfg;
+        let n = cfg.replicas_per_partition;
+        let mut replicas = Vec::with_capacity(cfg.partitions);
+        for p in 0..cfg.partitions {
+            let mut row = Vec::with_capacity(n);
+            for i in 0..n {
+                let node = inner.nodes[p][i].clone();
+                let layout = ReplicaLayout {
+                    coord: node.alloc_bytes(cfg.partitions * n * COORD_ENTRY),
+                    statesync: node.alloc_bytes(n * SYNC_ENTRY),
+                    ring: node.alloc_bytes(cfg.transfer_slots * (CHUNK_HDR + cfg.transfer_chunk)),
+                    applied: node.alloc_words(1),
+                    doorbell: node.alloc_words(1),
+                };
+                let store = VersionedStore::new(node.clone());
+                for (oid, value) in inner.app.bootstrap(PartitionId(p as u16)) {
+                    store.bootstrap(oid, &value);
+                }
+                row.push(Arc::new(ReplicaShared {
+                    cluster: Arc::clone(&inner),
+                    partition: PartitionId(p as u16),
+                    idx: i,
+                    node,
+                    store,
+                    layout,
+                    log: Mutex::new(Vec::new()),
+                    last_req: AtomicU64::new(0),
+                    completed_req: AtomicU64::new(0),
+                    in_write_phase: AtomicBool::new(false),
+                    object_map: Mutex::new(HashMap::new()),
+                    addr_heard: Mutex::new(HashMap::new()),
+                    transfer: Mutex::new(TransferProgress::default()),
+                    exec_trace: Mutex::new(Vec::new()),
+                    qps: Mutex::new(HashMap::new()),
+                }));
+            }
+            replicas.push(row);
+        }
+        HeronCluster {
+            inner,
+            replicas: Arc::new(replicas),
+        }
+    }
+
+    /// Spawns all protocol processes (ordering replicas, Heron executors,
+    /// and service processes) into the simulation.
+    pub fn spawn(&self, simulation: &sim::Simulation) {
+        self.inner.mcast.spawn_replicas(simulation);
+        for p in 0..self.inner.cfg.partitions {
+            for i in 0..self.inner.cfg.replicas_per_partition {
+                let shared = Arc::clone(&self.replicas[p][i]);
+                let deliveries = self
+                    .inner
+                    .mcast
+                    .deliveries(GroupId(p as u16), i);
+                simulation.spawn(format!("heron-exec-p{p}r{i}"), move || {
+                    Executor::new(shared, deliveries).run()
+                });
+                let shared = Arc::clone(&self.replicas[p][i]);
+                simulation.spawn(format!("heron-svc-p{p}r{i}"), move || {
+                    Service::new(shared).run()
+                });
+            }
+        }
+    }
+
+    /// Attaches a new client on its own fabric node.
+    pub fn client(&self, name: impl Into<String>) -> crate::client::HeronClient {
+        crate::client::HeronClient::attach(self, name.into())
+    }
+
+    /// Cluster-wide metrics handle.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HeronConfig {
+        &self.inner.cfg
+    }
+
+    /// The fabric node of replica `(p, i)`.
+    pub fn replica_node(&self, p: PartitionId, i: usize) -> Node {
+        self.inner.nodes[p.0 as usize][i].clone()
+    }
+
+    /// Crashes replica `(p, i)`: its verbs fail and writes to it are
+    /// dropped until [`HeronCluster::recover_replica`].
+    pub fn crash_replica(&self, p: PartitionId, i: usize) {
+        self.inner.fabric.crash(self.inner.nodes[p.0 as usize][i].id());
+    }
+
+    /// Recovers a crashed replica. It will detect the deliveries it missed
+    /// and run the state-transfer protocol to catch up.
+    pub fn recover_replica(&self, p: PartitionId, i: usize) {
+        self.inner.fabric.recover(self.inner.nodes[p.0 as usize][i].id());
+    }
+
+    /// Direct read of a committed value at a given replica, for tests and
+    /// examples (latest version in its store).
+    pub fn peek(&self, p: PartitionId, i: usize, oid: ObjectId) -> Option<bytes::Bytes> {
+        self.replicas[p.0 as usize][i].store.get(oid).map(|(_, v)| v)
+    }
+
+    /// The raw `last_req` timestamp of a replica (diagnostics).
+    pub fn last_req(&self, p: PartitionId, i: usize) -> u64 {
+        self.replicas[p.0 as usize][i].last_req.load(Ordering::SeqCst)
+    }
+
+    /// The request-handling trace of a replica (diagnostics):
+    /// `(ts_raw, 'e'|'s'|'t')` for executed / skipped / transferred-to.
+    pub fn exec_trace(&self, p: PartitionId, i: usize) -> Vec<(u64, char)> {
+        self.replicas[p.0 as usize][i].exec_trace.lock().clone()
+    }
+
+    /// The raw `completed_req` timestamp of a replica (diagnostics).
+    pub fn completed_req(&self, p: PartitionId, i: usize) -> u64 {
+        self.replicas[p.0 as usize][i].completed_req.load(Ordering::SeqCst)
+    }
+
+    /// A replica's inbound-transfer staging view (diagnostics):
+    /// `(expected, stream_bound, [(slot_stamp, slot_bound); slots], applied)`.
+    pub fn transfer_view(
+        &self,
+        p: PartitionId,
+        i: usize,
+    ) -> (u64, Option<u64>, Vec<(u64, u64)>, u64) {
+        let shared = &self.replicas[p.0 as usize][i];
+        let prog = shared.transfer.lock();
+        let cfg = &self.inner.cfg;
+        let slots = (1..=cfg.transfer_slots as u64)
+            .map(|k| {
+                let slot = shared.layout.ring_slot(k, cfg.transfer_slots, cfg.transfer_chunk);
+                (
+                    shared.node.local_read_word(slot).unwrap_or(0),
+                    shared.node.local_read_word(slot.offset(16)).unwrap_or(0),
+                )
+            })
+            .collect();
+        (
+            prog.expected,
+            prog.stream_bound,
+            slots,
+            shared.node.local_read_word(shared.layout.applied).unwrap_or(0),
+        )
+    }
+
+    /// A replica's statesync memory view (diagnostics): one
+    /// `(req_tmp, status)` pair per group member.
+    pub fn sync_view(&self, p: PartitionId, i: usize) -> Vec<(u64, u64)> {
+        let shared = &self.replicas[p.0 as usize][i];
+        (0..self.inner.cfg.replicas_per_partition)
+            .map(|q| {
+                let slot = shared.layout.sync_slot(q);
+                (
+                    shared.node.local_read_word(slot).unwrap_or(0),
+                    shared.node.local_read_word(slot.offset(8)).unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,154 @@
+//! Heron deployment configuration.
+
+use amcast::McastConfig;
+use std::time::Duration;
+
+/// How multi-partition requests execute (paper §III-D2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Every involved partition executes the request, each updating only
+    /// its local objects — Heron's default design.
+    #[default]
+    AllInvolved,
+    /// Only the *active* partition (the lowest involved id) executes; it
+    /// updates its own objects locally and writes the passive partitions'
+    /// objects remotely (whole dual-version slots, so racing active
+    /// replicas write identical images). Saves the passive partitions'
+    /// compute at the cost of extra fabric writes — the alternative the
+    /// paper sketches and leaves as future work.
+    ///
+    /// Requirement: every object a partition may be *written* remotely
+    /// must appear in that partition's `read_set_at` (true for TPC-C:
+    /// suppliers' stock rows, the payee's customer row), so that passive
+    /// replicas can maintain their update logs for state transfer.
+    ActiveOnly,
+}
+
+/// Configuration of a Heron deployment.
+#[derive(Debug, Clone)]
+pub struct HeronConfig {
+    /// Number of partitions (shards).
+    pub partitions: usize,
+    /// Replicas per partition, `n = 2f + 1`.
+    pub replicas_per_partition: usize,
+    /// Maximum number of clients.
+    pub max_clients: usize,
+    /// Maximum request payload (application bytes, before the envelope).
+    pub max_request: usize,
+    /// Maximum response payload.
+    pub max_response: usize,
+    /// Extra delay δ a replica tentatively waits for *all* replicas after
+    /// reaching a majority in Phase 4 (paper §V-E1, Table I). `None`
+    /// disables the heuristic.
+    pub wait_for_all: Option<Duration>,
+    /// Client retry period: a request unanswered for this long is
+    /// re-multicast with the same id.
+    pub client_retry: Duration,
+    /// State-transfer chunk size (paper: 32 KiB payloads perform best).
+    pub transfer_chunk: usize,
+    /// Staging-ring slots on each replica for inbound state transfer.
+    pub transfer_slots: usize,
+    /// Serialization cost per byte when state transfer ships a
+    /// [`crate::StorageKind::Native`] object (sender side).
+    pub ser_ns_per_kib: u64,
+    /// Deserialization cost per byte on the receiving lagger.
+    pub deser_ns_per_kib: u64,
+    /// A replica that asked for state transfer re-issues the request if not
+    /// served within this timeout (Algorithm 3's `timeout`).
+    pub transfer_timeout: Duration,
+    /// Multi-partition execution strategy (paper §III-D2).
+    pub execution_mode: ExecutionMode,
+    /// Ordering-layer configuration.
+    pub mcast: McastConfig,
+}
+
+impl HeronConfig {
+    /// A deployment of `partitions` × `replicas_per_partition` with
+    /// defaults calibrated to the paper's testbed.
+    pub fn new(partitions: usize, replicas_per_partition: usize) -> Self {
+        let mcast = McastConfig::new(partitions, replicas_per_partition);
+        HeronConfig {
+            partitions,
+            replicas_per_partition,
+            max_clients: 64,
+            max_request: 384,
+            max_response: 256,
+            wait_for_all: Some(Duration::from_micros(20)),
+            client_retry: Duration::from_millis(20),
+            transfer_chunk: 32 * 1024,
+            transfer_slots: 8,
+            // ≈2.24 ns/byte each way: with serialize/wire/deserialize
+            // pipelined across responder and requester, this reproduces
+            // the paper's ≈450 MB/s native-table transfer rate (§V-E2).
+            ser_ns_per_kib: 2_290,
+            deser_ns_per_kib: 2_290,
+            transfer_timeout: Duration::from_millis(5),
+            execution_mode: ExecutionMode::default(),
+            mcast,
+        }
+    }
+
+    /// Sets the multi-partition execution mode.
+    #[must_use]
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution_mode = mode;
+        self
+    }
+
+    /// Sets the maximum number of clients (and sizes the ordering layer's
+    /// submission rings to match).
+    #[must_use]
+    pub fn with_max_clients(mut self, n: usize) -> Self {
+        self.max_clients = n;
+        self.mcast.max_clients = n;
+        self
+    }
+
+    /// Sets the maximum request payload size.
+    #[must_use]
+    pub fn with_max_request(mut self, bytes: usize) -> Self {
+        self.max_request = bytes;
+        // Envelope: client id + seq + submit time.
+        self.mcast.max_payload = bytes + 3 * 8;
+        self
+    }
+
+    /// Sets the wait-for-all delay δ (or disables it with `None`).
+    #[must_use]
+    pub fn with_wait_for_all(mut self, delta: Option<Duration>) -> Self {
+        self.wait_for_all = delta;
+        self
+    }
+
+    /// Majority size per partition.
+    pub fn majority(&self) -> usize {
+        self.replicas_per_partition / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let cfg = HeronConfig::new(4, 3);
+        assert_eq!(cfg.mcast.groups, 4);
+        assert_eq!(cfg.mcast.replicas_per_group, 3);
+        assert_eq!(cfg.majority(), 2);
+    }
+
+    #[test]
+    fn with_max_clients_propagates_to_mcast() {
+        let cfg = HeronConfig::new(1, 3).with_max_clients(100);
+        assert_eq!(cfg.max_clients, 100);
+        assert_eq!(cfg.mcast.max_clients, 100);
+    }
+
+    #[test]
+    fn with_max_request_sizes_envelope() {
+        let cfg = HeronConfig::new(1, 3).with_max_request(500);
+        assert_eq!(cfg.max_request, 500);
+        assert_eq!(cfg.mcast.max_payload, 524);
+    }
+}

@@ -1,0 +1,240 @@
+//! Measurement plumbing for the paper's evaluation.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-request latency breakdown recorded at a replica (Fig. 6's stages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Multicast submit → delivery at the replica.
+    pub ordering_ns: u64,
+    /// Phase 2 + Phase 4 barrier time.
+    pub coordination_ns: u64,
+    /// Reading + compute + writing.
+    pub execution_ns: u64,
+    /// Number of partitions the request addressed.
+    pub partitions: u16,
+    /// The partition of the replica that recorded this sample. The
+    /// client-perceived path is the *home* (lowest) involved partition:
+    /// it executes the full request, while the other partitions partially
+    /// execute and then wait in Phase 4.
+    pub at_partition: u16,
+}
+
+/// Wait-for-all statistics per partition (Table I).
+#[derive(Debug, Default)]
+pub struct DelayCounters {
+    /// Multi-partition transactions coordinated.
+    pub total: AtomicU64,
+    /// Transactions that had to wait beyond the majority for stragglers.
+    pub delayed: AtomicU64,
+    /// Total extra wait, nanoseconds.
+    pub delay_sum_ns: AtomicU64,
+}
+
+impl DelayCounters {
+    /// `(delayed fraction, average delay)` — Table I's two columns.
+    pub fn summary(&self) -> (f64, Duration) {
+        let total = self.total.load(Ordering::Relaxed);
+        let delayed = self.delayed.load(Ordering::Relaxed);
+        let sum = self.delay_sum_ns.load(Ordering::Relaxed);
+        let frac = match total {
+            0 => 0.0,
+            t => delayed as f64 / t as f64,
+        };
+        let avg = sum
+            .checked_div(delayed)
+            .map(Duration::from_nanos)
+            .unwrap_or(Duration::ZERO);
+        (frac, avg)
+    }
+}
+
+/// One completed state transfer (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Payload bytes shipped (raw slot bytes).
+    pub bytes: u64,
+    /// Requester-observed duration: request written → status cleared.
+    pub duration_ns: u64,
+    /// Of the shipped bytes, how many belonged to `Native` objects (which
+    /// paid (de)serialization).
+    pub native_bytes: u64,
+}
+
+/// Cluster-wide metrics. Cheap to clone (shared handle).
+#[derive(Default)]
+pub struct Metrics {
+    /// Client-observed end-to-end latencies (closed loop), ns.
+    pub latencies: Mutex<Vec<u64>>,
+    /// Completed client requests.
+    pub completed: AtomicU64,
+    /// Per-replica breakdowns (recorded by every replica of the lowest
+    /// involved partition).
+    pub breakdowns: Mutex<Vec<Breakdown>>,
+    /// Wait-for-all counters, indexed by partition.
+    pub delays: Vec<DelayCounters>,
+    /// Completed state transfers.
+    pub transfers: Mutex<Vec<TransferRecord>>,
+    /// Requests skipped because state transfer already covered them.
+    pub skipped_requests: AtomicU64,
+    /// State transfers initiated (by laggers).
+    pub transfers_started: AtomicU64,
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Metrics")
+            .field("completed", &self.completed.load(Ordering::Relaxed))
+            .field("latency_samples", &self.latencies.lock().len())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// Creates metrics for a deployment of `partitions` partitions.
+    pub fn new(partitions: usize) -> Self {
+        Metrics {
+            delays: (0..partitions).map(|_| DelayCounters::default()).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Records a client-observed latency.
+    pub fn record_latency(&self, d: Duration) {
+        self.latencies.lock().push(d.as_nanos() as u64);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a replica-side breakdown sample.
+    pub fn record_breakdown(&self, b: Breakdown) {
+        self.breakdowns.lock().push(b);
+    }
+
+    /// Mean of the recorded latencies.
+    pub fn mean_latency(&self) -> Duration {
+        let l = self.latencies.lock();
+        if l.is_empty() {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(l.iter().sum::<u64>() / l.len() as u64)
+    }
+
+    /// The `q`-quantile (0.0–1.0) of recorded latencies.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        let mut l = self.latencies.lock().clone();
+        if l.is_empty() {
+            return Duration::ZERO;
+        }
+        l.sort_unstable();
+        let idx = ((l.len() - 1) as f64 * q).round() as usize;
+        Duration::from_nanos(l[idx])
+    }
+
+    /// Sorted copy of all latency samples (for CDF plots).
+    pub fn latency_samples_sorted(&self) -> Vec<u64> {
+        let mut l = self.latencies.lock().clone();
+        l.sort_unstable();
+        l
+    }
+
+    /// Mean breakdown over samples with the given partition count filter
+    /// (`None` = all): `(ordering, coordination, execution)`.
+    pub fn mean_breakdown(&self, partitions: Option<u16>) -> (Duration, Duration, Duration) {
+        let b = self.breakdowns.lock();
+        let samples: Vec<&Breakdown> = b
+            .iter()
+            .filter(|s| partitions.map(|p| s.partitions == p).unwrap_or(true))
+            .collect();
+        if samples.is_empty() {
+            return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        }
+        let n = samples.len() as u64;
+        let sum = samples.iter().fold((0u64, 0u64, 0u64), |acc, s| {
+            (
+                acc.0 + s.ordering_ns,
+                acc.1 + s.coordination_ns,
+                acc.2 + s.execution_ns,
+            )
+        });
+        (
+            Duration::from_nanos(sum.0 / n),
+            Duration::from_nanos(sum.1 / n),
+            Duration::from_nanos(sum.2 / n),
+        )
+    }
+
+    /// Throughput over a measurement window.
+    pub fn throughput(&self, window: Duration) -> f64 {
+        self.completed.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats() {
+        let m = Metrics::new(2);
+        for us in [10u64, 20, 30, 40] {
+            m.record_latency(Duration::from_micros(us));
+        }
+        assert_eq!(m.mean_latency(), Duration::from_micros(25));
+        assert_eq!(m.latency_quantile(0.0), Duration::from_micros(10));
+        assert_eq!(m.latency_quantile(1.0), Duration::from_micros(40));
+        assert_eq!(m.completed.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn delay_counters_summarize() {
+        let c = DelayCounters::default();
+        c.total.store(100, Ordering::Relaxed);
+        c.delayed.store(8, Ordering::Relaxed);
+        c.delay_sum_ns.store(8 * 4_000, Ordering::Relaxed);
+        let (frac, avg) = c.summary();
+        assert!((frac - 0.08).abs() < 1e-9);
+        assert_eq!(avg, Duration::from_nanos(4_000));
+    }
+
+    #[test]
+    fn breakdown_filtering() {
+        let m = Metrics::new(1);
+        m.record_breakdown(Breakdown {
+            ordering_ns: 10,
+            coordination_ns: 0,
+            execution_ns: 20,
+            partitions: 1,
+            at_partition: 0,
+        });
+        m.record_breakdown(Breakdown {
+            ordering_ns: 30,
+            coordination_ns: 4,
+            execution_ns: 40,
+            partitions: 4,
+            at_partition: 0,
+        });
+        let (o, c, e) = m.mean_breakdown(Some(4));
+        assert_eq!(
+            (o, c, e),
+            (
+                Duration::from_nanos(30),
+                Duration::from_nanos(4),
+                Duration::from_nanos(40)
+            )
+        );
+        let (o, _, _) = m.mean_breakdown(None);
+        assert_eq!(o, Duration::from_nanos(20));
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new(1);
+        assert_eq!(m.mean_latency(), Duration::ZERO);
+        assert_eq!(m.latency_quantile(0.5), Duration::ZERO);
+        let (o, c, e) = m.mean_breakdown(None);
+        assert_eq!((o, c, e), (Duration::ZERO, Duration::ZERO, Duration::ZERO));
+    }
+}

@@ -1,0 +1,1005 @@
+//! The replica executor: Algorithms 1 (coordination), 2 (execution) and
+//! the state-transfer protocol of Algorithm 3.
+
+use crate::app::{Execution, LocalReader, ReadSet};
+use crate::cluster::ReplicaShared;
+use crate::layout::{
+    encode_coord, encode_record, encode_response, encode_sync, decode_envelope, resp_slot,
+    CHUNK_HDR,
+};
+use crate::metrics::{Breakdown, TransferRecord};
+use crate::types::{ObjectId, PartitionId, Placement, StorageKind};
+use amcast::{mask_groups, DeliveryEvent, Delivered, Timestamp};
+use bytes::Bytes;
+use rand::Rng;
+use sim::{Mailbox, SimTime};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The executing replica has fallen behind the fast majority and cannot
+/// read consistent remote values; it must state-transfer (Algorithm 2,
+/// lines 23–25).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Lagging;
+
+/// A replica's request-execution process.
+pub(crate) struct Executor {
+    shared: Arc<ReplicaShared>,
+    deliveries: Mailbox<DeliveryEvent>,
+    /// First time we observed each pending state-transfer request
+    /// (requester idx, from_tmp) — drives the deterministic responder
+    /// rotation of Algorithm 3.
+    seen_requests: HashMap<(usize, u64), SimTime>,
+    /// Set by an ordering-layer Gap: requests were missed wholesale, so
+    /// nothing may execute until a state transfer covers everything up to
+    /// the next delivery.
+    needs_full_sync: bool,
+}
+
+impl Executor {
+    pub(crate) fn new(shared: Arc<ReplicaShared>, deliveries: Mailbox<DeliveryEvent>) -> Self {
+        Executor {
+            shared,
+            deliveries,
+            seen_requests: HashMap::new(),
+            needs_full_sync: false,
+        }
+    }
+
+    fn cfg(&self) -> &crate::HeronConfig {
+        &self.shared.cluster.cfg
+    }
+
+    fn n(&self) -> usize {
+        self.cfg().replicas_per_partition
+    }
+
+    /// Runs the executor loop forever.
+    pub(crate) fn run(mut self) {
+        loop {
+            if !self.shared.node.is_alive() {
+                // Crashed: stay quiet until recovery; the deliveries we
+                // miss surface later as a Gap or as failed remote reads.
+                self.shared
+                    .node
+                    .poll_until_timeout(|| self.shared.node.is_alive(), Duration::from_millis(1));
+                continue;
+            }
+            self.serve_transfers();
+            if let Some(ev) = self.deliveries.try_recv() {
+                match ev {
+                    DeliveryEvent::Deliver(d) => self.on_deliver(d),
+                    DeliveryEvent::Gap { .. } => {
+                        // We missed ordered requests wholesale (log
+                        // overrun while crashed/lagging). Their timestamps
+                        // are unknown, so we cannot execute anything until
+                        // a state transfer provably covers them — enforced
+                        // at the next delivery.
+                        self.needs_full_sync = true;
+                    }
+                }
+                continue;
+            }
+            // Idle: wake on new deliveries, on state-transfer requests we
+            // have not yet registered, or when a registered request's
+            // responder-rotation turn (Algorithm 3, lines 19–22) reaches
+            // us — never busy-wait on a request that is not yet our turn.
+            let deliveries = self.deliveries.clone();
+            let shared = Arc::clone(&self.shared);
+            let now = sim::now();
+            let mut timeout = Duration::from_millis(10);
+            for key in pending_sync_requests(&shared) {
+                if let Some(first) = self.seen_requests.get(&key) {
+                    let rank = (shared.idx + self.n() - key.0 - 1) % self.n();
+                    let due = *first + self.cfg().transfer_timeout * rank as u32;
+                    timeout = timeout.min(due.checked_sub(now).unwrap_or(Duration::from_nanos(1)));
+                }
+            }
+            let seen: std::collections::HashSet<(usize, u64)> =
+                self.seen_requests.keys().copied().collect();
+            self.shared.node.poll_until_timeout(
+                || {
+                    !deliveries.is_empty()
+                        || pending_sync_requests(&shared)
+                            .iter()
+                            .any(|k| !seen.contains(k))
+                },
+                timeout,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 1: coordination.
+    // ------------------------------------------------------------------
+
+    fn on_deliver(&mut self, d: Delivered) {
+        let shared = Arc::clone(&self.shared);
+        let shared = &shared;
+        let ts = d.ts;
+        // Lines 3–4: skip requests already covered by a state transfer.
+        if ts.raw() <= shared.last_req.load(Ordering::SeqCst) {
+            shared
+                .cluster
+                .metrics
+                .skipped_requests
+                .fetch_add(1, Ordering::Relaxed);
+            shared.exec_trace.lock().push((ts.raw(), 's'));
+            return;
+        }
+        shared.last_req.store(ts.raw(), Ordering::SeqCst);
+
+        // A gap in the ordered stream: everything we missed has a smaller
+        // timestamp than this delivery, so keep transferring until a
+        // responder's snapshot covers this request too — then skip it.
+        if self.needs_full_sync {
+            while self.state_transfer() < ts.raw() {}
+            self.needs_full_sync = false;
+            shared.exec_trace.lock().push((ts.raw(), 's'));
+            return;
+        }
+        shared.exec_trace.lock().push((ts.raw(), 'e'));
+
+        let (client_id, seq, submit_ns, payload) = {
+            let (c, s, t, p) = decode_envelope(&d.payload);
+            (c, s, t, p.to_vec())
+        };
+        let dests: Vec<PartitionId> = mask_groups(d.dests)
+            .into_iter()
+            .map(PartitionId::from)
+            .collect();
+        let ordering_ns = sim::now().as_nanos().saturating_sub(submit_ns);
+
+        // Lines 5–7: single-partition fast path — classic SMR.
+        if dests.len() == 1 {
+            let t0 = sim::now();
+            let reads = match self.read_objects(&payload, ts, &dests, &[]) {
+                Ok(r) => r,
+                Err(Lagging) => {
+                    // Local-only reads cannot lag; defensive fallback.
+                    while self.state_transfer() < ts.raw() {}
+                    return;
+                }
+            };
+            let exec = self.execute_and_write(&payload, ts, &reads);
+            let exec_ns = (sim::now() - t0).as_nanos() as u64;
+            shared.completed_req.store(ts.raw(), Ordering::SeqCst);
+            self.reply(client_id, seq, &exec.response);
+            shared.cluster.metrics.record_breakdown(Breakdown {
+                ordering_ns,
+                coordination_ns: 0,
+                execution_ns: exec_ns,
+                partitions: 1,
+                at_partition: shared.partition.0,
+            });
+            return;
+        }
+
+        // Lines 8–10: Phase 2 — barrier on a majority of every involved
+        // partition. If the barrier starves, the peers' coordination
+        // writes were lost while we were crashed (they ran this request
+        // long ago): recover through state transfer instead of waiting
+        // forever.
+        let t_p2 = sim::now();
+        self.write_coord(&dests, ts, 1);
+        loop {
+            if self.wait_coord_timeout(&dests, ts, 1, self.cfg().transfer_timeout) {
+                break;
+            }
+            if self.state_transfer() >= ts.raw() {
+                return; // the transfer included this request
+            }
+        }
+        let p2_ns = (sim::now() - t_p2).as_nanos() as u64;
+
+        // Lines 11–13: execution (reading phase, compute, writing phase).
+        // If we have lagged behind the fast majority, state-transfer; a
+        // transfer whose snapshot already includes this request covers it
+        // (it will be skipped via last_req), otherwise we caught up to a
+        // point *before* this request and must still execute it.
+        let t_exec = sim::now();
+        let active_only = self.cfg().execution_mode == crate::ExecutionMode::ActiveOnly;
+        let active = shared
+            .cluster
+            .app
+            .active_partition(&payload)
+            .unwrap_or(dests[0]);
+        let response = if active_only && active != shared.partition {
+            // Passive partition (§III-D2 variant): the active partition
+            // executes and writes our objects remotely. We only keep the
+            // update log complete (our declared read set covers what the
+            // active may write here) and acknowledge the client; the
+            // FIFO link guarantees the active's object writes land before
+            // its Phase-4 coordination entry does.
+            let mut log = shared.log.lock();
+            for oid in shared.cluster.app.read_set_at(shared.partition, &payload) {
+                if shared.cluster.app.placement(oid) == Placement::Partition(shared.partition) {
+                    log.push((ts.raw(), oid));
+                }
+            }
+            Bytes::new()
+        } else {
+            let exec = loop {
+                let attempt = if active_only {
+                    self.execute_active_only(&payload, ts, &dests)
+                } else {
+                    self.read_objects(&payload, ts, &dests, &dests)
+                        .map(|reads| self.execute_and_write(&payload, ts, &reads))
+                };
+                match attempt {
+                    Ok(exec) => break exec,
+                    Err(Lagging) => {
+                        let rid = self.state_transfer();
+                        if rid >= ts.raw() {
+                            return; // the transfer included this request
+                        }
+                    }
+                }
+            };
+            exec.response
+        };
+        let exec_ns = (sim::now() - t_exec).as_nanos() as u64;
+
+        // Lines 14–16: Phase 4 — same barrier, with the optional
+        // wait-for-all delay (paper §V-E1).
+        let t_p4 = sim::now();
+        self.write_coord(&dests, ts, 2);
+        self.wait_coord(&dests, ts, 2, self.cfg().wait_for_all);
+        let p4_ns = (sim::now() - t_p4).as_nanos() as u64;
+
+        shared.completed_req.store(ts.raw(), Ordering::SeqCst);
+        // Line 17: reply.
+        self.reply(client_id, seq, &response);
+        shared.cluster.metrics.record_breakdown(Breakdown {
+            ordering_ns,
+            coordination_ns: p2_ns + p4_ns,
+            execution_ns: exec_ns,
+            partitions: dests.len() as u16,
+            at_partition: shared.partition.0,
+        });
+    }
+
+    /// Writes our coordination entry `(r.tmp, phase)` to every replica of
+    /// every involved partition: smallest partition first, then by replica
+    /// index — the order behind Table I's per-partition asymmetry.
+    fn write_coord(&self, dests: &[PartitionId], ts: Timestamp, phase: u64) {
+        let shared = &self.shared;
+        let n = self.n();
+        let entry = encode_coord(ts.raw(), phase);
+        let mut sorted = dests.to_vec();
+        sorted.sort_unstable();
+        for h in sorted {
+            for q in 0..n {
+                let target = shared.peer(h, q);
+                let slot_on_target = self
+                    .layout_of(&target)
+                    .coord_slot(shared.partition.0 as usize, shared.idx, n);
+                if target.id() == shared.node.id() {
+                    let _ = shared.node.local_write(slot_on_target, &entry);
+                } else {
+                    let _ = shared.qp(&target).post_write(slot_on_target, entry.to_vec());
+                }
+            }
+        }
+    }
+
+    fn layout_of(&self, node: &rdma_sim::Node) -> crate::layout::ReplicaLayout {
+        // All replica nodes share the same allocation schedule, so the
+        // layout of any replica equals ours.
+        let _ = node;
+        self.shared.layout
+    }
+
+    /// Reads our own coordination memory and returns, per involved
+    /// partition, `(matching, satisfied)`: the replica indices whose entry
+    /// equals `(ts, ≥phase)`, and whether the paper's wait condition
+    /// (matching, or already beyond `ts`) holds for a majority.
+    fn coord_status(
+        &self,
+        dests: &[PartitionId],
+        ts: Timestamp,
+        phase: u64,
+    ) -> (HashMap<PartitionId, Vec<usize>>, bool, bool) {
+        let shared = &self.shared;
+        let n = self.n();
+        let majority = self.cfg().majority();
+        let mut matching: HashMap<PartitionId, Vec<usize>> = HashMap::new();
+        let mut all_majority = true;
+        let mut all_everyone = true;
+        for &h in dests {
+            let mut ok = 0usize;
+            let mut m = Vec::new();
+            for q in 0..n {
+                let slot = shared.layout.coord_slot(h.0 as usize, q, n);
+                let tmp = shared.node.local_read_word(slot).unwrap_or(0);
+                let ph = shared.node.local_read_word(slot.offset(8)).unwrap_or(0);
+                if tmp == ts.raw() && ph >= phase {
+                    ok += 1;
+                    m.push(q);
+                } else if tmp > ts.raw() {
+                    ok += 1;
+                }
+            }
+            if ok < majority {
+                all_majority = false;
+            }
+            if ok < n {
+                all_everyone = false;
+            }
+            matching.insert(h, m);
+        }
+        (matching, all_majority, all_everyone)
+    }
+
+    /// Like [`Executor::wait_coord`] but gives up after `timeout`; returns
+    /// whether the majority barrier was reached.
+    fn wait_coord_timeout(
+        &self,
+        dests: &[PartitionId],
+        ts: Timestamp,
+        phase: u64,
+        timeout: Duration,
+    ) -> bool {
+        self.shared.node.poll_until_timeout(
+            || {
+                let (_, maj, _) = self.coord_status(dests, ts, phase);
+                maj
+            },
+            timeout,
+        )
+    }
+
+    /// Blocks until a majority of every involved partition has coordinated
+    /// (Algorithm 1, lines 10/16). With `delta` set, additionally waits up
+    /// to δ for *all* replicas, recording Table I's delay statistics.
+    fn wait_coord(&self, dests: &[PartitionId], ts: Timestamp, phase: u64, delta: Option<Duration>) {
+        let shared = &self.shared;
+        shared.node.poll_until(|| {
+            let (_, maj, _) = self.coord_status(dests, ts, phase);
+            maj
+        });
+        if let Some(delta) = delta {
+            let stats = &shared.cluster.metrics.delays[shared.partition.0 as usize];
+            stats.total.fetch_add(1, Ordering::Relaxed);
+            let (_, _, everyone) = self.coord_status(dests, ts, phase);
+            if everyone {
+                return;
+            }
+            stats.delayed.fetch_add(1, Ordering::Relaxed);
+            let t0 = sim::now();
+            shared.node.poll_until_timeout(
+                || {
+                    let (_, _, everyone) = self.coord_status(dests, ts, phase);
+                    everyone
+                },
+                delta,
+            );
+            let waited = (sim::now() - t0).as_nanos() as u64;
+            stats.delay_sum_ns.fetch_add(waited, Ordering::Relaxed);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2: execution.
+    // ------------------------------------------------------------------
+
+    /// The reading phase: local objects from our store, remote objects via
+    /// one-sided reads against replicas that coordinated in Phase 2.
+    fn read_objects(
+        &self,
+        payload: &[u8],
+        ts: Timestamp,
+        _dests: &[PartitionId],
+        coordinated: &[PartitionId],
+    ) -> Result<ReadSet, Lagging> {
+        let shared = &self.shared;
+        let app = &shared.cluster.app;
+        let mut reads = ReadSet::new();
+        for oid in app.read_set_at(shared.partition, payload) {
+            match app.placement(oid) {
+                Placement::Replicated => {
+                    let (_, v) = shared
+                        .store
+                        .get(oid)
+                        .unwrap_or_else(|| panic!("replicated object {oid} missing"));
+                    reads.insert(oid, v);
+                }
+                Placement::Partition(h) if h == shared.partition => {
+                    let (_, v) = shared
+                        .store
+                        .get(oid)
+                        .unwrap_or_else(|| panic!("local object {oid} missing"));
+                    reads.insert(oid, v);
+                }
+                Placement::Partition(h) => {
+                    debug_assert!(
+                        coordinated.contains(&h),
+                        "read set touches partition {h} the request was not multicast to"
+                    );
+                    let v = self.remote_read(oid, h, ts)?;
+                    reads.insert(oid, v);
+                }
+            }
+        }
+        Ok(reads)
+    }
+
+    /// One remote read, with address discovery and failover (Algorithm 2,
+    /// lines 8–27).
+    fn remote_read(&self, oid: ObjectId, h: PartitionId, ts: Timestamp) -> Result<Bytes, Lagging> {
+        let (versions, _cap) = self.remote_read_slot(oid, h, ts)?;
+        match versions.read_for(ts) {
+            Some((_, v)) => Ok(v.clone()),
+            None => Err(Lagging), // lines 23–25
+        }
+    }
+
+    /// Like [`Executor::remote_read`] but returns the whole dual-version
+    /// slot image (used by the active-only execution mode, which must
+    /// reconstruct remote slots when writing them back).
+    fn remote_read_slot(
+        &self,
+        oid: ObjectId,
+        h: PartitionId,
+        ts: Timestamp,
+    ) -> Result<(crate::store::SlotVersions, usize), Lagging> {
+        let shared = &self.shared;
+        loop {
+            // Refresh the set of consistent candidates: replicas of h whose
+            // coordination entry matches r.tmp (they executed everything
+            // before r and have not moved past it).
+            let (matching, _, _) = self.coord_status(&[h], ts, 1);
+            let candidates = matching.get(&h).cloned().unwrap_or_default();
+            let candidates: Vec<usize> = candidates
+                .into_iter()
+                .filter(|&q| shared.peer(h, q).is_alive())
+                .collect();
+            if candidates.is_empty() {
+                // Everyone readable has moved past r: we are the lagger.
+                return Err(Lagging);
+            }
+            // Address discovery for candidates we don't know yet.
+            let known: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&q| {
+                    let node = shared.peer(h, q);
+                    shared.object_map.lock().contains_key(&(oid, node.id()))
+                })
+                .collect();
+            if known.is_empty() {
+                self.query_addresses(oid, h, &candidates);
+                continue;
+            }
+            // Line 15: pick a random coordinated replica.
+            let pick = known[sim::with_rng(|r| r.gen_range(0..known.len()))];
+            let target = shared.peer(h, pick);
+            let (addr, cap) = *shared
+                .object_map
+                .lock()
+                .get(&(oid, target.id()))
+                .expect("known candidate has a cached address");
+            let slot = crate::store::Slot { addr, cap };
+            match shared.qp(&target).read(addr, slot.size()) {
+                Err(_) => {
+                    // RDMA exception: the process failed; try another
+                    // (lines 20–21). Drop the stale address mapping.
+                    shared.object_map.lock().remove(&(oid, target.id()));
+                    continue;
+                }
+                Ok(raw) => {
+                    let versions = crate::store::SlotVersions::decode(&raw, cap);
+                    if versions.read_for(ts).is_none() {
+                        return Err(Lagging); // lines 23–25
+                    }
+                    return Ok((versions, cap));
+                }
+            }
+        }
+    }
+
+    /// Algorithm 2 lines 8–13: ask every replica of `h` for the object's
+    /// address and wait until a majority answered.
+    fn query_addresses(&self, oid: ObjectId, h: PartitionId, candidates: &[usize]) {
+        let shared = &self.shared;
+        let majority = self.cfg().majority();
+        shared.addr_heard.lock().remove(&oid);
+        for q in 0..self.n() {
+            let target = shared.peer(h, q);
+            if target.id() == shared.node.id() {
+                continue;
+            }
+            let msg = crate::layout::encode_rpc(&crate::layout::Rpc::AddrQuery { oid });
+            let _ = shared.qp(&target).send(msg);
+        }
+        let _ = candidates;
+        // Replies are absorbed by the service process, which fills
+        // object_map/addr_heard and rings the doorbell.
+        shared.node.poll_until_timeout(
+            || {
+                shared
+                    .addr_heard
+                    .lock()
+                    .get(&oid)
+                    .map(|nodes| nodes.len() >= majority)
+                    .unwrap_or(false)
+            },
+            Duration::from_millis(1),
+        );
+    }
+
+    /// The §III-D2 *active-only* execution of a multi-partition request:
+    /// this (active) replica reads the union read set, runs the
+    /// application once per involved partition, applies its own writes
+    /// locally, and writes the passive partitions' objects remotely as
+    /// whole dual-version slot images (racing active replicas write
+    /// identical images, so the competition the paper warns about is
+    /// harmless here). FIFO links guarantee these object writes land at
+    /// every passive replica before this replica's Phase-4 coordination
+    /// entry.
+    fn execute_active_only(
+        &self,
+        payload: &[u8],
+        ts: Timestamp,
+        dests: &[PartitionId],
+    ) -> Result<Execution, Lagging> {
+        let shared = &self.shared;
+        let app = Arc::clone(&shared.cluster.app);
+        // Union read set, caching remote slot images for the write-back.
+        let mut reads = ReadSet::new();
+        let mut remote_slots: HashMap<ObjectId, crate::store::SlotVersions> = HashMap::new();
+        for oid in app.read_set(payload) {
+            match app.placement(oid) {
+                Placement::Replicated => {
+                    let (_, v) = shared
+                        .store
+                        .get(oid)
+                        .unwrap_or_else(|| panic!("replicated object {oid} missing"));
+                    reads.insert(oid, v);
+                }
+                Placement::Partition(h) if h == shared.partition => {
+                    let (_, v) = shared
+                        .store
+                        .get(oid)
+                        .unwrap_or_else(|| panic!("local object {oid} missing"));
+                    reads.insert(oid, v);
+                }
+                Placement::Partition(h) => {
+                    let (versions, _) = self.remote_read_slot(oid, h, ts)?;
+                    let (_, v) = versions.read_for(ts).expect("checked by remote_read_slot");
+                    reads.insert(oid, v.clone());
+                    remote_slots.insert(oid, versions);
+                }
+            }
+        }
+        // Execute every partition's share; the active pays all the compute
+        // the passive partitions saved.
+        let local = StoreReader { shared };
+        let mut total_compute = Duration::ZERO;
+        let mut response = Bytes::new();
+        let mut remote_writes: Vec<(PartitionId, ObjectId, Bytes)> = Vec::new();
+        shared.in_write_phase.store(true, Ordering::SeqCst);
+        for &p in dests {
+            let exec = app.execute(p, payload, &reads, &local);
+            total_compute += exec.compute;
+            if response.is_empty() {
+                response = exec.response.clone();
+            }
+            for (oid, value) in exec.writes {
+                match app.placement(oid) {
+                    Placement::Replicated => {
+                        panic!("application attempted to write replicated object {oid}")
+                    }
+                    Placement::Partition(h) if h == shared.partition => {
+                        shared.store.set(oid, &value, ts);
+                        shared.log.lock().push((ts.raw(), oid));
+                    }
+                    Placement::Partition(h) => remote_writes.push((h, oid, value)),
+                }
+            }
+        }
+        shared.in_write_phase.store(false, Ordering::SeqCst);
+        if !total_compute.is_zero() {
+            sim::sleep(total_compute);
+        }
+        // Write back the passive partitions' objects.
+        for (h, oid, value) in remote_writes {
+            let versions = remote_slots.get(&oid).unwrap_or_else(|| {
+                panic!(
+                    "active-only mode requires remotely-written object {oid} \
+                     to be in the request's read set"
+                )
+            });
+            for q in 0..self.n() {
+                let target = shared.peer(h, q);
+                let Some(&(addr, cap)) = shared.object_map.lock().get(&(oid, target.id()))
+                else {
+                    continue; // unknown address: that replica will lag and state-transfer
+                };
+                let image = encode_slot_image(versions, &value, ts, cap);
+                let _ = shared.qp(&target).post_write(addr, image);
+            }
+        }
+        Ok(Execution {
+            writes: vec![],
+            response,
+            compute: Duration::ZERO,
+        })
+    }
+
+    /// Compute + writing phase: runs the application, then applies local
+    /// writes under the dual-versioning rule and appends to the update log.
+    fn execute_and_write(&self, payload: &[u8], ts: Timestamp, reads: &ReadSet) -> Execution {
+        let shared = &self.shared;
+        let app = &shared.cluster.app;
+        let local = StoreReader { shared };
+        let exec = app.execute(shared.partition, payload, reads, &local);
+        if !exec.compute.is_zero() {
+            sim::sleep(exec.compute);
+        }
+        shared.in_write_phase.store(true, Ordering::SeqCst);
+        for (oid, value) in &exec.writes {
+            match app.placement(*oid) {
+                Placement::Replicated => {
+                    panic!("application attempted to write replicated object {oid}")
+                }
+                Placement::Partition(h) if h == shared.partition => {
+                    shared.store.set(*oid, value, ts);
+                    shared.log.lock().push((ts.raw(), *oid));
+                }
+                Placement::Partition(_) => {
+                    // Remote object: its own partition writes it (paper
+                    // §III-A Phase 3); nothing to do here.
+                }
+            }
+        }
+        shared.in_write_phase.store(false, Ordering::SeqCst);
+        exec
+    }
+
+    /// Writes the response into the client's response slot for our
+    /// partition — one unsignaled RDMA write.
+    fn reply(&self, client_id: u64, seq: u64, response: &[u8]) {
+        let shared = &self.shared;
+        let info = {
+            let clients = shared.cluster.clients.lock();
+            match clients.get(&client_id) {
+                Some(c) => (c.node, c.resp_base),
+                None => return, // client vanished (e.g. test ended)
+            }
+        };
+        let client_node = shared.cluster.fabric.node(info.0);
+        let slot = resp_slot(
+            info.1,
+            shared.partition.0 as usize,
+            shared.idx,
+            self.n(),
+            self.cfg().max_response,
+        );
+        let buf = encode_response(seq, response);
+        let _ = shared.qp(&client_node).post_write(slot, buf);
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 3: state transfer.
+    // ------------------------------------------------------------------
+
+    /// Requester side: ask the group for our missing state and wait until
+    /// a responder completes it. Returns the responder's snapshot bound
+    /// (raw timestamp): every request up to and including it is reflected
+    /// in our state afterwards.
+    fn state_transfer(&mut self) -> u64 {
+        let shared = &self.shared;
+        let metrics = &shared.cluster.metrics;
+        metrics.transfers_started.fetch_add(1, Ordering::Relaxed);
+        let t0 = sim::now();
+        let my_sync = shared.layout.sync_slot(shared.idx);
+        let slots = self.cfg().transfer_slots;
+        'retry: loop {
+            let from = shared.completed_req.load(Ordering::SeqCst);
+            {
+                let mut prog = shared.transfer.lock();
+                prog.expected = 1;
+                prog.bytes = 0;
+                prog.native_bytes = 0;
+                prog.stream_bound = None;
+            }
+            // Zero the staging ring stamps so stale chunks are not
+            // re-applied.
+            for k in 1..=slots as u64 {
+                let slot = shared
+                    .layout
+                    .ring_slot(k, slots, self.cfg().transfer_chunk);
+                let _ = shared.node.local_write_word(slot, 0);
+            }
+            let _ = shared.node.local_write_word(shared.layout.applied, 0);
+            // Lines 2–4: write (from, status=1) into our entry on every
+            // group member.
+            let entry = encode_sync(from, 1);
+            loop {
+                for q in 0..self.n() {
+                    let target = shared.peer(shared.partition, q);
+                    if target.id() == shared.node.id() {
+                        let _ = shared.node.local_write(my_sync, &entry);
+                    } else {
+                        let _ = shared.qp(&target).post_write(my_sync, entry.to_vec());
+                    }
+                }
+                // Line 5: wait for a responder to flip status back to 0
+                // (the low bits; the high bits carry the chunk count).
+                let done = shared.node.poll_until_timeout(
+                    || {
+                        shared
+                            .node
+                            .local_read_word(my_sync.offset(8))
+                            .map(|st| st & 3 == 0)
+                            .unwrap_or(false)
+                    },
+                    self.cfg().transfer_timeout,
+                );
+                if done {
+                    break;
+                }
+                // Timeout: the selected responder may have failed; re-arm
+                // (the rotation on the responder side picks the next one).
+            }
+            // Every chunk landed before the status flip (FIFO), but the
+            // service process still needs time to *apply* them — wait for
+            // it. A timeout here means a racing responder's stale chunk
+            // clobbered one of ours: redo the transfer.
+            let chunks = shared
+                .node
+                .local_read_word(my_sync.offset(8))
+                .expect("own sync word")
+                >> 2;
+            let applied = shared.node.poll_until_timeout(
+                || shared.transfer.lock().expected > chunks,
+                self.cfg().transfer_timeout,
+            );
+            if !applied {
+                continue 'retry;
+            }
+            // Line 6: adopt the responder's request id — but only if it
+            // matches the stream we actually applied. A mismatch means two
+            // responders raced (one was slow, the rotation fired) and we
+            // may hold a mix of their snapshots; redo the transfer from
+            // our current position.
+            let rid = shared.node.local_read_word(my_sync).expect("own sync word");
+            let stream = {
+                let mut prog = shared.transfer.lock();
+                prog.expected = 0; // disarm: late chunks are dropped
+                prog.stream_bound
+            };
+            if let Some(bound) = stream {
+                if bound != rid {
+                    continue 'retry;
+                }
+            }
+            shared.exec_trace.lock().push((rid, 't'));
+            let cur = shared.last_req.load(Ordering::SeqCst);
+            shared.last_req.store(cur.max(rid), Ordering::SeqCst);
+            let curc = shared.completed_req.load(Ordering::SeqCst);
+            shared.completed_req.store(curc.max(rid), Ordering::SeqCst);
+            let prog = shared.transfer.lock();
+            metrics.transfers.lock().push(TransferRecord {
+                bytes: prog.bytes,
+                duration_ns: (sim::now() - t0).as_nanos() as u64,
+                native_bytes: prog.native_bytes,
+            });
+            return rid;
+        }
+    }
+
+    /// Responder side of Algorithm 3 (lines 7–22): serve pending state
+    /// transfers whose rotation turn has reached us.
+    fn serve_transfers(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let n = self.n();
+        // Drop bookkeeping for requests that were completed by someone.
+        let pending: std::collections::HashSet<(usize, u64)> =
+            pending_sync_requests(&shared).into_iter().collect();
+        self.seen_requests.retain(|k, _| pending.contains(k));
+        for p in 0..n {
+            if p == shared.idx {
+                continue;
+            }
+            let slot = shared.layout.sync_slot(p);
+            let status = shared.node.local_read_word(slot.offset(8)).unwrap_or(0);
+            if status != 1 {
+                continue;
+            }
+            let from = shared.node.local_read_word(slot).unwrap_or(0);
+            let first_seen = *self
+                .seen_requests
+                .entry((p, from))
+                .or_insert_with(sim::now);
+            // Deterministic rotation: requester+1 serves immediately, the
+            // next waits one timeout, and so on (line 10 + lines 19–22).
+            let my_rank = (shared.idx + n - p - 1) % n;
+            let due = first_seen + self.cfg().transfer_timeout * my_rank as u32;
+            if sim::now() < due {
+                continue;
+            }
+            self.respond_transfer(p, from);
+            self.seen_requests.remove(&(p, from));
+        }
+    }
+
+    /// Streams our state since `from` to the requester in 32 KiB chunks,
+    /// then clears the status entry everywhere (lines 11–18).
+    fn respond_transfer(&self, requester: usize, from: u64) {
+        let shared = &self.shared;
+        let cfg = self.cfg();
+        // Claim the transfer with a remote CAS on the requester's status
+        // word (1 → 2): exactly one responder streams at a time, even if
+        // the rotation timeout fires while a slow responder is mid-stream.
+        let target = shared.peer(shared.partition, requester);
+        let status_addr = shared.layout.sync_slot(requester).offset(8);
+        match shared.qp(&target).compare_and_swap(status_addr, 1, 2) {
+            Ok(1) => {}
+            _ => return, // claimed by someone else, completed, or crashed
+        }
+        // Snapshot at a request boundary.
+        shared
+            .node
+            .poll_until_timeout(|| !shared.in_write_phase.load(Ordering::SeqCst), cfg.transfer_timeout);
+        let bound = shared.completed_req.load(Ordering::SeqCst);
+        // Line 12: the update log bounds what must be synchronized.
+        let oids: BTreeSet<ObjectId> = shared
+            .log
+            .lock()
+            .iter()
+            .filter(|(ts, _)| *ts > from)
+            .map(|(_, oid)| *oid)
+            .collect();
+        let qp = shared.qp(&target);
+        let app = &shared.cluster.app;
+        let chunk_cap = cfg.transfer_chunk;
+        let mut chunk_body: Vec<u8> = Vec::with_capacity(chunk_cap);
+        let mut stamp = 1u64;
+        // Flushes one chunk. Returns `false` — abandoning the serve — if
+        // the requester stops applying (its staging ring was poisoned by a
+        // stale chunk of an earlier aborted transfer, or it crashed). The
+        // requester's retry loop re-arms the request and the rotation will
+        // serve it again; never spin on a wedged receiver, or the whole
+        // partition loses this replica.
+        let flush = |body: &mut Vec<u8>, stamp: &mut u64| -> bool {
+            if body.is_empty() {
+                return true;
+            }
+            // Flow control: never run more than the ring size ahead of the
+            // requester's applied counter.
+            if *stamp > cfg.transfer_slots as u64 {
+                let deadline = sim::now() + cfg.transfer_timeout;
+                loop {
+                    let Ok(applied) = qp.read_word(shared.layout.applied) else {
+                        return false; // requester crashed
+                    };
+                    if *stamp <= applied + cfg.transfer_slots as u64 {
+                        break;
+                    }
+                    if sim::now() >= deadline {
+                        return false; // no progress: abandon this serve
+                    }
+                }
+            }
+            let mut buf = Vec::with_capacity(CHUNK_HDR + body.len());
+            buf.extend_from_slice(&stamp.to_le_bytes());
+            buf.extend_from_slice(&(body.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&bound.to_le_bytes());
+            buf.extend_from_slice(body);
+            let slot = shared
+                .layout
+                .ring_slot(*stamp, cfg.transfer_slots, chunk_cap);
+            let _ = qp.post_write(slot, buf);
+            *stamp += 1;
+            body.clear();
+            true
+        };
+        for oid in oids {
+            let Some(slot) = shared.store.slot(oid) else {
+                continue;
+            };
+            let raw = shared.store.raw_slot_bytes(slot);
+            // Native objects must be serialized before shipping
+            // (paper §V-E2, second scenario).
+            if app.storage_kind(oid) == StorageKind::Native {
+                sim::sleep_ns(raw.len() as u64 * cfg.ser_ns_per_kib / 1024);
+            }
+            let record = encode_record(oid, &raw);
+            if chunk_body.len() + record.len() > chunk_cap && !flush(&mut chunk_body, &mut stamp) {
+                return;
+            }
+            assert!(
+                record.len() <= chunk_cap,
+                "object slot larger than a transfer chunk; raise transfer_chunk"
+            );
+            chunk_body.extend_from_slice(&record);
+        }
+        if !flush(&mut chunk_body, &mut stamp) {
+            return;
+        }
+        // Lines 16–17: announce completion to the whole group. FIFO RC
+        // delivery guarantees the requester sees every chunk before the
+        // status flip; the chunk count rides in the status word's high
+        // bits so the requester can wait until its service process has
+        // *applied* them all (application costs time for natively-stored
+        // objects).
+        let chunks = stamp - 1;
+        let entry = encode_sync(bound, chunks << 2);
+        let sync = shared.layout.sync_slot(requester);
+        for q in 0..self.n() {
+            let t = shared.peer(shared.partition, q);
+            if t.id() == shared.node.id() {
+                let _ = shared.node.local_write(sync, &entry);
+            } else {
+                let _ = shared.qp(&t).post_write(sync, entry.to_vec());
+            }
+        }
+    }
+}
+
+/// Builds the dual-version slot image that results from applying the
+/// paper's `set()` rule (overwrite the smaller-timestamp version) to a
+/// remotely-read slot — what the active-only mode writes back to passive
+/// replicas. Deterministic: racing writers with the same reads produce
+/// byte-identical images.
+fn encode_slot_image(
+    versions: &crate::store::SlotVersions,
+    new_value: &[u8],
+    ts: Timestamp,
+    cap: usize,
+) -> Vec<u8> {
+    assert!(
+        new_value.len() <= cap,
+        "active-only remote write exceeds the remote slot capacity"
+    );
+    let encode_one = |buf: &mut Vec<u8>, tmp: Timestamp, data: &[u8]| {
+        buf.extend_from_slice(&tmp.raw().to_le_bytes());
+        buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        buf.extend_from_slice(data);
+        buf.extend(std::iter::repeat_n(0u8, cap - data.len()));
+    };
+    let mut buf = Vec::with_capacity(2 * (16 + cap));
+    let victim_is_a = versions.a.0 <= versions.b.0;
+    if victim_is_a {
+        encode_one(&mut buf, ts, new_value);
+        encode_one(&mut buf, versions.b.0, &versions.b.1);
+    } else {
+        encode_one(&mut buf, versions.a.0, &versions.a.1);
+        encode_one(&mut buf, ts, new_value);
+    }
+    buf
+}
+
+/// [`LocalReader`] backed by the executing replica's store.
+struct StoreReader<'a> {
+    shared: &'a ReplicaShared,
+}
+
+impl LocalReader for StoreReader<'_> {
+    fn read(&self, oid: ObjectId) -> Option<Bytes> {
+        match self.shared.cluster.app.placement(oid) {
+            Placement::Replicated => {}
+            Placement::Partition(h) if h == self.shared.partition => {}
+            Placement::Partition(_) => return None,
+        }
+        self.shared.store.get(oid).map(|(_, v)| v)
+    }
+}
+
+/// The `(requester idx, from_tmp)` of every state-transfer request
+/// currently raised in this replica's statesync memory.
+pub(crate) fn pending_sync_requests(shared: &ReplicaShared) -> Vec<(usize, u64)> {
+    let n = shared.cluster.cfg.replicas_per_partition;
+    (0..n)
+        .filter(|&p| p != shared.idx)
+        .filter_map(|p| {
+            let slot = shared.layout.sync_slot(p);
+            let status = shared.node.local_read_word(slot.offset(8)).unwrap_or(0);
+            (status == 1).then(|| (p, shared.node.local_read_word(slot).unwrap_or(0)))
+        })
+        .collect()
+}

@@ -1,0 +1,358 @@
+//! The dual-versioned object store.
+//!
+//! Every object occupies a fixed slot in RDMA-registered memory holding
+//! **two** versions, each tagged with the timestamp of the request that
+//! created it (paper §III-A):
+//!
+//! ```text
+//! [ tmp_a | len_a | data_a (cap) | tmp_b | len_b | data_b (cap) ]
+//! ```
+//!
+//! * `get` returns the version with the larger timestamp (what a replica
+//!   reads locally, since it executes requests in delivery order);
+//! * `set(v, tmp)` overwrites the version with the *smaller* timestamp —
+//!   so a concurrent remote reader working on an earlier request can still
+//!   find the version it needs;
+//! * a remote reader fetches the whole slot with one RDMA read and picks
+//!   the version with the largest timestamp smaller than its request's
+//!   (Algorithm 2, line 22); if none exists, the reader has lagged behind
+//!   and must state-transfer.
+
+use crate::types::ObjectId;
+use amcast::Timestamp;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rdma_sim::{Addr, Node};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Per-version header: timestamp word + length word.
+const VERSION_HDR: usize = 16;
+
+/// Extra slot capacity beyond the initial value size, allowing values to
+/// grow a little without relocation (remote address maps cache slot
+/// addresses, so slots never move).
+const SLOT_HEADROOM: usize = 64;
+
+/// Location and capacity of one object's slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Byte address of the slot in the owning node's registered memory.
+    pub addr: Addr,
+    /// Capacity of each version's data area, in bytes.
+    pub cap: usize,
+}
+
+impl Slot {
+    /// Total slot size in bytes (two versions).
+    pub const fn size(&self) -> usize {
+        2 * (VERSION_HDR + self.cap)
+    }
+
+    /// Computes the slot size for a given per-version capacity.
+    pub const fn size_for_cap(cap: usize) -> usize {
+        2 * (VERSION_HDR + cap)
+    }
+}
+
+/// A decoded pair of versions, as fetched by a remote read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotVersions {
+    /// First version: `(timestamp, value)`.
+    pub a: (Timestamp, Bytes),
+    /// Second version: `(timestamp, value)`.
+    pub b: (Timestamp, Bytes),
+}
+
+impl SlotVersions {
+    /// Decodes a raw slot image (as fetched by one RDMA read of the whole
+    /// slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` is shorter than the slot layout implies.
+    pub fn decode(raw: &[u8], cap: usize) -> Self {
+        let one = VERSION_HDR + cap;
+        let read_version = |chunk: &[u8]| {
+            let tmp = u64::from_le_bytes(chunk[0..8].try_into().expect("tmp word"));
+            let len = u64::from_le_bytes(chunk[8..16].try_into().expect("len word")) as usize;
+            assert!(len <= cap, "corrupt slot: length exceeds capacity");
+            (
+                Timestamp::from_raw(tmp),
+                Bytes::copy_from_slice(&chunk[VERSION_HDR..VERSION_HDR + len]),
+            )
+        };
+        SlotVersions {
+            a: read_version(&raw[..one]),
+            b: read_version(&raw[one..2 * one]),
+        }
+    }
+
+    /// The most recent version (larger timestamp) — the local-read rule.
+    pub fn latest(&self) -> (Timestamp, &Bytes) {
+        if self.a.0 >= self.b.0 {
+            (self.a.0, &self.a.1)
+        } else {
+            (self.b.0, &self.b.1)
+        }
+    }
+
+    /// The version a request with timestamp `r_tmp` may consistently read:
+    /// the one with the largest timestamp strictly smaller than `r_tmp`
+    /// (Algorithm 2, line 22). `None` means the reader lags behind.
+    pub fn read_for(&self, r_tmp: Timestamp) -> Option<(Timestamp, &Bytes)> {
+        let mut best: Option<(Timestamp, &Bytes)> = None;
+        for (t, v) in [(self.a.0, &self.a.1), (self.b.0, &self.b.1)] {
+            if t < r_tmp && best.map(|(bt, _)| t > bt).unwrap_or(true) {
+                best = Some((t, v));
+            }
+        }
+        best
+    }
+}
+
+struct StoreInner {
+    slots: HashMap<ObjectId, Slot>,
+}
+
+/// A replica's dual-versioned object store, backed by its node's
+/// RDMA-registered memory.
+pub struct VersionedStore {
+    node: Node,
+    inner: Mutex<StoreInner>,
+}
+
+impl fmt::Debug for VersionedStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VersionedStore")
+            .field("objects", &self.inner.lock().slots.len())
+            .finish()
+    }
+}
+
+impl VersionedStore {
+    /// Creates an empty store on `node`.
+    pub fn new(node: Node) -> Self {
+        VersionedStore {
+            node,
+            inner: Mutex::new(StoreInner {
+                slots: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Number of objects hosted.
+    pub fn len(&self) -> usize {
+        self.inner.lock().slots.len()
+    }
+
+    /// Whether the store hosts no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The slot of `oid`, if hosted here. Remote partitions learn slot
+    /// addresses through the object-address query protocol.
+    pub fn slot(&self, oid: ObjectId) -> Option<Slot> {
+        self.inner.lock().slots.get(&oid).copied()
+    }
+
+    /// Ensures a slot exists for `oid` with at least `cap` bytes per
+    /// version, allocating registered memory on first use. Returns the
+    /// slot.
+    pub fn ensure_slot(&self, oid: ObjectId, cap: usize) -> Slot {
+        let mut inner = self.inner.lock();
+        if let Some(&slot) = inner.slots.get(&oid) {
+            assert!(
+                slot.cap >= cap,
+                "value for {oid} outgrew its slot ({} > {}); slots cannot move",
+                cap,
+                slot.cap
+            );
+            return slot;
+        }
+        let cap = cap.div_ceil(8) * 8 + SLOT_HEADROOM;
+        let slot = Slot {
+            addr: self.node.alloc_bytes(Slot::size_for_cap(cap)),
+            cap,
+        };
+        inner.slots.insert(oid, slot);
+        slot
+    }
+
+    /// Installs the initial version of an object (timestamp zero).
+    pub fn bootstrap(&self, oid: ObjectId, value: &[u8]) {
+        let slot = self.ensure_slot(oid, value.len());
+        self.write_version(slot, 0, Timestamp::ZERO, value);
+        // The second version also starts at zero with the same value, so
+        // the dual-version invariants hold from the first write.
+        self.write_version(slot, 1, Timestamp::ZERO, value);
+    }
+
+    /// Local read: the version with the larger timestamp (`object_list.get`
+    /// in the paper).
+    ///
+    /// Returns `None` if the object is not hosted here.
+    pub fn get(&self, oid: ObjectId) -> Option<(Timestamp, Bytes)> {
+        let slot = self.slot(oid)?;
+        let versions = self.read_slot(slot);
+        let (t, v) = versions.latest();
+        Some((t, v.clone()))
+    }
+
+    /// Local write for request timestamp `tmp`: overwrites the version with
+    /// the smaller timestamp (`object_list.set` in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value exceeds the slot capacity.
+    pub fn set(&self, oid: ObjectId, value: &[u8], tmp: Timestamp) {
+        let slot = self.ensure_slot(oid, value.len());
+        assert!(
+            value.len() <= slot.cap,
+            "value for {oid} exceeds slot capacity"
+        );
+        let versions = self.read_slot(slot);
+        let victim = if versions.a.0 <= versions.b.0 { 0 } else { 1 };
+        self.write_version(slot, victim, tmp, value);
+    }
+
+    /// Reads the full slot image (both versions) from local memory.
+    pub fn read_slot(&self, slot: Slot) -> SlotVersions {
+        let raw = self
+            .node
+            .local_read(slot.addr, slot.size())
+            .expect("slot within registered memory");
+        SlotVersions::decode(&raw, slot.cap)
+    }
+
+    /// Raw slot bytes — what state transfer ships to a lagger.
+    pub fn raw_slot_bytes(&self, slot: Slot) -> Vec<u8> {
+        self.node
+            .local_read(slot.addr, slot.size())
+            .expect("slot within registered memory")
+    }
+
+    /// Overwrites the whole slot image (state-transfer apply on the
+    /// lagger). Allocates the slot if the object is new to this replica.
+    pub fn apply_raw_slot(&self, oid: ObjectId, raw: &[u8]) {
+        let cap = (raw.len() - 2 * VERSION_HDR) / 2;
+        let slot = {
+            let mut inner = self.inner.lock();
+            *inner.slots.entry(oid).or_insert_with(|| Slot {
+                addr: self.node.alloc_bytes(raw.len()),
+                cap,
+            })
+        };
+        assert_eq!(slot.cap, cap, "state-transfer slot shape mismatch for {oid}");
+        self.node
+            .local_write(slot.addr, raw)
+            .expect("slot within registered memory");
+    }
+
+    fn write_version(&self, slot: Slot, which: usize, tmp: Timestamp, value: &[u8]) {
+        let base = slot.addr.offset((which * (VERSION_HDR + slot.cap)) as u64);
+        let mut buf = Vec::with_capacity(VERSION_HDR + value.len());
+        buf.extend_from_slice(&tmp.raw().to_le_bytes());
+        buf.extend_from_slice(&(value.len() as u64).to_le_bytes());
+        buf.extend_from_slice(value);
+        self.node
+            .local_write(base, &buf)
+            .expect("slot within registered memory");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amcast::MsgId;
+    use rdma_sim::{Fabric, LatencyModel};
+
+    fn ts(clock: u64) -> Timestamp {
+        Timestamp::new(clock, MsgId(clock as u32))
+    }
+
+    fn store() -> VersionedStore {
+        let fabric = Fabric::new(LatencyModel::zero());
+        VersionedStore::new(fabric.add_node("n"))
+    }
+
+    #[test]
+    fn bootstrap_then_get() {
+        let s = store();
+        s.bootstrap(ObjectId(1), b"initial");
+        let (t, v) = s.get(ObjectId(1)).unwrap();
+        assert_eq!(t, Timestamp::ZERO);
+        assert_eq!(v.as_ref(), b"initial");
+        assert!(s.get(ObjectId(2)).is_none());
+    }
+
+    #[test]
+    fn set_overwrites_older_version_and_keeps_previous() {
+        let s = store();
+        s.bootstrap(ObjectId(1), b"v0");
+        s.set(ObjectId(1), b"v1", ts(10));
+        // Latest is v1; the slot still holds a version readable by a
+        // request between 0 and 10.
+        let (t, v) = s.get(ObjectId(1)).unwrap();
+        assert_eq!((t, v.as_ref()), (ts(10), b"v1".as_ref()));
+        let versions = s.read_slot(s.slot(ObjectId(1)).unwrap());
+        let (t5, v5) = versions.read_for(ts(5)).unwrap();
+        assert_eq!((t5, v5.as_ref()), (Timestamp::ZERO, b"v0".as_ref()));
+        // After a second write, version v0 is gone: v1 and v2 remain.
+        s.set(ObjectId(1), b"v2", ts(20));
+        let versions = s.read_slot(s.slot(ObjectId(1)).unwrap());
+        assert_eq!(versions.read_for(ts(15)).unwrap().1.as_ref(), b"v1");
+        assert_eq!(versions.read_for(ts(25)).unwrap().1.as_ref(), b"v2");
+        // A reader needing something before v1 has lagged behind.
+        assert!(versions.read_for(ts(10)).is_none());
+    }
+
+    #[test]
+    fn read_for_boundary_is_strict() {
+        let s = store();
+        s.bootstrap(ObjectId(1), b"v0");
+        s.set(ObjectId(1), b"v1", ts(10));
+        let versions = s.read_slot(s.slot(ObjectId(1)).unwrap());
+        // A request at exactly ts(10) must NOT see its own-timestamp write.
+        let (t, _) = versions.read_for(ts(10)).unwrap();
+        assert_eq!(t, Timestamp::ZERO);
+    }
+
+    #[test]
+    fn dynamic_objects_allocate_slots() {
+        let s = store();
+        s.set(ObjectId(99), b"created", ts(3));
+        let (t, v) = s.get(ObjectId(99)).unwrap();
+        assert_eq!((t, v.as_ref()), (ts(3), b"created".as_ref()));
+    }
+
+    #[test]
+    fn raw_slot_round_trips_between_stores() {
+        let fabric = Fabric::new(LatencyModel::zero());
+        let s1 = VersionedStore::new(fabric.add_node("a"));
+        let s2 = VersionedStore::new(fabric.add_node("b"));
+        s1.bootstrap(ObjectId(7), b"hello");
+        s1.set(ObjectId(7), b"world", ts(4));
+        let raw = s1.raw_slot_bytes(s1.slot(ObjectId(7)).unwrap());
+        s2.apply_raw_slot(ObjectId(7), &raw);
+        let (t, v) = s2.get(ObjectId(7)).unwrap();
+        assert_eq!((t, v.as_ref()), (ts(4), b"world".as_ref()));
+    }
+
+    #[test]
+    #[should_panic(expected = "outgrew")]
+    fn oversized_values_panic() {
+        let s = store();
+        s.bootstrap(ObjectId(1), b"tiny");
+        s.set(ObjectId(1), &vec![0u8; 4096], ts(1));
+    }
+
+    #[test]
+    fn values_can_grow_within_headroom() {
+        let s = store();
+        s.bootstrap(ObjectId(1), b"tiny");
+        s.set(ObjectId(1), &[7u8; 40], ts(1)); // within 64-byte headroom
+        assert_eq!(s.get(ObjectId(1)).unwrap().1.len(), 40);
+    }
+}

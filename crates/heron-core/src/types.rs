@@ -1,0 +1,79 @@
+//! Core identifiers and placement types.
+
+use amcast::GroupId;
+use std::fmt;
+
+/// Identifier of a Heron partition (shard). Each partition is replicated by
+/// one atomic multicast group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(pub u16);
+
+impl PartitionId {
+    /// The multicast group ordering requests for this partition.
+    pub const fn group(self) -> GroupId {
+        GroupId(self.0)
+    }
+}
+
+impl From<GroupId> for PartitionId {
+    fn from(g: GroupId) -> Self {
+        PartitionId(g.0)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Application object identifier (in TPC-C, one table row).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj:{:#x}", self.0)
+    }
+}
+
+/// Where an object lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Stored by the replicas of exactly one partition.
+    Partition(PartitionId),
+    /// Read-only copy in every partition (the paper replicates the TPC-C
+    /// Warehouse and Item tables this way). Writing a replicated object is
+    /// an application error.
+    Replicated,
+}
+
+/// How an object is stored in memory — determines state-transfer cost
+/// (paper §V-E2): serialized tables move as raw bytes; native tables must
+/// be serialized by the sender and deserialized by the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageKind {
+    /// Kept serialized in RDMA-registered memory (TPC-C Stock, Customer) —
+    /// remotely readable, cheap to state-transfer.
+    Serialized,
+    /// Kept as native in-memory structures (the other TPC-C tables) —
+    /// state transfer pays (de)serialization.
+    Native,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_maps_to_group() {
+        assert_eq!(PartitionId(5).group(), GroupId(5));
+        assert_eq!(PartitionId::from(GroupId(9)), PartitionId(9));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PartitionId(3).to_string(), "p3");
+        assert_eq!(ObjectId(255).to_string(), "obj:0xff");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the dual-versioned store against a reference
+//! model: Heron's consistency hinges on `read_for` returning exactly the
+//! latest write before a request's timestamp whenever that write is one of
+//! the two most recent ones.
+
+use amcast::MsgId;
+use heron_core::{ObjectId, Timestamp, VersionedStore};
+use proptest::prelude::*;
+use rdma_sim::{Fabric, LatencyModel};
+use std::collections::BTreeMap;
+
+fn ts(clock: u64) -> Timestamp {
+    Timestamp::new(clock + 1, MsgId((clock % (1 << 22)) as u32))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `get` always returns the most recent write; `read_for(t)` returns
+    /// the latest write before `t` whenever that write is among the two
+    /// most recent, and `None` (the lagger signal) when the reader is more
+    /// than two versions behind.
+    #[test]
+    fn dual_versioning_matches_reference_model(
+        writes in prop::collection::vec((0u64..4, prop::collection::vec(any::<u8>(), 1..32)), 1..40),
+        probes in prop::collection::vec((0u64..4, 0u64..50), 1..20),
+    ) {
+        let fabric = Fabric::new(LatencyModel::zero());
+        let store = VersionedStore::new(fabric.add_node("prop"));
+        // Reference: full version history per object.
+        let mut model: BTreeMap<u64, Vec<(u64, Vec<u8>)>> = BTreeMap::new();
+        for oid in 0..4u64 {
+            store.bootstrap(ObjectId(oid), b"init");
+            model.entry(oid).or_default().push((0, b"init".to_vec()));
+        }
+        for (clock, (oid, value)) in writes.iter().enumerate() {
+            let clock = clock as u64 + 1;
+            store.set(ObjectId(*oid), value, ts(clock - 1));
+            model.get_mut(oid).unwrap().push((ts(clock - 1).raw(), value.clone()));
+        }
+        for (oid, probe_clock) in probes {
+            let history = &model[&oid];
+            let slot = store.slot(ObjectId(oid)).unwrap();
+            let versions = store.read_slot(slot);
+
+            // get() = most recent version.
+            let (_, latest) = history.last().unwrap();
+            let (_, got) = store.get(ObjectId(oid)).unwrap();
+            prop_assert_eq!(got.as_ref(), &latest[..]);
+
+            // read_for(t): latest write strictly before t …
+            let t = ts(probe_clock).raw();
+            let expected = history.iter().rev().find(|(w, _)| *w < t);
+            let last_two: Vec<u64> = history.iter().rev().take(2).map(|(w, _)| *w).collect();
+            match versions.read_for(Timestamp::from_raw(t)) {
+                Some((vt, v)) => {
+                    // … must be exactly the model's answer when served.
+                    let (et, ev) = expected.expect("store returned a version the model lacks");
+                    prop_assert_eq!(vt.raw(), *et);
+                    prop_assert_eq!(v.as_ref(), &ev[..]);
+                    // And it can only be served from the two newest.
+                    prop_assert!(last_two.contains(&vt.raw()));
+                }
+                None => {
+                    // The lagger signal: the needed version was evicted
+                    // (both stored versions are ≥ t) — i.e. the reader is
+                    // at least two writes behind.
+                    prop_assert!(last_two.iter().all(|w| *w >= t));
+                }
+            }
+        }
+    }
+
+    /// Raw slot bytes round-trip between stores (the state-transfer
+    /// payload path) and preserve both versions.
+    #[test]
+    fn raw_slots_round_trip(
+        v1 in prop::collection::vec(any::<u8>(), 1..64),
+        v2 in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let fabric = Fabric::new(LatencyModel::zero());
+        let a = VersionedStore::new(fabric.add_node("a"));
+        let b = VersionedStore::new(fabric.add_node("b"));
+        a.bootstrap(ObjectId(1), &v1);
+        a.set(ObjectId(1), &v2, ts(5));
+        let raw = a.raw_slot_bytes(a.slot(ObjectId(1)).unwrap());
+        b.apply_raw_slot(ObjectId(1), &raw);
+        let va = a.read_slot(a.slot(ObjectId(1)).unwrap());
+        let vb = b.read_slot(b.slot(ObjectId(1)).unwrap());
+        prop_assert_eq!(va, vb);
+    }
+}

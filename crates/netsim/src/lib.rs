@@ -1,0 +1,409 @@
+//! Simulated message-passing network with configurable latency and
+//! bandwidth.
+//!
+//! This is the substrate for the DynaStar baseline: a conventional
+//! kernel/TCP network, in contrast to the RDMA fabric of `rdma-sim`.
+//! The default latency model matches the paper's testbed description of
+//! "around 0.1 ms round-trip time" plus per-message CPU cost for the socket
+//! stack — the overheads Heron avoids (paper §V-C2).
+//!
+//! The network is generic over the message type `M`, so protocols exchange
+//! typed values; the caller supplies a wire-size estimate per message for
+//! the bandwidth term.
+//!
+//! # Example
+//!
+//! ```
+//! use netsim::{Network, NetLatency};
+//!
+//! let simulation = sim::Simulation::new(3);
+//! let net = Network::new(NetLatency::datacenter_tcp());
+//! let a = net.add_endpoint("a");
+//! let b = net.add_endpoint("b");
+//! let b_id = b.id();
+//!
+//! simulation.spawn("a", move || {
+//!     a.send(b_id, "hello".to_string(), 5);
+//! });
+//! simulation.spawn("b", move || {
+//!     let (from, msg) = b.recv();
+//!     assert_eq!(msg, "hello");
+//!     assert!(sim::now().as_micros() >= 50); // one-way ≈ 50 µs
+//!     let _ = from;
+//! });
+//! simulation.run().unwrap();
+//! ```
+
+use parking_lot::{Mutex, RwLock};
+use sim::Mailbox;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of a network endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointId(pub u32);
+
+impl fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ep#{}", self.0)
+    }
+}
+
+/// Latency model for the message-passing network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetLatency {
+    /// Sender-side CPU cost per message (syscall, copies, protocol stack).
+    pub send_cpu_ns: u64,
+    /// One-way propagation latency for a minimum-size message.
+    pub one_way_ns: u64,
+    /// Serialization cost per KiB of payload.
+    pub ns_per_kib: u64,
+}
+
+impl NetLatency {
+    /// The paper's testbed as seen by a kernel/TCP application:
+    /// ~0.1 ms round trip plus socket-stack CPU per message.
+    pub const fn datacenter_tcp() -> Self {
+        NetLatency {
+            send_cpu_ns: 3_000,
+            one_way_ns: 50_000,
+            ns_per_kib: 328, // same 25 Gbps link as the RDMA fabric
+        }
+    }
+
+    /// Zero latency, for logic-only tests.
+    pub const fn zero() -> Self {
+        NetLatency {
+            send_cpu_ns: 0,
+            one_way_ns: 0,
+            ns_per_kib: 0,
+        }
+    }
+
+    /// One-way latency for a message of `bytes`.
+    pub const fn one_way(&self, bytes: usize) -> u64 {
+        self.one_way_ns + (bytes as u64 * self.ns_per_kib) / 1024
+    }
+}
+
+impl Default for NetLatency {
+    fn default() -> Self {
+        Self::datacenter_tcp()
+    }
+}
+
+struct EndpointInner<M> {
+    id: EndpointId,
+    name: String,
+    inbox: Mailbox<(EndpointId, M)>,
+    alive: AtomicBool,
+}
+
+struct NetworkInner<M> {
+    latency: NetLatency,
+    endpoints: RwLock<Vec<Arc<EndpointInner<M>>>>,
+    /// Per directed link: virtual time of the last scheduled delivery,
+    /// enforcing FIFO (TCP-like) ordering.
+    link_clock: Mutex<HashMap<(EndpointId, EndpointId), u64>>,
+    messages_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+}
+
+/// A simulated network carrying messages of type `M`.
+pub struct Network<M> {
+    inner: Arc<NetworkInner<M>>,
+}
+
+impl<M> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M> fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("endpoints", &self.inner.endpoints.read().len())
+            .field("latency", &self.inner.latency)
+            .finish()
+    }
+}
+
+impl<M: Send + 'static> Network<M> {
+    /// Creates a network with the given latency model.
+    pub fn new(latency: NetLatency) -> Self {
+        Network {
+            inner: Arc::new(NetworkInner {
+                latency,
+                endpoints: RwLock::new(Vec::new()),
+                link_clock: Mutex::new(HashMap::new()),
+                messages_sent: AtomicU64::new(0),
+                bytes_sent: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a new endpoint.
+    pub fn add_endpoint(&self, name: impl Into<String>) -> Endpoint<M> {
+        let mut eps = self.inner.endpoints.write();
+        let id = EndpointId(eps.len() as u32);
+        let inner = Arc::new(EndpointInner {
+            id,
+            name: name.into(),
+            inbox: Mailbox::new(),
+            alive: AtomicBool::new(true),
+        });
+        eps.push(Arc::clone(&inner));
+        Endpoint {
+            inner,
+            net: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Returns a handle to an existing endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never returned by [`Network::add_endpoint`].
+    pub fn endpoint(&self, id: EndpointId) -> Endpoint<M> {
+        let eps = self.inner.endpoints.read();
+        Endpoint {
+            inner: Arc::clone(&eps[id.0 as usize]),
+            net: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Marks an endpoint crashed: messages to it are dropped, and its
+    /// sends fail silently.
+    pub fn crash(&self, id: EndpointId) {
+        self.inner.endpoints.read()[id.0 as usize]
+            .alive
+            .store(false, Ordering::SeqCst);
+    }
+
+    /// Revives a crashed endpoint. Messages dropped meanwhile stay lost.
+    pub fn recover(&self, id: EndpointId) {
+        self.inner.endpoints.read()[id.0 as usize]
+            .alive
+            .store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the endpoint is alive.
+    pub fn is_alive(&self, id: EndpointId) -> bool {
+        self.inner.endpoints.read()[id.0 as usize]
+            .alive
+            .load(Ordering::SeqCst)
+    }
+
+    /// Total messages ever sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes ever sent.
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// The latency model in force.
+    pub fn latency(&self) -> NetLatency {
+        self.inner.latency
+    }
+}
+
+/// One endpoint of a [`Network`]. Cloneable; clones share the inbox.
+pub struct Endpoint<M> {
+    inner: Arc<EndpointInner<M>>,
+    net: Arc<NetworkInner<M>>,
+}
+
+impl<M> Clone for Endpoint<M> {
+    fn clone(&self) -> Self {
+        Endpoint {
+            inner: Arc::clone(&self.inner),
+            net: Arc::clone(&self.net),
+        }
+    }
+}
+
+impl<M> fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.inner.id)
+            .field("name", &self.inner.name)
+            .finish()
+    }
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    /// This endpoint's id.
+    pub fn id(&self) -> EndpointId {
+        self.inner.id
+    }
+
+    /// The name given at registration.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Sends `msg` (whose serialized size is `wire_bytes`) to `dst`.
+    ///
+    /// Charges the sender its CPU cost; the message arrives after the
+    /// one-way latency, in FIFO order per (src, dst) link. Messages to (or
+    /// from) crashed endpoints are dropped silently, like a broken TCP
+    /// connection discovered later.
+    pub fn send(&self, dst: EndpointId, msg: M, wire_bytes: usize) {
+        if !self.inner.alive.load(Ordering::SeqCst) {
+            return;
+        }
+        let lat = self.net.latency;
+        sim::sleep_ns(lat.send_cpu_ns);
+        // Store-and-forward: the link transmits one message at a time at
+        // link bandwidth (FIFO, like a TCP connection), then propagates.
+        let arrive_delay = {
+            let now = sim::now().as_nanos();
+            let ser = (wire_bytes as u64 * lat.ns_per_kib) / 1024;
+            let mut clocks = self.net.link_clock.lock();
+            let link_free = clocks.entry((self.inner.id, dst)).or_insert(0);
+            let send_end = now.max(*link_free) + ser;
+            *link_free = send_end;
+            send_end + lat.one_way_ns - now
+        };
+        self.net.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.net
+            .bytes_sent
+            .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        let target = Arc::clone(&self.net.endpoints.read()[dst.0 as usize]);
+        let from = self.inner.id;
+        sim::schedule_ns(arrive_delay, move || {
+            if target.alive.load(Ordering::SeqCst) {
+                target.inbox.send((from, msg));
+            }
+        });
+    }
+
+    /// Blocks until a message arrives; returns `(sender, message)`.
+    pub fn recv(&self) -> (EndpointId, M) {
+        self.inner.inbox.recv()
+    }
+
+    /// Blocks until a message arrives or the timeout elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sim::RecvTimeoutError`] on timeout.
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<(EndpointId, M), sim::RecvTimeoutError> {
+        self.inner.inbox.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(EndpointId, M)> {
+        self.inner.inbox.try_recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_arrives_after_one_way_latency() {
+        let simulation = sim::Simulation::new(1);
+        let net: Network<u32> = Network::new(NetLatency::datacenter_tcp());
+        let a = net.add_endpoint("a");
+        let b = net.add_endpoint("b");
+        let b_id = b.id();
+        simulation.spawn("a", move || {
+            a.send(b_id, 42, 8);
+        });
+        simulation.spawn("b", move || {
+            let (_, v) = b.recv();
+            assert_eq!(v, 42);
+            let lat = NetLatency::datacenter_tcp();
+            assert_eq!(sim::now().as_nanos(), lat.send_cpu_ns + lat.one_way(8));
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn per_link_fifo_holds_even_for_mixed_sizes() {
+        let simulation = sim::Simulation::new(1);
+        let net: Network<u32> = Network::new(NetLatency::datacenter_tcp());
+        let a = net.add_endpoint("a");
+        let b = net.add_endpoint("b");
+        let b_id = b.id();
+        simulation.spawn("a", move || {
+            a.send(b_id, 1, 1_000_000); // huge, slow message first
+            a.send(b_id, 2, 8); // tiny message second
+        });
+        simulation.spawn("b", move || {
+            assert_eq!(b.recv().1, 1);
+            assert_eq!(b.recv().1, 2);
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn crashed_endpoint_drops_messages() {
+        let simulation = sim::Simulation::new(1);
+        let net: Network<u32> = Network::new(NetLatency::zero());
+        let a = net.add_endpoint("a");
+        let b = net.add_endpoint("b");
+        let b2 = b.clone();
+        let (b_id, net2) = (b.id(), net.clone());
+        simulation.spawn("a", move || {
+            net2.crash(b_id);
+            a.send(b_id, 7, 8);
+            sim::sleep(Duration::from_millis(1));
+            net2.recover(b_id);
+            assert_eq!(b2.try_recv(), None);
+            a.send(b_id, 8, 8);
+        });
+        simulation.spawn("b", move || {
+            let (_, v) = b.recv();
+            assert_eq!(v, 8);
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_expires_without_traffic() {
+        let simulation = sim::Simulation::new(1);
+        let net: Network<u32> = Network::new(NetLatency::zero());
+        let b = net.add_endpoint("b");
+        simulation.spawn("b", move || {
+            assert!(b.recv_timeout(Duration::from_micros(5)).is_err());
+            assert_eq!(sim::now().as_micros(), 5);
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let simulation = sim::Simulation::new(1);
+        let net: Network<u32> = Network::new(NetLatency::zero());
+        let a = net.add_endpoint("a");
+        let b = net.add_endpoint("b");
+        let b_id = b.id();
+        let net2 = net.clone();
+        simulation.spawn("a", move || {
+            a.send(b_id, 1, 100);
+            a.send(b_id, 2, 200);
+        });
+        simulation.spawn("b", move || {
+            b.recv();
+            b.recv();
+        });
+        simulation.run().unwrap();
+        assert_eq!(net2.messages_sent(), 2);
+        assert_eq!(net2.bytes_sent(), 300);
+    }
+}

@@ -1,0 +1,38 @@
+//! RDMA error types.
+
+use std::fmt;
+
+/// Result alias for RDMA verbs.
+pub type RdmaResult<T> = Result<T, RdmaError>;
+
+/// Errors raised by simulated RDMA operations.
+///
+/// `RemoteFailure` models the "RDMA exception" the Heron paper relies on to
+/// detect crashed peers during remote reads (Algorithm 2, line 20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RdmaError {
+    /// The remote node is crashed; a signaled verb completed with an error.
+    RemoteFailure,
+    /// The issuing node is crashed (its QP has been torn down).
+    LocalFailure,
+    /// The target address range is not within the remote node's registered
+    /// memory.
+    OutOfBounds,
+    /// A word-granularity verb (`read_word`, `write_word`, CAS) was given an
+    /// address that is not 8-byte aligned.
+    Misaligned,
+}
+
+impl fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdmaError::RemoteFailure => write!(f, "remote node failed (RDMA exception)"),
+            RdmaError::LocalFailure => write!(f, "local node is crashed"),
+            RdmaError::OutOfBounds => write!(f, "address outside registered memory"),
+            RdmaError::Misaligned => write!(f, "word operation on a misaligned address"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}

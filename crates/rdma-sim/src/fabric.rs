@@ -1,0 +1,506 @@
+//! Nodes, registered memory, and the fabric that connects them.
+
+use crate::error::{RdmaError, RdmaResult};
+use crate::latency::LatencyModel;
+use parking_lot::{Mutex, RwLock};
+use sim::{Cond, Mailbox};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of a fabric node (one RDMA-capable endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// A byte address within a node's registered memory. Word-granularity verbs
+/// require 8-byte alignment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The address `bytes` further into the region.
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// Whether this address may be used with word-granularity verbs.
+    pub const fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(8)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A two-sided message delivered through [`Node::recv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The sending node.
+    pub from: NodeId,
+    /// Message payload.
+    pub payload: Vec<u8>,
+}
+
+/// Counters of fabric activity, readable at any time.
+///
+/// Benchmarks use these to verify protocol claims such as "the state
+/// transfer protocol without data amounts to two RDMA writes".
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// Completed signaled reads.
+    pub reads: AtomicU64,
+    /// Completed signaled writes.
+    pub writes: AtomicU64,
+    /// Posted unsignaled writes.
+    pub posted_writes: AtomicU64,
+    /// Completed compare-and-swap verbs.
+    pub cas_ops: AtomicU64,
+    /// Two-sided sends.
+    pub sends: AtomicU64,
+    /// Total payload bytes fetched by reads.
+    pub bytes_read: AtomicU64,
+    /// Total payload bytes carried by (posted or signaled) writes.
+    pub bytes_written: AtomicU64,
+}
+
+impl FabricStats {
+    /// Snapshot of `(reads, writes incl. posted, sends)`.
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed) + self.posted_writes.load(Ordering::Relaxed),
+            self.sends.load(Ordering::Relaxed),
+        )
+    }
+}
+
+pub(crate) struct Memory {
+    pub(crate) bytes: Vec<u8>,
+    brk: usize,
+}
+
+pub(crate) struct NodeInner {
+    pub(crate) id: NodeId,
+    pub(crate) name: String,
+    pub(crate) mem: Mutex<Memory>,
+    pub(crate) alive: AtomicBool,
+    /// Incremented on every recovery; lets colocated processes detect that
+    /// the node was crashed and revived while they were parked.
+    pub(crate) incarnation: AtomicU64,
+    /// Notified whenever a remote write lands in this node's memory; local
+    /// processes block on it instead of busy-polling.
+    pub(crate) mem_cond: Cond,
+    pub(crate) inbox: Mailbox<Message>,
+}
+
+impl NodeInner {
+    pub(crate) fn check_range(&self, mem: &Memory, addr: Addr, len: usize) -> RdmaResult<()> {
+        let end = addr.0 as usize + len;
+        if end > mem.bytes.len() {
+            return Err(RdmaError::OutOfBounds);
+        }
+        Ok(())
+    }
+}
+
+pub(crate) struct FabricInner {
+    pub(crate) latency: LatencyModel,
+    pub(crate) nodes: RwLock<Vec<Arc<NodeInner>>>,
+    pub(crate) stats: FabricStats,
+    /// Per directed (src, dst) pair: virtual arrival time of the last
+    /// operation, enforcing the in-order delivery of RC transport.
+    pub(crate) link_clock: Mutex<std::collections::HashMap<(NodeId, NodeId), u64>>,
+}
+
+impl FabricInner {
+    /// Arrival time of a `bytes`-sized op posted now on the `src → dst`
+    /// link. Models store-and-forward serialization: the link transmits
+    /// one op at a time at link bandwidth, so back-to-back bulk writes
+    /// queue behind each other; propagation is added after transmission.
+    /// This also yields RC's in-order delivery.
+    pub(crate) fn fifo_arrival(&self, src: NodeId, dst: NodeId, now: u64, bytes: usize) -> u64 {
+        let ser = (bytes as u64 * self.latency.ns_per_kib) / 1024;
+        let mut clocks = self.link_clock.lock();
+        let link_free = clocks.entry((src, dst)).or_insert(0);
+        let send_end = now.max(*link_free) + ser;
+        *link_free = send_end;
+        send_end + self.latency.one_way_ns
+    }
+}
+
+/// The shared-memory fabric: a set of nodes connected by RDMA.
+#[derive(Clone)]
+pub struct Fabric {
+    pub(crate) inner: Arc<FabricInner>,
+}
+
+impl fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fabric")
+            .field("nodes", &self.inner.nodes.read().len())
+            .field("latency", &self.inner.latency)
+            .finish()
+    }
+}
+
+impl Fabric {
+    /// Creates a fabric with the given latency model.
+    pub fn new(latency: LatencyModel) -> Self {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                latency,
+                nodes: RwLock::new(Vec::new()),
+                stats: FabricStats::default(),
+                link_clock: Mutex::new(std::collections::HashMap::new()),
+            }),
+        }
+    }
+
+    /// Registers a new node (endpoint) on the fabric.
+    pub fn add_node(&self, name: impl Into<String>) -> Node {
+        let mut nodes = self.inner.nodes.write();
+        let id = NodeId(nodes.len() as u32);
+        // The inbox shares the node's memory condition so one wait point
+        // covers both one-sided writes landing and two-sided messages.
+        let mem_cond = Cond::new();
+        let inner = Arc::new(NodeInner {
+            id,
+            name: name.into(),
+            mem: Mutex::new(Memory {
+                bytes: Vec::new(),
+                brk: 0,
+            }),
+            alive: AtomicBool::new(true),
+            incarnation: AtomicU64::new(0),
+            inbox: Mailbox::with_cond(mem_cond.clone()),
+            mem_cond,
+        });
+        nodes.push(Arc::clone(&inner));
+        Node {
+            inner,
+            fabric: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Returns a handle to an existing node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never returned by [`Fabric::add_node`].
+    pub fn node(&self, id: NodeId) -> Node {
+        let nodes = self.inner.nodes.read();
+        Node {
+            inner: Arc::clone(&nodes[id.0 as usize]),
+            fabric: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.inner.nodes.read().len()
+    }
+
+    /// Whether the fabric has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks a node crashed: signaled verbs against it fail with
+    /// [`RdmaError::RemoteFailure`], unsignaled writes and sends to it are
+    /// dropped. Its registered memory is preserved.
+    pub fn crash(&self, id: NodeId) {
+        self.inner.nodes.read()[id.0 as usize]
+            .alive
+            .store(false, Ordering::SeqCst);
+    }
+
+    /// Brings a crashed node back. Its memory is as it was at crash time
+    /// (Heron treats such a replica as a lagger and state-transfers it).
+    pub fn recover(&self, id: NodeId) {
+        let node = &self.inner.nodes.read()[id.0 as usize];
+        node.incarnation.fetch_add(1, Ordering::SeqCst);
+        node.alive.store(true, Ordering::SeqCst);
+        // Wake local pollers so colocated processes notice the recovery.
+        node.mem_cond.notify_all();
+    }
+
+    /// Whether the node is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.inner.nodes.read()[id.0 as usize]
+            .alive
+            .load(Ordering::SeqCst)
+    }
+
+    /// Fabric-wide operation counters.
+    pub fn stats(&self) -> &FabricStats {
+        &self.inner.stats
+    }
+
+    /// The latency model in force.
+    pub fn latency(&self) -> LatencyModel {
+        self.inner.latency
+    }
+}
+
+/// A handle to one fabric node. Cloneable; clones refer to the same node.
+#[derive(Clone)]
+pub struct Node {
+    pub(crate) inner: Arc<NodeInner>,
+    pub(crate) fabric: Arc<FabricInner>,
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.inner.id)
+            .field("name", &self.inner.name)
+            .field("alive", &self.inner.alive.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl Node {
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.inner.id
+    }
+
+    /// The name given at registration.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Whether this node is alive.
+    pub fn is_alive(&self) -> bool {
+        self.inner.alive.load(Ordering::SeqCst)
+    }
+
+    /// How many times this node has been recovered. A process that caches
+    /// this value can detect a crash/recovery cycle that happened entirely
+    /// while it was blocked.
+    pub fn incarnation(&self) -> u64 {
+        self.inner.incarnation.load(Ordering::SeqCst)
+    }
+
+    /// Registers `bytes` of RDMA-accessible memory (zero-initialized,
+    /// rounded up to whole words) and returns its base address.
+    pub fn alloc_bytes(&self, bytes: usize) -> Addr {
+        let words = bytes.div_ceil(8);
+        let mut mem = self.inner.mem.lock();
+        let base = mem.brk;
+        mem.brk += words * 8;
+        let new_len = mem.brk;
+        mem.bytes.resize(new_len, 0);
+        Addr(base as u64)
+    }
+
+    /// Registers `words` 8-byte words of RDMA-accessible memory.
+    pub fn alloc_words(&self, words: usize) -> Addr {
+        self.alloc_bytes(words * 8)
+    }
+
+    /// Opens a reliable-connection queue pair from this node to `remote`.
+    pub fn connect(&self, remote: &Node) -> crate::QueuePair {
+        crate::QueuePair::new(self.clone(), remote.clone())
+    }
+
+    // ---- local (zero-latency) access to this node's own memory ----
+
+    /// Reads bytes from this node's own registered memory.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if the range is outside registered memory.
+    pub fn local_read(&self, addr: Addr, len: usize) -> RdmaResult<Vec<u8>> {
+        let mem = self.inner.mem.lock();
+        self.inner.check_range(&mem, addr, len)?;
+        let start = addr.0 as usize;
+        Ok(mem.bytes[start..start + len].to_vec())
+    }
+
+    /// Reads one 8-byte word from this node's own memory.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::Misaligned`] or [`RdmaError::OutOfBounds`].
+    pub fn local_read_word(&self, addr: Addr) -> RdmaResult<u64> {
+        if !addr.is_word_aligned() {
+            return Err(RdmaError::Misaligned);
+        }
+        let bytes = self.local_read(addr, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte read")))
+    }
+
+    /// Writes bytes into this node's own registered memory.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::OutOfBounds`] if the range is outside registered memory.
+    pub fn local_write(&self, addr: Addr, data: &[u8]) -> RdmaResult<()> {
+        {
+            let mut mem = self.inner.mem.lock();
+            self.inner.check_range(&mem, addr, data.len())?;
+            let start = addr.0 as usize;
+            mem.bytes[start..start + data.len()].copy_from_slice(data);
+        }
+        self.inner.mem_cond.notify_all();
+        Ok(())
+    }
+
+    /// Writes one 8-byte word into this node's own memory.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::Misaligned`] or [`RdmaError::OutOfBounds`].
+    pub fn local_write_word(&self, addr: Addr, value: u64) -> RdmaResult<()> {
+        if !addr.is_word_aligned() {
+            return Err(RdmaError::Misaligned);
+        }
+        self.local_write(addr, &value.to_le_bytes())
+    }
+
+    /// The condition notified whenever a remote write lands in this node's
+    /// memory. A process polling RDMA-visible memory (e.g. Heron's
+    /// coordination memory) blocks here instead of spinning.
+    pub fn mem_cond(&self) -> &Cond {
+        &self.inner.mem_cond
+    }
+
+    /// Blocks the calling process until `pred()` is true, re-checking after
+    /// every remote write into this node's memory.
+    pub fn poll_until(&self, pred: impl FnMut() -> bool) {
+        let mut pred = pred;
+        self.inner.mem_cond.wait_while(|| !pred());
+    }
+
+    /// Like [`Node::poll_until`] with a virtual-time timeout. Returns `true`
+    /// if the predicate turned true before the deadline.
+    pub fn poll_until_timeout(
+        &self,
+        pred: impl FnMut() -> bool,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let mut pred = pred;
+        self.inner.mem_cond.wait_while_timeout(|| !pred(), timeout)
+    }
+
+    // ---- two-sided ----
+
+    /// Blocks until a two-sided message arrives.
+    pub fn recv(&self) -> Message {
+        self.inbox_recv()
+    }
+
+    /// Blocks until a message arrives or the timeout elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`sim::RecvTimeoutError`] on timeout.
+    pub fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Message, sim::RecvTimeoutError> {
+        self.inner.inbox.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.inner.inbox.try_recv()
+    }
+
+    /// Number of two-sided messages waiting in the receive queue.
+    pub fn pending_messages(&self) -> usize {
+        self.inner.inbox.len()
+    }
+
+    fn inbox_recv(&self) -> Message {
+        self.inner.inbox.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_word_aligned_and_grows() {
+        let fabric = Fabric::new(LatencyModel::zero());
+        let n = fabric.add_node("n");
+        let a = n.alloc_bytes(3);
+        let b = n.alloc_bytes(16);
+        let c = n.alloc_words(2);
+        assert_eq!(a, Addr(0));
+        assert_eq!(b, Addr(8)); // 3 bytes rounded to one word
+        assert_eq!(c, Addr(24));
+        assert!(a.is_word_aligned() && b.is_word_aligned() && c.is_word_aligned());
+    }
+
+    #[test]
+    fn local_read_write_round_trips() {
+        let fabric = Fabric::new(LatencyModel::zero());
+        let n = fabric.add_node("n");
+        let addr = n.alloc_bytes(32);
+        n.local_write(addr, b"hello rdma").unwrap();
+        assert_eq!(n.local_read(addr, 10).unwrap(), b"hello rdma");
+        n.local_write_word(addr.offset(16), 0xDEAD_BEEF).unwrap();
+        assert_eq!(n.local_read_word(addr.offset(16)).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn out_of_bounds_and_misalignment_are_errors() {
+        let fabric = Fabric::new(LatencyModel::zero());
+        let n = fabric.add_node("n");
+        let addr = n.alloc_bytes(8);
+        assert_eq!(n.local_read(addr, 9).unwrap_err(), RdmaError::OutOfBounds);
+        assert_eq!(
+            n.local_read_word(addr.offset(4)).unwrap_err(),
+            RdmaError::Misaligned
+        );
+        assert_eq!(
+            n.local_write(Addr(1 << 40), b"x").unwrap_err(),
+            RdmaError::OutOfBounds
+        );
+    }
+
+    #[test]
+    fn crash_and_recover_toggle_liveness() {
+        let fabric = Fabric::new(LatencyModel::zero());
+        let n = fabric.add_node("n");
+        assert!(fabric.is_alive(n.id()));
+        fabric.crash(n.id());
+        assert!(!fabric.is_alive(n.id()));
+        assert!(!n.is_alive());
+        fabric.recover(n.id());
+        assert!(n.is_alive());
+    }
+
+    #[test]
+    fn node_lookup_by_id() {
+        let fabric = Fabric::new(LatencyModel::zero());
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        assert_eq!(fabric.node(a.id()).name(), "a");
+        assert_eq!(fabric.node(b.id()).name(), "b");
+        assert_eq!(fabric.len(), 2);
+    }
+
+    #[test]
+    fn memory_survives_crash() {
+        let fabric = Fabric::new(LatencyModel::zero());
+        let n = fabric.add_node("n");
+        let addr = n.alloc_bytes(8);
+        n.local_write_word(addr, 42).unwrap();
+        fabric.crash(n.id());
+        fabric.recover(n.id());
+        assert_eq!(n.local_read_word(addr).unwrap(), 42);
+    }
+}

@@ -1,0 +1,85 @@
+//! Fabric latency model.
+
+/// Latency/bandwidth model for the simulated fabric.
+///
+/// The defaults ([`LatencyModel::connectx4`]) are calibrated to the paper's
+/// testbed: Mellanox ConnectX-4 NICs on a 25 Gbps link — small one-sided
+/// verbs complete in ~1.7 µs round trip, and bulk transfers stream at link
+/// bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// CPU-side cost of posting a work request (doorbell + WQE), charged to
+    /// the issuing process for every verb.
+    pub post_ns: u64,
+    /// One-way propagation of a minimum-size message.
+    pub one_way_ns: u64,
+    /// Serialization cost per KiB of payload (i.e. the inverse bandwidth).
+    pub ns_per_kib: u64,
+}
+
+impl LatencyModel {
+    /// ConnectX-4 @ 25 Gbps — the paper's testbed NIC. A small RDMA read
+    /// (request + response) takes `2 * (850 + ~0)` ≈ 1.7 µs; 32 KiB of
+    /// payload adds ~10.5 µs of streaming time.
+    pub const fn connectx4() -> Self {
+        LatencyModel {
+            post_ns: 150,
+            one_way_ns: 850,
+            ns_per_kib: 328, // 25 Gbps ≈ 0.32 ns per byte
+        }
+    }
+
+    /// Zero latency: useful for unit tests that only check protocol logic.
+    pub const fn zero() -> Self {
+        LatencyModel {
+            post_ns: 0,
+            one_way_ns: 0,
+            ns_per_kib: 0,
+        }
+    }
+
+    /// One-way latency for a payload of `bytes`.
+    pub const fn one_way(&self, bytes: usize) -> u64 {
+        self.one_way_ns + (bytes as u64 * self.ns_per_kib) / 1024
+    }
+
+    /// Full round-trip latency for a signaled verb that carries `req_bytes`
+    /// to the target and `resp_bytes` back.
+    pub const fn round_trip(&self, req_bytes: usize, resp_bytes: usize) -> u64 {
+        self.one_way(req_bytes) + self.one_way(resp_bytes)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::connectx4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_is_free() {
+        let m = LatencyModel::zero();
+        assert_eq!(m.one_way(1_000_000), 0);
+        assert_eq!(m.round_trip(64, 64), 0);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_payload() {
+        let m = LatencyModel::connectx4();
+        let small = m.one_way(8);
+        let bulk = m.one_way(32 * 1024);
+        assert_eq!(small, 850 + 8 * 328 / 1024);
+        assert_eq!(bulk, 850 + 32 * 328);
+        assert!(bulk > 10 * small);
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_one_ways() {
+        let m = LatencyModel::connectx4();
+        assert_eq!(m.round_trip(8, 1024), m.one_way(8) + m.one_way(1024));
+    }
+}

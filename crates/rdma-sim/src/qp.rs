@@ -1,0 +1,500 @@
+//! Reliable-connection queue pairs and the one-sided verbs.
+
+use crate::error::{RdmaError, RdmaResult};
+use crate::fabric::{Addr, Message, Node, NodeId};
+use std::fmt;
+use std::sync::atomic::Ordering;
+
+/// A reliable-connection (RC) queue pair from a local node to a remote
+/// node — in-order, reliable delivery, the transport mode Heron uses
+/// (paper §II-C).
+///
+/// All verbs must be called from a simulated process: they charge the
+/// issuing process the modeled fabric latency.
+#[derive(Clone)]
+pub struct QueuePair {
+    local: Node,
+    remote: Node,
+}
+
+impl fmt::Debug for QueuePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueuePair")
+            .field("local", &self.local.id())
+            .field("remote", &self.remote.id())
+            .finish()
+    }
+}
+
+impl QueuePair {
+    pub(crate) fn new(local: Node, remote: Node) -> Self {
+        QueuePair { local, remote }
+    }
+
+    /// The local endpoint's id.
+    pub fn local_id(&self) -> NodeId {
+        self.local.id()
+    }
+
+    /// The remote endpoint's id.
+    pub fn remote_id(&self) -> NodeId {
+        self.remote.id()
+    }
+
+    fn check_local_alive(&self) -> RdmaResult<()> {
+        if !self.local.is_alive() {
+            return Err(RdmaError::LocalFailure);
+        }
+        Ok(())
+    }
+
+    /// Sleeps until the op reaches the remote node, respecting RC in-order
+    /// delivery and link serialization on this (src, dst) link, and
+    /// returns at the arrival instant.
+    fn sleep_until_arrival(&self, payload_bytes: usize) {
+        let now = sim::now().as_nanos();
+        let arrival =
+            self.local
+                .fabric
+                .fifo_arrival(self.local.id(), self.remote.id(), now, payload_bytes);
+        sim::sleep_ns(arrival - now);
+    }
+
+    /// One-sided RDMA read of `len` bytes at `addr` in the remote node's
+    /// memory. The remote CPU is not involved.
+    ///
+    /// Cost: post + one-way request + one-way response carrying `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::RemoteFailure`] if the remote node is crashed (the
+    /// paper's "RDMA exception"); [`RdmaError::OutOfBounds`] for a bad
+    /// range; [`RdmaError::LocalFailure`] if this node is crashed.
+    pub fn read(&self, addr: Addr, len: usize) -> RdmaResult<Vec<u8>> {
+        self.check_local_alive()?;
+        let lat = self.local.fabric.latency;
+        sim::sleep_ns(lat.post_ns);
+        self.sleep_until_arrival(8);
+        if !self.remote.is_alive() {
+            return Err(RdmaError::RemoteFailure);
+        }
+        // Snapshot at arrival time: per-word atomicity holds because all
+        // memory mutations happen at single virtual instants.
+        let data = self.remote.local_read(addr, len)?;
+        sim::sleep_ns(lat.one_way(len));
+        let stats = &self.local.fabric.stats;
+        stats.reads.fetch_add(1, Ordering::Relaxed);
+        stats.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// One-sided read of a single 8-byte word.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueuePair::read`], plus [`RdmaError::Misaligned`].
+    pub fn read_word(&self, addr: Addr) -> RdmaResult<u64> {
+        if !addr.is_word_aligned() {
+            return Err(RdmaError::Misaligned);
+        }
+        let bytes = self.read(addr, 8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte read")))
+    }
+
+    /// One-sided read of `n` consecutive words.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueuePair::read`], plus [`RdmaError::Misaligned`].
+    pub fn read_words(&self, addr: Addr, n: usize) -> RdmaResult<Vec<u64>> {
+        if !addr.is_word_aligned() {
+            return Err(RdmaError::Misaligned);
+        }
+        let bytes = self.read(addr, n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+
+    /// Signaled one-sided RDMA write: returns once the completion arrives,
+    /// i.e. after a full round trip. The payload is visible in remote memory
+    /// from the one-way point.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::RemoteFailure`], [`RdmaError::OutOfBounds`],
+    /// [`RdmaError::LocalFailure`].
+    pub fn write(&self, addr: Addr, data: &[u8]) -> RdmaResult<()> {
+        self.check_local_alive()?;
+        let lat = self.local.fabric.latency;
+        sim::sleep_ns(lat.post_ns);
+        self.sleep_until_arrival(data.len());
+        if !self.remote.is_alive() {
+            return Err(RdmaError::RemoteFailure);
+        }
+        self.remote.local_write(addr, data)?;
+        sim::sleep_ns(lat.one_way(8));
+        let stats = &self.local.fabric.stats;
+        stats.writes.fetch_add(1, Ordering::Relaxed);
+        stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Signaled write of one 8-byte word.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueuePair::write`], plus [`RdmaError::Misaligned`].
+    pub fn write_word(&self, addr: Addr, value: u64) -> RdmaResult<()> {
+        if !addr.is_word_aligned() {
+            return Err(RdmaError::Misaligned);
+        }
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Unsignaled (fire-and-forget) one-sided write. The issuing process is
+    /// only charged the posting cost; the payload lands in remote memory one
+    /// one-way latency later (and wakes pollers of that node's memory).
+    ///
+    /// If the remote node is crashed at arrival time the write is silently
+    /// dropped — matching unsignaled verb semantics, where no completion is
+    /// ever reported.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::LocalFailure`] if this node is crashed.
+    pub fn post_write(&self, addr: Addr, data: Vec<u8>) -> RdmaResult<()> {
+        self.check_local_alive()?;
+        let lat = self.local.fabric.latency;
+        sim::sleep_ns(lat.post_ns);
+        let now = sim::now().as_nanos();
+        let delay = self
+            .local
+            .fabric
+            .fifo_arrival(self.local.id(), self.remote.id(), now, data.len())
+            - now;
+        let remote = self.remote.clone();
+        let stats_bytes = data.len() as u64;
+        {
+            let stats = &self.local.fabric.stats;
+            stats.posted_writes.fetch_add(1, Ordering::Relaxed);
+            stats.bytes_written.fetch_add(stats_bytes, Ordering::Relaxed);
+        }
+        sim::schedule_ns(delay, move || {
+            if remote.is_alive() {
+                // Ignore landing errors: an unsignaled write has no
+                // completion to report them through.
+                let _ = remote.local_write(addr, &data);
+            }
+        });
+        Ok(())
+    }
+
+    /// Unsignaled write of one 8-byte word. See [`QueuePair::post_write`].
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::Misaligned`] or [`RdmaError::LocalFailure`].
+    pub fn post_write_word(&self, addr: Addr, value: u64) -> RdmaResult<()> {
+        if !addr.is_word_aligned() {
+            return Err(RdmaError::Misaligned);
+        }
+        self.post_write(addr, value.to_le_bytes().to_vec())
+    }
+
+    /// Atomic compare-and-swap on an 8-byte word of remote memory. Returns
+    /// the previous value (the swap happened iff it equals `expected`).
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::RemoteFailure`], [`RdmaError::OutOfBounds`],
+    /// [`RdmaError::Misaligned`], [`RdmaError::LocalFailure`].
+    pub fn compare_and_swap(&self, addr: Addr, expected: u64, new: u64) -> RdmaResult<u64> {
+        if !addr.is_word_aligned() {
+            return Err(RdmaError::Misaligned);
+        }
+        self.check_local_alive()?;
+        let lat = self.local.fabric.latency;
+        sim::sleep_ns(lat.post_ns);
+        self.sleep_until_arrival(16);
+        if !self.remote.is_alive() {
+            return Err(RdmaError::RemoteFailure);
+        }
+        let old = {
+            let mut mem = self.remote.inner.mem.lock();
+            self.remote.inner.check_range(&mem, addr, 8)?;
+            let start = addr.0 as usize;
+            let old = u64::from_le_bytes(
+                mem.bytes[start..start + 8].try_into().expect("8 bytes"),
+            );
+            if old == expected {
+                mem.bytes[start..start + 8].copy_from_slice(&new.to_le_bytes());
+            }
+            old
+        };
+        if old == expected {
+            self.remote.inner.mem_cond.notify_all();
+        }
+        sim::sleep_ns(lat.one_way(8));
+        self.local.fabric.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
+        Ok(old)
+    }
+
+    /// Two-sided send. The payload arrives in the remote node's receive
+    /// queue after one one-way latency; the remote CPU must [`Node::recv`]
+    /// it. Dropped silently if the remote is crashed at arrival.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::LocalFailure`] if this node is crashed.
+    pub fn send(&self, payload: Vec<u8>) -> RdmaResult<()> {
+        self.check_local_alive()?;
+        let lat = self.local.fabric.latency;
+        sim::sleep_ns(lat.post_ns);
+        let now = sim::now().as_nanos();
+        let delay = self
+            .local
+            .fabric
+            .fifo_arrival(self.local.id(), self.remote.id(), now, payload.len())
+            - now;
+        let remote = self.remote.clone();
+        let from = self.local.id();
+        self.local.fabric.stats.sends.fetch_add(1, Ordering::Relaxed);
+        sim::schedule_ns(delay, move || {
+            if remote.is_alive() {
+                remote.inner.inbox.send(Message { from, payload });
+            }
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Fabric, LatencyModel, RdmaError};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn two_nodes() -> (sim::Simulation, Fabric, crate::Node, crate::Node) {
+        let simulation = sim::Simulation::new(99);
+        let fabric = Fabric::new(LatencyModel::connectx4());
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        (simulation, fabric, a, b)
+    }
+
+    #[test]
+    fn read_write_round_trip_with_latency() {
+        let (simulation, _fabric, a, b) = two_nodes();
+        let addr = b.alloc_bytes(16);
+        simulation.spawn("a", move || {
+            let qp = a.connect(&b);
+            let t0 = sim::now();
+            qp.write(addr, b"0123456789abcdef").unwrap();
+            let wrote = sim::now() - t0;
+            let lat = LatencyModel::connectx4();
+            // post + one_way(16B payload) + one_way(8B ack)
+            assert_eq!(
+                wrote.as_nanos() as u64,
+                lat.post_ns + lat.one_way(16) + lat.one_way(8)
+            );
+            let data = qp.read(addr, 16).unwrap();
+            assert_eq!(&data, b"0123456789abcdef");
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn post_write_lands_after_one_way_and_wakes_pollers() {
+        let (simulation, _fabric, a, b) = two_nodes();
+        let addr = b.alloc_words(1);
+        let b_poll = b.clone();
+        let seen_at = Arc::new(AtomicU64::new(0));
+        let seen = seen_at.clone();
+        simulation.spawn("poller", move || {
+            b_poll.poll_until(|| b_poll.local_read_word(addr).unwrap() == 7);
+            seen.store(sim::now().as_nanos(), Ordering::SeqCst);
+        });
+        simulation.spawn("writer", move || {
+            let qp = a.connect(&b);
+            let t0 = sim::now();
+            qp.post_write_word(addr, 7).unwrap();
+            // Posting is cheap; landing happens asynchronously.
+            assert_eq!((sim::now() - t0).as_nanos(), 150);
+        });
+        simulation.run().unwrap();
+        assert_eq!(seen_at.load(Ordering::SeqCst), 150 + 850 + 8 * 328 / 1024);
+    }
+
+    #[test]
+    fn read_from_crashed_node_raises_rdma_exception() {
+        let (simulation, fabric, a, b) = two_nodes();
+        let addr = b.alloc_words(1);
+        let b_id = b.id();
+        simulation.spawn("a", move || {
+            let qp = a.connect(&b);
+            fabric.crash(b_id);
+            assert_eq!(qp.read(addr, 8).unwrap_err(), RdmaError::RemoteFailure);
+            assert_eq!(qp.write_word(addr, 1).unwrap_err(), RdmaError::RemoteFailure);
+            fabric.recover(b_id);
+            assert!(qp.read(addr, 8).is_ok());
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn post_write_to_crashed_node_is_dropped() {
+        let (simulation, fabric, a, b) = two_nodes();
+        let addr = b.alloc_words(1);
+        let b2 = b.clone();
+        let b_id = b.id();
+        simulation.spawn("a", move || {
+            let qp = a.connect(&b);
+            fabric.crash(b_id);
+            qp.post_write_word(addr, 9).unwrap();
+            sim::sleep(std::time::Duration::from_micros(100));
+            fabric.recover(b_id);
+            assert_eq!(b2.local_read_word(addr).unwrap(), 0);
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn compare_and_swap_is_atomic_and_returns_old() {
+        let (simulation, _fabric, a, b) = two_nodes();
+        let addr = b.alloc_words(1);
+        simulation.spawn("a", move || {
+            let qp = a.connect(&b);
+            assert_eq!(qp.compare_and_swap(addr, 0, 5).unwrap(), 0);
+            assert_eq!(b.local_read_word(addr).unwrap(), 5);
+            // Mismatched expectation: no swap, returns current value.
+            assert_eq!(qp.compare_and_swap(addr, 0, 9).unwrap(), 5);
+            assert_eq!(b.local_read_word(addr).unwrap(), 5);
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn two_sided_send_recv() {
+        let (simulation, _fabric, a, b) = two_nodes();
+        let a_id = a.id();
+        let b_recv = b.clone();
+        simulation.spawn("receiver", move || {
+            let msg = b_recv.recv();
+            assert_eq!(msg.from, a_id);
+            assert_eq!(msg.payload, b"ping".to_vec());
+        });
+        simulation.spawn("sender", move || {
+            let qp = a.connect(&b);
+            qp.send(b"ping".to_vec()).unwrap();
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_serialize_per_word() {
+        // Two nodes posting to distinct words of a third node: both land.
+        let simulation = sim::Simulation::new(5);
+        let fabric = Fabric::new(LatencyModel::connectx4());
+        let target = fabric.add_node("t");
+        let addr = target.alloc_words(2);
+        for (i, val) in [(0u64, 11u64), (1, 22)] {
+            let w = fabric.add_node(format!("w{i}"));
+            let t = target.clone();
+            simulation.spawn(format!("w{i}"), move || {
+                let qp = w.connect(&t);
+                qp.write_word(addr.offset(i * 8), val).unwrap();
+            });
+        }
+        simulation.run().unwrap();
+        assert_eq!(target.local_read_word(addr).unwrap(), 11);
+        assert_eq!(target.local_read_word(addr.offset(8)).unwrap(), 22);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let (simulation, fabric, a, b) = two_nodes();
+        let addr = b.alloc_words(4);
+        simulation.spawn("a", move || {
+            let qp = a.connect(&b);
+            qp.write_word(addr, 1).unwrap();
+            qp.post_write_word(addr.offset(8), 2).unwrap();
+            let _ = qp.read(addr, 32).unwrap();
+            qp.send(vec![1, 2, 3]).unwrap();
+        });
+        simulation.run().unwrap();
+        let s = fabric.stats();
+        assert_eq!(s.reads.load(Ordering::Relaxed), 1);
+        assert_eq!(s.writes.load(Ordering::Relaxed), 1);
+        assert_eq!(s.posted_writes.load(Ordering::Relaxed), 1);
+        assert_eq!(s.sends.load(Ordering::Relaxed), 1);
+        assert_eq!(s.bytes_read.load(Ordering::Relaxed), 32);
+        assert_eq!(s.bytes_written.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn bulk_posts_serialize_on_the_link() {
+        // Two back-to-back 32 KiB unsignaled writes must not overlap on
+        // the wire: the second lands one full serialization time after the
+        // first (store-and-forward), which is what paces state-transfer
+        // streaming.
+        let (simulation, _fabric, a, b) = two_nodes();
+        let addr = b.alloc_bytes(2 * 32 * 1024);
+        let b2 = b.clone();
+        simulation.spawn("writer", move || {
+            let qp = a.connect(&b);
+            let lat = LatencyModel::connectx4();
+            let t0 = sim::now().as_nanos();
+            qp.post_write(addr, vec![1u8; 32 * 1024]).unwrap();
+            qp.post_write(addr.offset(32 * 1024), vec![2u8; 32 * 1024]).unwrap();
+            // Wait for both to land.
+            b2.poll_until(|| {
+                b2.local_read(addr.offset(2 * 32 * 1024 - 1), 1).unwrap()[0] == 2
+            });
+            let elapsed = sim::now().as_nanos() - t0;
+            let ser = 32 * lat.ns_per_kib;
+            // First post's doorbell, then both serializations back to
+            // back (the second was posted during the first's
+            // transmission), then propagation.
+            assert_eq!(elapsed, lat.post_ns + 2 * ser + lat.one_way_ns);
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn recovery_bumps_incarnation() {
+        let (simulation, fabric, _a, b) = two_nodes();
+        let b_id = b.id();
+        simulation.spawn("p", move || {
+            assert_eq!(b.incarnation(), 0);
+            fabric.crash(b_id);
+            assert_eq!(b.incarnation(), 0);
+            fabric.recover(b_id);
+            assert_eq!(b.incarnation(), 1);
+            fabric.crash(b_id);
+            fabric.recover(b_id);
+            assert_eq!(b.incarnation(), 2);
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn local_node_crash_fails_local_verbs() {
+        let (simulation, fabric, a, b) = two_nodes();
+        let addr = b.alloc_words(1);
+        let a_id = a.id();
+        simulation.spawn("a", move || {
+            let qp = a.connect(&b);
+            fabric.crash(a_id);
+            assert_eq!(qp.read(addr, 8).unwrap_err(), RdmaError::LocalFailure);
+            assert_eq!(
+                qp.post_write_word(addr, 3).unwrap_err(),
+                RdmaError::LocalFailure
+            );
+        });
+        simulation.run().unwrap();
+    }
+}

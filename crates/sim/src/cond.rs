@@ -1,0 +1,249 @@
+//! Futex-like condition for simulated processes.
+
+use crate::kernel::{with_ctx, Kernel, Pid};
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The result of a wait with a deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WaitOutcome {
+    /// Woken (by a notify or spuriously) before the deadline.
+    Woken,
+    /// The deadline passed.
+    TimedOut,
+}
+
+/// A condition that simulated processes can block on.
+///
+/// `Cond` is the simulation's stand-in for polling RDMA-visible memory: a
+/// process that would busy-poll a memory word instead blocks on the `Cond`
+/// attached to that memory region and is woken when a (simulated) remote
+/// write lands.
+///
+/// Semantics mirror a condition variable: waits can wake spuriously, so
+/// callers must re-check their predicate — or use [`Cond::wait_while`].
+/// Because simulated execution is serialized, the check-then-wait sequence
+/// is atomic and wakeups cannot be lost.
+#[derive(Clone, Default)]
+pub struct Cond {
+    waiters: Arc<Mutex<Vec<Waiter>>>,
+}
+
+struct Waiter {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+    token: u64,
+}
+
+impl fmt::Debug for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cond")
+            .field("waiters", &self.waiters.lock().len())
+            .finish()
+    }
+}
+
+impl Cond {
+    /// Creates a condition with no waiters. Usable from any thread.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks the calling process until notified (or spuriously woken).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from outside a simulated process.
+    pub fn wait(&self) {
+        with_ctx(|kernel, pid| {
+            let token = kernel.begin_block(pid);
+            self.waiters.lock().push(Waiter {
+                kernel: Arc::clone(kernel),
+                pid,
+                token,
+            });
+            kernel.yield_and_park(pid);
+        });
+    }
+
+    /// Blocks until notified or until the virtual deadline passes.
+    pub(crate) fn wait_deadline(&self, deadline: SimTime) -> WaitOutcome {
+        with_ctx(|kernel, pid| {
+            if SimTime::from_nanos(kernel.now_nanos()) >= deadline {
+                return WaitOutcome::TimedOut;
+            }
+            let token = kernel.begin_block(pid);
+            self.waiters.lock().push(Waiter {
+                kernel: Arc::clone(kernel),
+                pid,
+                token,
+            });
+            kernel.enqueue_wake_at(deadline.as_nanos(), pid, token);
+            kernel.yield_and_park(pid);
+            if kernel.now_nanos() >= deadline.as_nanos() {
+                WaitOutcome::TimedOut
+            } else {
+                WaitOutcome::Woken
+            }
+        })
+    }
+
+    /// Blocks until `pred()` returns `false`.
+    ///
+    /// The predicate is checked before the first wait and after every
+    /// wakeup.
+    pub fn wait_while(&self, mut pred: impl FnMut() -> bool) {
+        while pred() {
+            self.wait();
+        }
+    }
+
+    /// Blocks until `pred()` returns `false` or `timeout` of virtual time
+    /// elapses. Returns `true` if the predicate turned false (success) and
+    /// `false` on timeout.
+    pub fn wait_while_timeout(&self, mut pred: impl FnMut() -> bool, timeout: Duration) -> bool {
+        let deadline = crate::now() + timeout;
+        loop {
+            if !pred() {
+                return true;
+            }
+            if self.wait_deadline(deadline) == WaitOutcome::TimedOut {
+                return !pred();
+            }
+        }
+    }
+
+    /// Wakes every currently-blocked waiter (at the current virtual time).
+    ///
+    /// Callable from process context *or* event context (timer closures).
+    pub fn notify_all(&self) {
+        let drained: Vec<Waiter> = {
+            let mut w = self.waiters.lock();
+            std::mem::take(&mut *w)
+        };
+        for waiter in drained {
+            waiter.kernel.wake(waiter.pid, waiter.token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{now, sleep, Cond, SimTime, Simulation};
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn notify_wakes_waiter_at_notify_time() {
+        let sim = Simulation::new(1);
+        let cond = Cond::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        let (c1, f1) = (cond.clone(), flag.clone());
+        sim.spawn("waiter", move || {
+            c1.wait_while(|| !f1.load(Ordering::SeqCst));
+            assert_eq!(now().as_nanos(), 300);
+        });
+        sim.spawn("notifier", move || {
+            sleep(Duration::from_nanos(300));
+            flag.store(true, Ordering::SeqCst);
+            cond.notify_all();
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn wait_while_timeout_times_out() {
+        let sim = Simulation::new(1);
+        let outcome = Arc::new(Mutex::new(None));
+        let o = outcome.clone();
+        sim.spawn("waiter", move || {
+            let cond = Cond::new();
+            let ok = cond.wait_while_timeout(|| true, Duration::from_nanos(500));
+            *o.lock() = Some((ok, now().as_nanos()));
+        });
+        sim.run().unwrap();
+        assert_eq!(*outcome.lock(), Some((false, 500)));
+    }
+
+    #[test]
+    fn wait_while_timeout_succeeds_before_deadline() {
+        let sim = Simulation::new(1);
+        let cond = Cond::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        let (c1, f1) = (cond.clone(), flag.clone());
+        let result = Arc::new(Mutex::new(None));
+        let r = result.clone();
+        sim.spawn("waiter", move || {
+            let ok = c1.wait_while_timeout(|| !f1.load(Ordering::SeqCst), Duration::from_micros(10));
+            *r.lock() = Some((ok, now().as_nanos()));
+        });
+        sim.spawn("notifier", move || {
+            sleep(Duration::from_nanos(100));
+            flag.store(true, Ordering::SeqCst);
+            cond.notify_all();
+        });
+        sim.run().unwrap();
+        assert_eq!(*result.lock(), Some((true, 100)));
+    }
+
+    #[test]
+    fn notify_from_event_context() {
+        let sim = Simulation::new(1);
+        let cond = Cond::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        let (c1, f1) = (cond.clone(), flag.clone());
+        sim.spawn("waiter", move || {
+            c1.wait_while(|| !f1.load(Ordering::SeqCst));
+            assert_eq!(now().as_nanos(), 250);
+        });
+        sim.spawn("scheduler-user", move || {
+            let c = cond.clone();
+            let f = flag.clone();
+            crate::schedule(Duration::from_nanos(250), move || {
+                f.store(true, Ordering::SeqCst);
+                c.notify_all();
+            });
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn notify_wakes_all_waiters() {
+        let sim = Simulation::new(1);
+        let cond = Cond::new();
+        let flag = Arc::new(AtomicBool::new(false));
+        let woken = Arc::new(AtomicU64::new(0));
+        for i in 0..4 {
+            let (c, f, w) = (cond.clone(), flag.clone(), woken.clone());
+            sim.spawn(format!("w{i}"), move || {
+                c.wait_while(|| !f.load(Ordering::SeqCst));
+                w.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        sim.spawn("notifier", move || {
+            sleep(Duration::from_nanos(10));
+            flag.store(true, Ordering::SeqCst);
+            cond.notify_all();
+        });
+        sim.run().unwrap();
+        assert_eq!(woken.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn wait_deadline_already_passed_returns_timeout_immediately() {
+        let sim = Simulation::new(1);
+        sim.spawn("p", || {
+            sleep(Duration::from_nanos(100));
+            let cond = Cond::new();
+            let ok = cond.wait_while_timeout(|| true, Duration::ZERO);
+            assert!(!ok);
+            assert_eq!(now(), SimTime::from_nanos(100)); // no time passed
+        });
+        sim.run().unwrap();
+    }
+}

@@ -1,0 +1,30 @@
+//! Simulation errors.
+
+use std::fmt;
+
+/// Result alias for simulation operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors surfaced by [`crate::Simulation::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The run queue drained while processes were still blocked: nothing can
+    /// ever wake them. Carries the names of the blocked processes.
+    Deadlock {
+        /// Names of the processes that are blocked forever.
+        blocked: Vec<String>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlock; blocked processes: {blocked:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

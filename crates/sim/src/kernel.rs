@@ -1,0 +1,530 @@
+//! The simulation kernel: virtual clock, deterministic scheduler, and the
+//! cooperative handshake that ensures exactly one simulated process runs at
+//! a time.
+
+use crate::error::{SimError, SimResult};
+use crate::time::SimTime;
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub(crate) u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid#{}", self.0)
+    }
+}
+
+/// Panic payload used to unwind a killed process. Never observed by user
+/// code.
+pub(crate) struct KilledToken;
+
+enum Wake {
+    Proc { pid: Pid, token: u64 },
+    Timer(Box<dyn FnOnce() + Send>),
+}
+
+struct Entry {
+    time: u64,
+    seq: u64,
+    wake: Wake,
+}
+
+// Min-heap ordering on (time, seq).
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed so that BinaryHeap (a max-heap) pops the smallest.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct Parker {
+    lock: Mutex<bool>, // "run" flag
+    cv: Condvar,
+}
+
+impl Parker {
+    fn new() -> Arc<Self> {
+        Arc::new(Parker {
+            lock: Mutex::new(false),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn unpark(&self) {
+        let mut run = self.lock.lock();
+        *run = true;
+        self.cv.notify_one();
+    }
+
+    fn park(&self) {
+        let mut run = self.lock.lock();
+        while !*run {
+            self.cv.wait(&mut run);
+        }
+        *run = false;
+    }
+}
+
+struct ProcInfo {
+    name: String,
+    parker: Arc<Parker>,
+    /// Incremented on every block; wake entries carry the token they were
+    /// issued for, so stale wakes are filtered out.
+    token: u64,
+    parked: bool,
+    killed: bool,
+    finished: bool,
+    rng: Option<SmallRng>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+struct KState {
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Entry>,
+    procs: Vec<ProcInfo>,
+    /// The process currently executing user code, if any.
+    running: Option<Pid>,
+    stop: bool,
+    panic: Option<String>,
+    unfinished: usize,
+}
+
+pub(crate) struct Kernel {
+    state: Mutex<KState>,
+    sched_cv: Condvar,
+    seed: u64,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Kernel>, Pid)>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the calling process's kernel and pid.
+///
+/// # Panics
+///
+/// Panics when the current thread is not a simulated process.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Kernel>, Pid) -> R) -> R {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        let (kernel, pid) = borrow
+            .as_ref()
+            .expect("sim API called outside a simulated process");
+        f(kernel, *pid)
+    })
+}
+
+fn install_kill_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<KilledToken>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+impl Kernel {
+    fn new(seed: u64) -> Arc<Self> {
+        Arc::new(Kernel {
+            state: Mutex::new(KState {
+                now: 0,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                procs: Vec::new(),
+                running: None,
+                stop: false,
+                panic: None,
+                unfinished: 0,
+            }),
+            sched_cv: Condvar::new(),
+            seed,
+        })
+    }
+
+    pub(crate) fn now_nanos(&self) -> u64 {
+        self.state.lock().now
+    }
+
+    fn push_entry(st: &mut KState, time: u64, wake: Wake) {
+        let seq = st.seq;
+        st.seq += 1;
+        st.heap.push(Entry { time, seq, wake });
+    }
+
+    pub(crate) fn schedule(&self, delay: u64, f: impl FnOnce() + Send + 'static) {
+        let mut st = self.state.lock();
+        let at = st.now.saturating_add(delay);
+        Self::push_entry(&mut st, at, Wake::Timer(Box::new(f)));
+    }
+
+    pub(crate) fn spawn(
+        self: &Arc<Self>,
+        name: String,
+        f: impl FnOnce() + Send + 'static,
+    ) -> Pid {
+        let mut st = self.state.lock();
+        let pid = Pid(st.procs.len() as u32);
+        let parker = Parker::new();
+        let rng = SmallRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(u64::from(pid.0)),
+        );
+        let kernel = Arc::clone(self);
+        let thread_parker = Arc::clone(&parker);
+        let thread_name = format!("sim-{}-{}", pid.0, name);
+        let join = std::thread::Builder::new()
+            .name(thread_name)
+            .stack_size(1 << 20)
+            .spawn(move || {
+                // Wait to be scheduled for the first time.
+                thread_parker.park();
+                {
+                    let st = kernel.state.lock();
+                    if st.procs[pid.0 as usize].killed {
+                        drop(st);
+                        kernel.finish(pid, None);
+                        return;
+                    }
+                }
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&kernel), pid)));
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                let panic_msg = match result {
+                    Ok(()) => None,
+                    Err(payload) => {
+                        if payload.downcast_ref::<KilledToken>().is_some() {
+                            None
+                        } else if let Some(s) = payload.downcast_ref::<&str>() {
+                            Some((*s).to_string())
+                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                            Some(s.clone())
+                        } else {
+                            Some("process panicked".to_string())
+                        }
+                    }
+                };
+                kernel.finish(pid, panic_msg);
+            })
+            .expect("failed to spawn simulated process thread");
+        st.procs.push(ProcInfo {
+            name,
+            parker,
+            token: 0,
+            parked: true,
+            killed: false,
+            finished: false,
+            rng: Some(rng),
+            join: Some(join),
+        });
+        st.unfinished += 1;
+        let now = st.now;
+        Self::push_entry(&mut st, now, Wake::Proc { pid, token: 0 });
+        pid
+    }
+
+    /// Marks a process finished and hands control back to the scheduler.
+    fn finish(&self, pid: Pid, panic_msg: Option<String>) {
+        let mut st = self.state.lock();
+        let p = &mut st.procs[pid.0 as usize];
+        p.finished = true;
+        p.parked = false;
+        st.unfinished -= 1;
+        if let Some(msg) = panic_msg {
+            let name = st.procs[pid.0 as usize].name.clone();
+            st.panic = Some(format!("process '{name}' panicked: {msg}"));
+        }
+        if st.running == Some(pid) {
+            st.running = None;
+            self.sched_cv.notify_one();
+        }
+    }
+
+    /// First half of blocking: bump the wake token and mark the process
+    /// parked. The caller must then register wake sources and call
+    /// [`Kernel::yield_and_park`].
+    pub(crate) fn begin_block(&self, pid: Pid) -> u64 {
+        let mut st = self.state.lock();
+        let p = &mut st.procs[pid.0 as usize];
+        p.token += 1;
+        p.parked = true;
+        p.token
+    }
+
+    /// Registers a timed wake-up (used by sleeps and waits with deadlines).
+    pub(crate) fn enqueue_wake_at(&self, at: u64, pid: Pid, token: u64) {
+        let mut st = self.state.lock();
+        Self::push_entry(&mut st, at, Wake::Proc { pid, token });
+    }
+
+    /// Second half of blocking: yield to the scheduler and park until woken.
+    ///
+    /// # Panics
+    ///
+    /// Unwinds with [`KilledToken`] if the process was killed while parked.
+    pub(crate) fn yield_and_park(&self, pid: Pid) {
+        let parker = {
+            let mut st = self.state.lock();
+            debug_assert_eq!(st.running, Some(pid), "blocking from a non-running process");
+            st.running = None;
+            self.sched_cv.notify_one();
+            Arc::clone(&st.procs[pid.0 as usize].parker)
+        };
+        parker.park();
+        let killed = self.state.lock().procs[pid.0 as usize].killed;
+        if killed {
+            std::panic::panic_any(KilledToken);
+        }
+    }
+
+    pub(crate) fn sleep(&self, pid: Pid, nanos: u64) {
+        let token = self.begin_block(pid);
+        let at = self.state.lock().now.saturating_add(nanos);
+        self.enqueue_wake_at(at, pid, token);
+        self.yield_and_park(pid);
+    }
+
+    /// Wakes a parked process if `token` still matches its current block.
+    pub(crate) fn wake(&self, pid: Pid, token: u64) {
+        let mut st = self.state.lock();
+        let now = st.now;
+        let p = &st.procs[pid.0 as usize];
+        if !p.finished && p.parked && p.token == token {
+            Self::push_entry(&mut st, now, Wake::Proc { pid, token });
+        }
+    }
+
+    pub(crate) fn kill(&self, pid: Pid) {
+        let mut st = self.state.lock();
+        let now = st.now;
+        let p = &mut st.procs[pid.0 as usize];
+        if p.finished || p.killed {
+            return;
+        }
+        p.killed = true;
+        if p.parked {
+            let token = p.token;
+            Self::push_entry(&mut st, now, Wake::Proc { pid, token });
+        }
+    }
+
+    pub(crate) fn is_finished(&self, pid: Pid) -> bool {
+        self.state.lock().procs[pid.0 as usize].finished
+    }
+
+    pub(crate) fn stop(&self) {
+        self.state.lock().stop = true;
+    }
+
+    pub(crate) fn proc_name(&self, pid: Pid) -> String {
+        self.state.lock().procs[pid.0 as usize].name.clone()
+    }
+
+    pub(crate) fn with_rng<R>(&self, pid: Pid, f: impl FnOnce(&mut SmallRng) -> R) -> R {
+        let mut rng = {
+            let mut st = self.state.lock();
+            st.procs[pid.0 as usize]
+                .rng
+                .take()
+                .expect("process RNG already borrowed")
+        };
+        let out = f(&mut rng);
+        self.state.lock().procs[pid.0 as usize].rng = Some(rng);
+        out
+    }
+
+    /// Runs the event loop. `deadline` bounds virtual time (inclusive);
+    /// `strict` turns an empty run queue with still-blocked processes into a
+    /// [`SimError::Deadlock`].
+    fn run_loop(&self, deadline: Option<u64>, strict: bool) -> SimResult<()> {
+        loop {
+            let action = {
+                let mut st = self.state.lock();
+                if let Some(msg) = st.panic.take() {
+                    drop(st);
+                    panic!("{msg}");
+                }
+                if st.stop {
+                    return Ok(());
+                }
+                match st.heap.peek() {
+                    None => {
+                        if strict && st.unfinished > 0 {
+                            let blocked = st
+                                .procs
+                                .iter()
+                                .filter(|p| !p.finished)
+                                .map(|p| p.name.clone())
+                                .collect();
+                            return Err(SimError::Deadlock { blocked });
+                        }
+                        if let Some(d) = deadline {
+                            st.now = st.now.max(d);
+                        }
+                        return Ok(());
+                    }
+                    Some(top) => {
+                        if let Some(d) = deadline {
+                            if top.time > d {
+                                st.now = d;
+                                return Ok(());
+                            }
+                        }
+                    }
+                }
+                let entry = st.heap.pop().expect("peeked entry vanished");
+                st.now = st.now.max(entry.time);
+                match entry.wake {
+                    Wake::Timer(f) => Some(Err(f)),
+                    Wake::Proc { pid, token } => {
+                        let p = &mut st.procs[pid.0 as usize];
+                        if p.finished || !p.parked || p.token != token {
+                            None // stale wake
+                        } else {
+                            p.parked = false;
+                            st.running = Some(pid);
+                            Some(Ok(Arc::clone(&st.procs[pid.0 as usize].parker)))
+                        }
+                    }
+                }
+            };
+            match action {
+                None => continue,
+                Some(Err(timer)) => timer(),
+                Some(Ok(parker)) => {
+                    parker.unpark();
+                    let mut st = self.state.lock();
+                    while st.running.is_some() {
+                        self.sched_cv.wait(&mut st);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Create one, [`spawn`](Simulation::spawn) processes, then
+/// [`run`](Simulation::run) it to completion (or
+/// [`run_until`](Simulation::run_until) a virtual deadline). Dropping the
+/// simulation kills every remaining process and joins their threads.
+pub struct Simulation {
+    kernel: Arc<Kernel>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a new simulation whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        install_kill_quiet_hook();
+        Simulation {
+            kernel: Kernel::new(seed),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.kernel.now_nanos())
+    }
+
+    /// Spawns a simulated process, scheduled to start at the current virtual
+    /// time.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> Pid
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.kernel.spawn(name.into(), f)
+    }
+
+    /// Runs until every process finishes, [`crate::stop`] is called, or no
+    /// progress is possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the run queue drains while
+    /// processes are still blocked.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from a simulated process.
+    pub fn run(&self) -> SimResult<()> {
+        self.kernel.run_loop(None, true)
+    }
+
+    /// Runs until virtual time reaches `deadline` (events at exactly
+    /// `deadline` are processed). Processes blocked without timers are left
+    /// parked; this is not an error, because later calls may unblock them.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from a simulated process.
+    pub fn run_until(&self, deadline: SimTime) -> SimResult<()> {
+        self.kernel.run_loop(Some(deadline.as_nanos()), false)
+    }
+
+    /// Runs for `d` more virtual time from the current instant.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from a simulated process.
+    pub fn run_for(&self, d: std::time::Duration) -> SimResult<()> {
+        let deadline = self.now().as_nanos().saturating_add(d.as_nanos() as u64);
+        self.kernel.run_loop(Some(deadline), false)
+    }
+}
+
+impl Drop for Simulation {
+    fn drop(&mut self) {
+        let joins: Vec<_> = {
+            let mut st = self.kernel.state.lock();
+            st.stop = true;
+            let mut joins = Vec::new();
+            for p in st.procs.iter_mut() {
+                if !p.finished {
+                    p.killed = true;
+                    p.parker.unpark();
+                }
+                if let Some(j) = p.join.take() {
+                    joins.push(j);
+                }
+            }
+            joins
+        };
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Deterministic virtual-time discrete-event simulator for distributed
+//! protocols.
+//!
+//! This crate is the substrate on which the Heron reproduction runs. It
+//! replaces the paper's CloudLab cluster: every client and replica becomes a
+//! *simulated process* (an OS thread that is cooperatively scheduled so that
+//! **exactly one runs at a time**), and all latencies — RDMA verbs, network
+//! messages, request execution — are charged against a virtual clock in
+//! nanoseconds. A simulation run is a pure function of its configuration and
+//! seed, which makes protocol races, lagger scenarios and benchmark results
+//! reproducible.
+//!
+//! # Model
+//!
+//! * Virtual time only advances between events; running process code takes
+//!   zero virtual time unless it explicitly [`sleep`]s.
+//! * Because execution is serialized, a *check-then-block* sequence (e.g.
+//!   "queue is empty, so wait on the condition") is atomic: no other process
+//!   can run between the check and the block, so there are no lost wakeups.
+//! * [`Cond`] may still wake spuriously (like a condition variable); always
+//!   re-check the predicate, or use [`Cond::wait_while`].
+//!
+//! # Example
+//!
+//! ```
+//! use std::time::Duration;
+//! use sim::{Simulation, Mailbox};
+//!
+//! let sim = Simulation::new(42);
+//! let (tx, rx) = Mailbox::pair();
+//! sim.spawn("producer", move || {
+//!     sim::sleep(Duration::from_micros(5));
+//!     tx.send(123u32);
+//! });
+//! sim.spawn("consumer", move || {
+//!     let v = rx.recv();
+//!     assert_eq!(v, 123);
+//!     assert_eq!(sim::now().as_micros(), 5);
+//! });
+//! sim.run().unwrap();
+//! ```
+
+mod cond;
+mod error;
+mod kernel;
+mod mailbox;
+mod time;
+
+pub use cond::Cond;
+pub use error::{SimError, SimResult};
+pub use kernel::{Pid, Simulation};
+pub use mailbox::{Mailbox, MailboxReceiver, MailboxSender, RecvTimeoutError};
+pub use time::SimTime;
+
+use kernel::with_ctx;
+use rand::rngs::SmallRng;
+use std::time::Duration;
+
+/// Returns the current virtual time.
+///
+/// # Panics
+///
+/// Panics when called from outside a simulated process.
+pub fn now() -> SimTime {
+    with_ctx(|k, _| SimTime::from_nanos(k.now_nanos()))
+}
+
+/// Suspends the calling process for `d` of virtual time.
+///
+/// # Panics
+///
+/// Panics when called from outside a simulated process.
+pub fn sleep(d: Duration) {
+    with_ctx(|k, pid| k.sleep(pid, d.as_nanos() as u64));
+}
+
+/// Suspends the calling process for `nanos` nanoseconds of virtual time.
+pub fn sleep_ns(nanos: u64) {
+    with_ctx(|k, pid| k.sleep(pid, nanos));
+}
+
+/// Yields the processor: the process is rescheduled at the current virtual
+/// time, after every other event already scheduled for this instant.
+pub fn yield_now() {
+    sleep_ns(0);
+}
+
+/// Spawns a new simulated process from inside another process.
+///
+/// The child starts at the current virtual time. See [`Simulation::spawn`]
+/// for spawning before the simulation starts.
+pub fn spawn<F>(name: impl Into<String>, f: F) -> Pid
+where
+    F: FnOnce() + Send + 'static,
+{
+    let name = name.into();
+    with_ctx(move |k, _| k.spawn(name, f))
+}
+
+/// Schedules `f` to run on the scheduler after `delay` of virtual time.
+///
+/// The closure runs in *event context*: it takes zero virtual time and must
+/// not block (no [`sleep`], no [`Cond`] waits). It is the tool for modeling
+/// asynchronous completions, e.g. an RDMA write landing in remote memory.
+pub fn schedule<F>(delay: Duration, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    with_ctx(move |k, _| k.schedule(delay.as_nanos() as u64, f));
+}
+
+/// Schedules `f` to run on the scheduler after `nanos` virtual nanoseconds.
+///
+/// See [`schedule`].
+pub fn schedule_ns<F>(nanos: u64, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    with_ctx(move |k, _| k.schedule(nanos, f));
+}
+
+/// Kills a simulated process. Its thread unwinds the next time it would run.
+///
+/// Killing an already-finished process is a no-op.
+pub fn kill(pid: Pid) {
+    with_ctx(|k, _| k.kill(pid));
+}
+
+/// Returns `true` if the given process has finished (normally or by kill).
+pub fn is_finished(pid: Pid) -> bool {
+    with_ctx(|k, _| k.is_finished(pid))
+}
+
+/// Stops the whole simulation: [`Simulation::run`] returns after the current
+/// event completes.
+pub fn stop() {
+    with_ctx(|k, _| k.stop());
+}
+
+/// The [`Pid`] of the calling process.
+pub fn current_pid() -> Pid {
+    with_ctx(|_, pid| pid)
+}
+
+/// The name the calling process was spawned with.
+pub fn proc_name() -> String {
+    with_ctx(|k, pid| k.proc_name(pid))
+}
+
+/// Runs `f` with the calling process's deterministic random number
+/// generator (seeded from the simulation seed and the process id).
+pub fn with_rng<R>(f: impl FnOnce(&mut SmallRng) -> R) -> R {
+    with_ctx(|k, pid| k.with_rng(pid, f))
+}
+
+/// Convenience: a uniformly random `u64` from the process RNG.
+pub fn rand_u64() -> u64 {
+    use rand::RngCore;
+    with_rng(|r| r.next_u64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances_with_sleep() {
+        let sim = Simulation::new(1);
+        sim.spawn("p", || {
+            assert_eq!(now().as_nanos(), 0);
+            sleep(Duration::from_nanos(100));
+            assert_eq!(now().as_nanos(), 100);
+            sleep(Duration::from_micros(3));
+            assert_eq!(now().as_nanos(), 3100);
+        });
+        sim.run().unwrap();
+        assert_eq!(sim.now().as_nanos(), 3100);
+    }
+
+    #[test]
+    fn processes_interleave_by_virtual_time_not_spawn_order() {
+        let sim = Simulation::new(1);
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o1 = order.clone();
+        sim.spawn("late", move || {
+            sleep(Duration::from_nanos(50));
+            o1.lock().push("late");
+        });
+        let o2 = order.clone();
+        sim.spawn("early", move || {
+            sleep(Duration::from_nanos(10));
+            o2.lock().push("early");
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec!["early", "late"]);
+    }
+
+    #[test]
+    fn same_instant_ties_break_by_schedule_order() {
+        let sim = Simulation::new(1);
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..5u32 {
+            let o = order.clone();
+            sim.spawn(format!("p{i}"), move || {
+                o.lock().push(i);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spawn_from_inside_a_process() {
+        let sim = Simulation::new(1);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        sim.spawn("parent", move || {
+            let h2 = h.clone();
+            spawn("child", move || {
+                sleep(Duration::from_nanos(7));
+                h2.fetch_add(now().as_nanos(), Ordering::SeqCst);
+            });
+            sleep(Duration::from_nanos(3));
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        sim.run().unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn schedule_runs_timers_in_event_context() {
+        let sim = Simulation::new(1);
+        let val = Arc::new(AtomicU64::new(0));
+        let v = val.clone();
+        sim.spawn("p", move || {
+            let v2 = v.clone();
+            schedule(Duration::from_nanos(500), move || {
+                v2.store(99, Ordering::SeqCst);
+            });
+            sleep(Duration::from_nanos(499));
+            assert_eq!(v.load(Ordering::SeqCst), 0);
+            sleep(Duration::from_nanos(2));
+            assert_eq!(v.load(Ordering::SeqCst), 99);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn kill_unwinds_parked_process() {
+        let sim = Simulation::new(1);
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        let victim = sim.spawn("victim", move || {
+            sleep(Duration::from_secs(1_000_000));
+            d.store(1, Ordering::SeqCst); // must never run
+        });
+        sim.spawn("killer", move || {
+            sleep(Duration::from_nanos(10));
+            kill(victim);
+            yield_now();
+            assert!(is_finished(victim));
+        });
+        sim.run().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn stop_halts_the_run() {
+        let sim = Simulation::new(1);
+        sim.spawn("stopper", || {
+            sleep(Duration::from_nanos(42));
+            stop();
+        });
+        sim.spawn("immortal", || loop {
+            sleep(Duration::from_nanos(1));
+        });
+        sim.run().unwrap();
+        assert_eq!(sim.now().as_nanos(), 42);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let sim = Simulation::new(1);
+        sim.spawn("stuck", || {
+            let c = Cond::new();
+            c.wait(); // nobody will ever notify
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked }) => {
+                assert!(blocked.iter().any(|n| n.contains("stuck")));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_process_rng_is_deterministic_across_runs() {
+        fn draw(seed: u64) -> Vec<u64> {
+            let sim = Simulation::new(seed);
+            let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            for i in 0..3 {
+                let o = out.clone();
+                sim.spawn(format!("p{i}"), move || {
+                    o.lock().push(rand_u64());
+                });
+            }
+            sim.run().unwrap();
+            let v = out.lock().clone();
+            v
+        }
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn process_panic_propagates_to_run() {
+        let sim = Simulation::new(1);
+        sim.spawn("bad", || panic!("boom"));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn run_until_advances_partially() {
+        let sim = Simulation::new(1);
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = ticks.clone();
+        sim.spawn("ticker", move || loop {
+            sleep(Duration::from_nanos(100));
+            t.fetch_add(1, Ordering::SeqCst);
+        });
+        sim.run_until(SimTime::from_nanos(1000)).unwrap();
+        assert_eq!(ticks.load(Ordering::SeqCst), 10);
+        assert_eq!(sim.now().as_nanos(), 1000);
+        sim.run_until(SimTime::from_nanos(2500)).unwrap();
+        assert_eq!(ticks.load(Ordering::SeqCst), 25);
+    }
+}

@@ -1,0 +1,287 @@
+//! Unbounded FIFO channels between simulated processes.
+
+use crate::cond::Cond;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Error returned by [`MailboxReceiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvTimeoutError;
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timed out waiting for a mailbox message")
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    cond: Cond,
+}
+
+/// An unbounded FIFO mailbox. The simulation's equivalent of an mpsc
+/// channel: senders never block, receivers block on virtual time.
+pub struct Mailbox<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Mailbox<T> {
+    fn clone(&self) -> Self {
+        Mailbox {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Mailbox<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mailbox")
+            .field("len", &self.inner.queue.lock().len())
+            .finish()
+    }
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The sending half of a [`Mailbox::pair`]. Cloneable.
+#[derive(Clone, Debug)]
+pub struct MailboxSender<T>(Mailbox<T>);
+
+/// The receiving half of a [`Mailbox::pair`]. Cloneable (multi-consumer).
+#[derive(Clone, Debug)]
+pub struct MailboxReceiver<T>(Mailbox<T>);
+
+impl<T> Mailbox<T> {
+    /// Creates an empty mailbox. Usable from any thread.
+    pub fn new() -> Self {
+        Self::with_cond(Cond::new())
+    }
+
+    /// Creates a mailbox that notifies `cond` on every send, in addition to
+    /// waking its own receivers.
+    ///
+    /// Useful to funnel several wake sources into one wait point: a process
+    /// can block on `cond` and learn about both mailbox traffic and other
+    /// events sharing the same condition (e.g. RDMA writes landing in a
+    /// node's memory).
+    pub fn with_cond(cond: Cond) -> Self {
+        Mailbox {
+            inner: Arc::new(Inner {
+                queue: Mutex::new(VecDeque::new()),
+                cond,
+            }),
+        }
+    }
+
+    /// Creates a connected sender/receiver pair over a fresh mailbox.
+    pub fn pair() -> (MailboxSender<T>, MailboxReceiver<T>) {
+        let mb = Mailbox::new();
+        (MailboxSender(mb.clone()), MailboxReceiver(mb))
+    }
+
+    /// Appends a message. Never blocks; wakes any blocked receiver.
+    ///
+    /// Callable from process or event context.
+    pub fn send(&self, value: T) {
+        self.inner.queue.lock().push_back(value);
+        self.inner.cond.notify_all();
+    }
+
+    /// Pops the oldest message without blocking.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.queue.lock().pop_front()
+    }
+
+    /// Blocks the calling process until a message is available.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from outside a simulated process.
+    pub fn recv(&self) -> T {
+        loop {
+            if let Some(v) = self.try_recv() {
+                return v;
+            }
+            self.inner.cond.wait();
+        }
+    }
+
+    /// Blocks until a message arrives or `timeout` of virtual time elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError`] if the timeout elapsed with no message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = crate::now() + timeout;
+        loop {
+            if let Some(v) = self.try_recv() {
+                return Ok(v);
+            }
+            if self.inner.cond.wait_deadline(deadline) == crate::cond::WaitOutcome::TimedOut {
+                return self.try_recv().ok_or(RecvTimeoutError);
+            }
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> MailboxSender<T> {
+    /// Appends a message; never blocks. See [`Mailbox::send`].
+    pub fn send(&self, value: T) {
+        self.0.send(value);
+    }
+}
+
+impl<T> MailboxReceiver<T> {
+    /// Blocks until a message is available. See [`Mailbox::recv`].
+    pub fn recv(&self) -> T {
+        self.0.recv()
+    }
+
+    /// Non-blocking receive. See [`Mailbox::try_recv`].
+    pub fn try_recv(&self) -> Option<T> {
+        self.0.try_recv()
+    }
+
+    /// Receive with a virtual-time timeout. See [`Mailbox::recv_timeout`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError`] if the timeout elapsed with no message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the mailbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{now, sleep, Simulation};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let sim = Simulation::new(1);
+        let (tx, rx) = Mailbox::pair();
+        sim.spawn("producer", move || {
+            for i in 0..10 {
+                tx.send(i);
+                sleep(Duration::from_nanos(5));
+            }
+        });
+        sim.spawn("consumer", move || {
+            for i in 0..10 {
+                assert_eq!(rx.recv(), i);
+            }
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let sim = Simulation::new(1);
+        let (tx, rx) = Mailbox::pair();
+        sim.spawn("consumer", move || {
+            assert_eq!(rx.recv(), 7);
+            assert_eq!(now().as_nanos(), 900);
+        });
+        sim.spawn("producer", move || {
+            sleep(Duration::from_nanos(900));
+            tx.send(7);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let sim = Simulation::new(1);
+        let (_tx, rx) = Mailbox::<u32>::pair();
+        sim.spawn("consumer", move || {
+            let r = rx.recv_timeout(Duration::from_nanos(250));
+            assert_eq!(r, Err(RecvTimeoutError));
+            assert_eq!(now().as_nanos(), 250);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_gets_message_in_time() {
+        let sim = Simulation::new(1);
+        let (tx, rx) = Mailbox::pair();
+        sim.spawn("consumer", move || {
+            let r = rx.recv_timeout(Duration::from_micros(1));
+            assert_eq!(r, Ok(42));
+            assert_eq!(now().as_nanos(), 100);
+        });
+        sim.spawn("producer", move || {
+            sleep(Duration::from_nanos(100));
+            tx.send(42);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn try_recv_and_len() {
+        let mb = Mailbox::new();
+        assert!(mb.is_empty());
+        assert_eq!(mb.try_recv(), None);
+        mb.send(1);
+        mb.send(2);
+        assert_eq!(mb.len(), 2);
+        assert_eq!(mb.try_recv(), Some(1));
+        assert_eq!(mb.try_recv(), Some(2));
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn multiple_consumers_each_get_distinct_messages() {
+        let sim = Simulation::new(1);
+        let mb: Mailbox<u32> = Mailbox::new();
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let (mb, seen) = (mb.clone(), seen.clone());
+            sim.spawn(format!("c{i}"), move || {
+                let v = mb.recv();
+                seen.lock().push(v);
+            });
+        }
+        sim.spawn("producer", move || {
+            sleep(Duration::from_nanos(10));
+            for v in [100, 200, 300] {
+                mb.send(v);
+            }
+        });
+        sim.run().unwrap();
+        let mut got = seen.lock().clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![100, 200, 300]);
+    }
+}

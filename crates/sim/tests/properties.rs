@@ -1,0 +1,114 @@
+//! Property-based tests of the simulator's core guarantees: determinism
+//! and ordering.
+
+use proptest::prelude::*;
+use sim::Simulation;
+use std::sync::Arc;
+
+/// Runs a workload of processes with the given sleep schedules and
+/// returns the observed interleaving as `(time, process, step)` triples.
+fn interleaving(seed: u64, schedules: &[Vec<u16>]) -> Vec<(u64, usize, usize)> {
+    let simulation = Simulation::new(seed);
+    let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    for (pid, schedule) in schedules.iter().enumerate() {
+        let log = log.clone();
+        let schedule = schedule.clone();
+        simulation.spawn(format!("p{pid}"), move || {
+            for (step, ns) in schedule.iter().enumerate() {
+                sim::sleep_ns(u64::from(*ns));
+                log.lock().push((sim::now().as_nanos(), pid, step));
+            }
+        });
+    }
+    simulation.run().unwrap();
+    let v = log.lock().clone();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The same seed and schedules always produce the identical
+    /// interleaving — the bedrock property everything else builds on.
+    #[test]
+    fn runs_are_deterministic(
+        seed in 0u64..1000,
+        schedules in prop::collection::vec(
+            prop::collection::vec(0u16..500, 1..8),
+            1..6,
+        ),
+    ) {
+        let a = interleaving(seed, &schedules);
+        let b = interleaving(seed, &schedules);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Observed timestamps are exactly the prefix sums of each process's
+    /// sleeps, and the merged log is time-ordered.
+    #[test]
+    fn virtual_time_is_exact(
+        schedules in prop::collection::vec(
+            prop::collection::vec(0u16..500, 1..8),
+            1..6,
+        ),
+    ) {
+        let log = interleaving(1, &schedules);
+        // Per-process: times are prefix sums.
+        for (pid, schedule) in schedules.iter().enumerate() {
+            let mut acc = 0u64;
+            let mut steps = log.iter().filter(|(_, p, _)| *p == pid);
+            for (i, ns) in schedule.iter().enumerate() {
+                acc += u64::from(*ns);
+                let (t, _, step) = steps.next().expect("step logged");
+                prop_assert_eq!(*step, i);
+                prop_assert_eq!(*t, acc);
+            }
+        }
+        // Globally: log is sorted by time.
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    /// Mailboxes deliver every message exactly once, in FIFO order per
+    /// sender.
+    #[test]
+    fn mailbox_is_reliable_fifo(
+        batches in prop::collection::vec(
+            prop::collection::vec(0u16..200, 1..10),
+            1..4,
+        ),
+    ) {
+        let simulation = Simulation::new(9);
+        let mb: sim::Mailbox<(usize, usize)> = sim::Mailbox::new();
+        let total: usize = batches.iter().map(Vec::len).sum();
+        for (sender, delays) in batches.iter().enumerate() {
+            let mb = mb.clone();
+            let delays = delays.clone();
+            simulation.spawn(format!("s{sender}"), move || {
+                for (i, d) in delays.iter().enumerate() {
+                    sim::sleep_ns(u64::from(*d));
+                    mb.send((sender, i));
+                }
+            });
+        }
+        let got = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let g = got.clone();
+        let mb2 = mb.clone();
+        simulation.spawn("receiver", move || {
+            for _ in 0..total {
+                g.lock().push(mb2.recv());
+            }
+        });
+        simulation.run().unwrap();
+        let got = got.lock().clone();
+        prop_assert_eq!(got.len(), total);
+        // FIFO per sender.
+        for sender in 0..batches.len() {
+            let seq: Vec<usize> = got.iter().filter(|(s, _)| *s == sender).map(|(_, i)| *i).collect();
+            let mut sorted = seq.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(seq, sorted);
+        }
+    }
+}

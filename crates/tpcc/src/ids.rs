@@ -1,0 +1,176 @@
+//! TPC-C row → Heron object-id mapping.
+//!
+//! Every table row is one Heron object (paper §IV-A). Ids pack into 64
+//! bits: `[table:4][warehouse:16][district:8][key:36]`.
+
+use heron_core::ObjectId;
+
+/// TPC-C tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Table {
+    /// Replicated in every partition; never updated (paper §IV-A).
+    Warehouse,
+    /// One row per (warehouse, district).
+    District,
+    /// Stored serialized; read remotely by Payment.
+    Customer,
+    /// Insert-only payment history.
+    History,
+    /// Pending-delivery markers.
+    NewOrder,
+    /// Order headers.
+    Order,
+    /// Order line items.
+    OrderLine,
+    /// Replicated in every partition; never updated.
+    Item,
+    /// Stored serialized; read remotely by NewOrder.
+    Stock,
+}
+
+impl Table {
+    const fn tag(self) -> u64 {
+        match self {
+            Table::Warehouse => 1,
+            Table::District => 2,
+            Table::Customer => 3,
+            Table::History => 4,
+            Table::NewOrder => 5,
+            Table::Order => 6,
+            Table::OrderLine => 7,
+            Table::Item => 8,
+            Table::Stock => 9,
+        }
+    }
+
+    /// Decodes a table tag.
+    pub const fn from_tag(tag: u64) -> Option<Table> {
+        Some(match tag {
+            1 => Table::Warehouse,
+            2 => Table::District,
+            3 => Table::Customer,
+            4 => Table::History,
+            5 => Table::NewOrder,
+            6 => Table::Order,
+            7 => Table::OrderLine,
+            8 => Table::Item,
+            9 => Table::Stock,
+            _ => return None,
+        })
+    }
+}
+
+const W_SHIFT: u64 = 44;
+const D_SHIFT: u64 = 36;
+const TAG_SHIFT: u64 = 60;
+const KEY_MASK: u64 = (1 << 36) - 1;
+
+fn pack(table: Table, w: u16, d: u8, key: u64) -> ObjectId {
+    debug_assert!(key <= KEY_MASK);
+    ObjectId(
+        (table.tag() << TAG_SHIFT)
+            | ((w as u64) << W_SHIFT)
+            | ((d as u64) << D_SHIFT)
+            | key,
+    )
+}
+
+/// The table of an object id.
+pub fn table_of(oid: ObjectId) -> Option<Table> {
+    Table::from_tag(oid.0 >> TAG_SHIFT)
+}
+
+/// The warehouse component of an object id.
+pub fn warehouse_of(oid: ObjectId) -> u16 {
+    ((oid.0 >> W_SHIFT) & 0xFFFF) as u16
+}
+
+/// Warehouse row `w`.
+pub fn warehouse(w: u16) -> ObjectId {
+    pack(Table::Warehouse, w, 0, 0)
+}
+
+/// District row `(w, d)`.
+pub fn district(w: u16, d: u8) -> ObjectId {
+    pack(Table::District, w, d, 0)
+}
+
+/// Customer row `(w, d, c)`.
+pub fn customer(w: u16, d: u8, c: u32) -> ObjectId {
+    pack(Table::Customer, w, d, c as u64)
+}
+
+/// History row `(w, d, h)` — `h` from the district's history counter.
+pub fn history(w: u16, d: u8, h: u32) -> ObjectId {
+    pack(Table::History, w, d, h as u64)
+}
+
+/// New-order marker `(w, d, o)`.
+pub fn new_order(w: u16, d: u8, o: u32) -> ObjectId {
+    pack(Table::NewOrder, w, d, o as u64)
+}
+
+/// Order header `(w, d, o)`.
+pub fn order(w: u16, d: u8, o: u32) -> ObjectId {
+    pack(Table::Order, w, d, o as u64)
+}
+
+/// Order line `(w, d, o, line)`; `line < 16`.
+pub fn order_line(w: u16, d: u8, o: u32, line: u8) -> ObjectId {
+    debug_assert!(line < 16);
+    pack(Table::OrderLine, w, d, ((o as u64) << 4) | line as u64)
+}
+
+/// Item row `i`.
+pub fn item(i: u32) -> ObjectId {
+    pack(Table::Item, 0, 0, i as u64)
+}
+
+/// Stock row `(w, i)`.
+pub fn stock(w: u16, i: u32) -> ObjectId {
+    pack(Table::Stock, w, 0, i as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_across_tables_and_keys() {
+        let ids = [
+            warehouse(1),
+            district(1, 1),
+            customer(1, 1, 1),
+            history(1, 1, 1),
+            new_order(1, 1, 1),
+            order(1, 1, 1),
+            order_line(1, 1, 1, 1),
+            item(1),
+            stock(1, 1),
+            order_line(1, 1, 1, 2),
+            order_line(1, 1, 2, 1),
+            customer(1, 2, 1),
+            customer(2, 1, 1),
+        ];
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+
+    #[test]
+    fn components_decode() {
+        let oid = customer(7, 3, 1234);
+        assert_eq!(table_of(oid), Some(Table::Customer));
+        assert_eq!(warehouse_of(oid), 7);
+        assert_eq!(table_of(item(5)), Some(Table::Item));
+        assert_eq!(table_of(heron_core::ObjectId(0)), None);
+    }
+
+    #[test]
+    fn order_line_packs_order_and_line() {
+        let a = order_line(1, 2, 100, 5);
+        let b = order_line(1, 2, 100, 6);
+        let c = order_line(1, 2, 101, 5);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

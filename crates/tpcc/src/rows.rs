@@ -1,0 +1,609 @@
+//! TPC-C row types with fixed byte layouts.
+//!
+//! Amounts are in cents. String fields are fixed-width (the paper stores
+//! strings as byte buffers to avoid Java `String` (de)serialization cost;
+//! fixed widths additionally keep every row's size constant, so a rewrite
+//! never outgrows its store slot).
+
+use crate::ser::{Reader, Writer};
+
+/// Warehouse row. Replicated everywhere; never updated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarehouseRow {
+    /// Warehouse id (1-based).
+    pub id: u32,
+    /// Sales tax, basis points.
+    pub tax_bp: u32,
+    /// Name, fixed 16 bytes.
+    pub name: [u8; 16],
+}
+
+impl WarehouseRow {
+    /// Serialized size.
+    pub const SIZE: usize = 24;
+
+    /// Serializes the row.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Self::SIZE);
+        w.u32(self.id).u32(self.tax_bp).fixed(&self.name, 16);
+        w.finish()
+    }
+
+    /// Deserializes a row.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut r = Reader::new(buf);
+        WarehouseRow {
+            id: r.u32(),
+            tax_bp: r.u32(),
+            name: r.fixed(16).try_into().expect("16-byte name"),
+        }
+    }
+}
+
+/// District row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistrictRow {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// District id (1-based).
+    pub id: u32,
+    /// Sales tax, basis points.
+    pub tax_bp: u32,
+    /// Year-to-date payments, cents.
+    pub ytd: u64,
+    /// Next order id to assign.
+    pub next_o_id: u32,
+    /// Next history record id to assign.
+    pub next_h_id: u32,
+    /// Oldest order id not yet delivered.
+    pub oldest_undelivered: u32,
+    /// Name, fixed 16 bytes.
+    pub name: [u8; 16],
+}
+
+impl DistrictRow {
+    /// Serialized size.
+    pub const SIZE: usize = 48;
+
+    /// Serializes the row.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Self::SIZE);
+        w.u32(self.w_id)
+            .u32(self.id)
+            .u32(self.tax_bp)
+            .u64(self.ytd)
+            .u32(self.next_o_id)
+            .u32(self.next_h_id)
+            .u32(self.oldest_undelivered)
+            .fixed(&self.name, 16);
+        w.finish()
+    }
+
+    /// Deserializes a row.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut r = Reader::new(buf);
+        DistrictRow {
+            w_id: r.u32(),
+            id: r.u32(),
+            tax_bp: r.u32(),
+            ytd: r.u64(),
+            next_o_id: r.u32(),
+            next_h_id: r.u32(),
+            oldest_undelivered: r.u32(),
+            name: r.fixed(16).try_into().expect("16-byte name"),
+        }
+    }
+}
+
+/// Customer row. Stored serialized (read remotely by Payment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomerRow {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// District id.
+    pub d_id: u32,
+    /// Customer id (1-based).
+    pub id: u32,
+    /// Balance, cents (may go negative).
+    pub balance: i64,
+    /// Year-to-date payment total, cents.
+    pub ytd_payment: u64,
+    /// Payments made.
+    pub payment_cnt: u32,
+    /// Deliveries received.
+    pub delivery_cnt: u32,
+    /// Most recent order id (0 = none).
+    pub last_o_id: u32,
+    /// Credit flag: `b"GC"` good, `b"BC"` bad.
+    pub credit: [u8; 2],
+    /// Last name, fixed 16 bytes.
+    pub last: [u8; 16],
+    /// First name, fixed 16 bytes.
+    pub first: [u8; 16],
+    /// Miscellaneous data, fixed 500 bytes (grown on bad-credit payments,
+    /// truncated at 500 as the spec requires).
+    pub data: [u8; 500],
+}
+
+impl CustomerRow {
+    /// Serialized size.
+    pub const SIZE: usize = 4 * 3 + 8 + 8 + 4 * 3 + 2 + 16 + 16 + 500;
+
+    /// Serializes the row.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Self::SIZE);
+        w.u32(self.w_id)
+            .u32(self.d_id)
+            .u32(self.id)
+            .i64(self.balance)
+            .u64(self.ytd_payment)
+            .u32(self.payment_cnt)
+            .u32(self.delivery_cnt)
+            .u32(self.last_o_id)
+            .fixed(&self.credit, 2)
+            .fixed(&self.last, 16)
+            .fixed(&self.first, 16)
+            .fixed(&self.data, 500);
+        w.finish()
+    }
+
+    /// Deserializes a row.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut r = Reader::new(buf);
+        CustomerRow {
+            w_id: r.u32(),
+            d_id: r.u32(),
+            id: r.u32(),
+            balance: r.i64(),
+            ytd_payment: r.u64(),
+            payment_cnt: r.u32(),
+            delivery_cnt: r.u32(),
+            last_o_id: r.u32(),
+            credit: r.fixed(2).try_into().expect("2-byte credit"),
+            last: r.fixed(16).try_into().expect("16-byte last"),
+            first: r.fixed(16).try_into().expect("16-byte first"),
+            data: r.fixed(500).try_into().expect("500-byte data"),
+        }
+    }
+}
+
+/// Item row. Replicated everywhere; never updated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemRow {
+    /// Item id (1-based).
+    pub id: u32,
+    /// Image id.
+    pub im_id: u32,
+    /// Price, cents.
+    pub price: u32,
+    /// Name, fixed 24 bytes.
+    pub name: [u8; 24],
+    /// Data, fixed 48 bytes.
+    pub data: [u8; 48],
+}
+
+impl ItemRow {
+    /// Serialized size.
+    pub const SIZE: usize = 12 + 24 + 48;
+
+    /// Serializes the row.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Self::SIZE);
+        w.u32(self.id)
+            .u32(self.im_id)
+            .u32(self.price)
+            .fixed(&self.name, 24)
+            .fixed(&self.data, 48);
+        w.finish()
+    }
+
+    /// Deserializes a row.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut r = Reader::new(buf);
+        ItemRow {
+            id: r.u32(),
+            im_id: r.u32(),
+            price: r.u32(),
+            name: r.fixed(24).try_into().expect("24-byte name"),
+            data: r.fixed(48).try_into().expect("48-byte data"),
+        }
+    }
+}
+
+/// Stock row. Stored serialized (read remotely by NewOrder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StockRow {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// Item id.
+    pub i_id: u32,
+    /// Quantity on hand.
+    pub quantity: u32,
+    /// Year-to-date quantity sold.
+    pub ytd: u32,
+    /// Orders that touched this stock.
+    pub order_cnt: u32,
+    /// Orders from remote warehouses.
+    pub remote_cnt: u32,
+    /// Per-district info, 10 × 24 bytes (the spec's s_dist_01..10).
+    pub dist: [u8; 240],
+    /// Data, fixed 48 bytes.
+    pub data: [u8; 48],
+}
+
+impl StockRow {
+    /// Serialized size.
+    pub const SIZE: usize = 24 + 240 + 48;
+
+    /// The 24-byte district info for district `d` (1-based).
+    pub fn dist_info(&self, d: u8) -> [u8; 24] {
+        let i = (d as usize - 1).min(9) * 24;
+        self.dist[i..i + 24].try_into().expect("24 bytes")
+    }
+
+    /// Serializes the row.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Self::SIZE);
+        w.u32(self.w_id)
+            .u32(self.i_id)
+            .u32(self.quantity)
+            .u32(self.ytd)
+            .u32(self.order_cnt)
+            .u32(self.remote_cnt)
+            .fixed(&self.dist, 240)
+            .fixed(&self.data, 48);
+        w.finish()
+    }
+
+    /// Deserializes a row.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut r = Reader::new(buf);
+        StockRow {
+            w_id: r.u32(),
+            i_id: r.u32(),
+            quantity: r.u32(),
+            ytd: r.u32(),
+            order_cnt: r.u32(),
+            remote_cnt: r.u32(),
+            dist: r.fixed(240).try_into().expect("240-byte dist"),
+            data: r.fixed(48).try_into().expect("48-byte data"),
+        }
+    }
+}
+
+/// Order header row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderRow {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// District id.
+    pub d_id: u32,
+    /// Order id.
+    pub id: u32,
+    /// Ordering customer.
+    pub c_id: u32,
+    /// Entry time (virtual nanoseconds).
+    pub entry_ts: u64,
+    /// Carrier id; 0 = not delivered yet.
+    pub carrier_id: u32,
+    /// Number of order lines.
+    pub ol_cnt: u32,
+    /// 1 if every line is from the home warehouse.
+    pub all_local: u32,
+}
+
+impl OrderRow {
+    /// Serialized size.
+    pub const SIZE: usize = 4 * 7 + 8;
+
+    /// Serializes the row.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Self::SIZE);
+        w.u32(self.w_id)
+            .u32(self.d_id)
+            .u32(self.id)
+            .u32(self.c_id)
+            .u64(self.entry_ts)
+            .u32(self.carrier_id)
+            .u32(self.ol_cnt)
+            .u32(self.all_local);
+        w.finish()
+    }
+
+    /// Deserializes a row.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut r = Reader::new(buf);
+        OrderRow {
+            w_id: r.u32(),
+            d_id: r.u32(),
+            id: r.u32(),
+            c_id: r.u32(),
+            entry_ts: r.u64(),
+            carrier_id: r.u32(),
+            ol_cnt: r.u32(),
+            all_local: r.u32(),
+        }
+    }
+}
+
+/// New-order marker row (exists for undelivered orders).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewOrderRow {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// District id.
+    pub d_id: u32,
+    /// Order id.
+    pub o_id: u32,
+    /// 1 once delivered (tombstone; deletes would free no slot anyway).
+    pub delivered: u32,
+}
+
+impl NewOrderRow {
+    /// Serialized size.
+    pub const SIZE: usize = 16;
+
+    /// Serializes the row.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Self::SIZE);
+        w.u32(self.w_id).u32(self.d_id).u32(self.o_id).u32(self.delivered);
+        w.finish()
+    }
+
+    /// Deserializes a row.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut r = Reader::new(buf);
+        NewOrderRow {
+            w_id: r.u32(),
+            d_id: r.u32(),
+            o_id: r.u32(),
+            delivered: r.u32(),
+        }
+    }
+}
+
+/// Order-line row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderLineRow {
+    /// Warehouse id.
+    pub w_id: u32,
+    /// District id.
+    pub d_id: u32,
+    /// Order id.
+    pub o_id: u32,
+    /// Line number (1-based).
+    pub number: u32,
+    /// Ordered item.
+    pub i_id: u32,
+    /// Supplying warehouse (may be remote).
+    pub supply_w_id: u32,
+    /// Quantity.
+    pub quantity: u32,
+    /// Line amount, cents.
+    pub amount: u64,
+    /// Delivery time; 0 until delivered.
+    pub delivery_ts: u64,
+    /// District info, fixed 24 bytes.
+    pub dist_info: [u8; 24],
+}
+
+impl OrderLineRow {
+    /// Serialized size.
+    pub const SIZE: usize = 4 * 7 + 8 + 8 + 24;
+
+    /// Serializes the row.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Self::SIZE);
+        w.u32(self.w_id)
+            .u32(self.d_id)
+            .u32(self.o_id)
+            .u32(self.number)
+            .u32(self.i_id)
+            .u32(self.supply_w_id)
+            .u32(self.quantity)
+            .u64(self.amount)
+            .u64(self.delivery_ts)
+            .fixed(&self.dist_info, 24);
+        w.finish()
+    }
+
+    /// Deserializes a row.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut r = Reader::new(buf);
+        OrderLineRow {
+            w_id: r.u32(),
+            d_id: r.u32(),
+            o_id: r.u32(),
+            number: r.u32(),
+            i_id: r.u32(),
+            supply_w_id: r.u32(),
+            quantity: r.u32(),
+            amount: r.u64(),
+            delivery_ts: r.u64(),
+            dist_info: r.fixed(24).try_into().expect("24-byte dist"),
+        }
+    }
+}
+
+/// History row (insert-only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryRow {
+    /// Home warehouse.
+    pub w_id: u32,
+    /// Home district.
+    pub d_id: u32,
+    /// History id (per-district counter).
+    pub id: u32,
+    /// Customer's warehouse.
+    pub c_w_id: u32,
+    /// Customer's district.
+    pub c_d_id: u32,
+    /// Customer id.
+    pub c_id: u32,
+    /// Payment amount, cents.
+    pub amount: u64,
+    /// Time of payment (virtual nanoseconds).
+    pub ts: u64,
+}
+
+impl HistoryRow {
+    /// Serialized size.
+    pub const SIZE: usize = 4 * 6 + 8 + 8;
+
+    /// Serializes the row.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Self::SIZE);
+        w.u32(self.w_id)
+            .u32(self.d_id)
+            .u32(self.id)
+            .u32(self.c_w_id)
+            .u32(self.c_d_id)
+            .u32(self.c_id)
+            .u64(self.amount)
+            .u64(self.ts);
+        w.finish()
+    }
+
+    /// Deserializes a row.
+    pub fn from_bytes(buf: &[u8]) -> Self {
+        let mut r = Reader::new(buf);
+        HistoryRow {
+            w_id: r.u32(),
+            d_id: r.u32(),
+            id: r.u32(),
+            c_w_id: r.u32(),
+            c_d_id: r.u32(),
+            c_id: r.u32(),
+            amount: r.u64(),
+            ts: r.u64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_round_trip_at_declared_size() {
+        let wh = WarehouseRow {
+            id: 3,
+            tax_bp: 750,
+            name: *b"warehouse-three\0",
+        };
+        let b = wh.to_bytes();
+        assert_eq!(b.len(), WarehouseRow::SIZE);
+        assert_eq!(WarehouseRow::from_bytes(&b), wh);
+
+        let d = DistrictRow {
+            w_id: 3,
+            id: 5,
+            tax_bp: 120,
+            ytd: 999_999,
+            next_o_id: 3001,
+            next_h_id: 17,
+            oldest_undelivered: 2101,
+            name: [7; 16],
+        };
+        let b = d.to_bytes();
+        assert_eq!(b.len(), DistrictRow::SIZE);
+        assert_eq!(DistrictRow::from_bytes(&b), d);
+
+        let c = CustomerRow {
+            w_id: 1,
+            d_id: 2,
+            id: 3,
+            balance: -1000,
+            ytd_payment: 10_00,
+            payment_cnt: 1,
+            delivery_cnt: 0,
+            last_o_id: 2987,
+            credit: *b"BC",
+            last: [1; 16],
+            first: [2; 16],
+            data: [3; 500],
+        };
+        let b = c.to_bytes();
+        assert_eq!(b.len(), CustomerRow::SIZE);
+        assert_eq!(CustomerRow::from_bytes(&b), c);
+
+        let i = ItemRow {
+            id: 42,
+            im_id: 7,
+            price: 12_34,
+            name: [9; 24],
+            data: [8; 48],
+        };
+        let b = i.to_bytes();
+        assert_eq!(b.len(), ItemRow::SIZE);
+        assert_eq!(ItemRow::from_bytes(&b), i);
+
+        let s = StockRow {
+            w_id: 1,
+            i_id: 42,
+            quantity: 55,
+            ytd: 100,
+            order_cnt: 10,
+            remote_cnt: 1,
+            dist: [4; 240],
+            data: [5; 48],
+        };
+        let b = s.to_bytes();
+        assert_eq!(b.len(), StockRow::SIZE);
+        assert_eq!(StockRow::from_bytes(&b), s);
+
+        let o = OrderRow {
+            w_id: 1,
+            d_id: 2,
+            id: 3000,
+            c_id: 17,
+            entry_ts: 123456789,
+            carrier_id: 0,
+            ol_cnt: 11,
+            all_local: 0,
+        };
+        let b = o.to_bytes();
+        assert_eq!(b.len(), OrderRow::SIZE);
+        assert_eq!(OrderRow::from_bytes(&b), o);
+
+        let no = NewOrderRow {
+            w_id: 1,
+            d_id: 2,
+            o_id: 3000,
+            delivered: 0,
+        };
+        let b = no.to_bytes();
+        assert_eq!(b.len(), NewOrderRow::SIZE);
+        assert_eq!(NewOrderRow::from_bytes(&b), no);
+
+        let ol = OrderLineRow {
+            w_id: 1,
+            d_id: 2,
+            o_id: 3000,
+            number: 4,
+            i_id: 42,
+            supply_w_id: 9,
+            quantity: 5,
+            amount: 61_70,
+            delivery_ts: 0,
+            dist_info: [6; 24],
+        };
+        let b = ol.to_bytes();
+        assert_eq!(b.len(), OrderLineRow::SIZE);
+        assert_eq!(OrderLineRow::from_bytes(&b), ol);
+
+        let h = HistoryRow {
+            w_id: 1,
+            d_id: 2,
+            id: 9,
+            c_w_id: 3,
+            c_d_id: 4,
+            c_id: 5,
+            amount: 10_000,
+            ts: 42,
+        };
+        let b = h.to_bytes();
+        assert_eq!(b.len(), HistoryRow::SIZE);
+        assert_eq!(HistoryRow::from_bytes(&b), h);
+    }
+}

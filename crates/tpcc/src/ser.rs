@@ -1,0 +1,121 @@
+//! Manual fixed-offset (de)serialization.
+//!
+//! The paper's prototype hand-serializes rows into ByteBuffers instead of
+//! using a serializer library (§V-C2 lists this among its optimizations);
+//! we mirror that: every row type has a fixed byte layout written and read
+//! with a simple cursor, so row sizes are constant and slots never grow.
+
+/// A write cursor over a fixed-capacity row buffer.
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates a writer with the given capacity hint.
+    pub fn new(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `i64`.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a fixed-width byte field, truncating or zero-padding `s`.
+    pub fn fixed(&mut self, s: &[u8], width: usize) -> &mut Self {
+        let n = s.len().min(width);
+        self.buf.extend_from_slice(&s[..n]);
+        self.buf.extend(std::iter::repeat_n(0u8, width - n));
+        self
+    }
+
+    /// Finishes the row.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A read cursor over a serialized row.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is exhausted (corrupt row).
+    pub fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("u32"));
+        self.pos += 4;
+        v
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("u64"));
+        self.pos += 8;
+        v
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("i64"));
+        self.pos += 8;
+        v
+    }
+
+    /// Reads a fixed-width byte field.
+    pub fn fixed(&mut self, width: usize) -> Vec<u8> {
+        let v = self.buf[self.pos..self.pos + width].to_vec();
+        self.pos += width;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_fields() {
+        let mut w = Writer::new(64);
+        w.u32(7).u64(1 << 40).i64(-5).fixed(b"hi", 8);
+        let buf = w.finish();
+        assert_eq!(buf.len(), 4 + 8 + 8 + 8);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32(), 7);
+        assert_eq!(r.u64(), 1 << 40);
+        assert_eq!(r.i64(), -5);
+        assert_eq!(r.fixed(8), b"hi\0\0\0\0\0\0");
+    }
+
+    #[test]
+    fn fixed_truncates_long_input() {
+        let mut w = Writer::new(8);
+        w.fixed(b"this is too long", 4);
+        assert_eq!(w.finish(), b"this");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests: TPC-C row serialization and transaction codecs
+//! round-trip for arbitrary field values, and object-id packing is
+//! injective over the whole key space the workload uses.
+
+use proptest::prelude::*;
+use tpcc::{ids, CustomerRow, DistrictRow, OrderLineReq, OrderLineRow, StockRow, Transaction};
+
+fn arb_fixed<const N: usize>() -> impl Strategy<Value = [u8; N]> {
+    prop::collection::vec(any::<u8>(), N).prop_map(|v| v.try_into().expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn customer_row_round_trips(
+        w_id in any::<u32>(), d_id in any::<u32>(), id in any::<u32>(),
+        balance in any::<i64>(), ytd_payment in any::<u64>(),
+        payment_cnt in any::<u32>(), delivery_cnt in any::<u32>(),
+        last_o_id in any::<u32>(),
+        credit in arb_fixed::<2>(), last in arb_fixed::<16>(),
+        first in arb_fixed::<16>(), data in arb_fixed::<500>(),
+    ) {
+        let row = CustomerRow {
+            w_id, d_id, id, balance, ytd_payment, payment_cnt,
+            delivery_cnt, last_o_id, credit, last, first, data,
+        };
+        let bytes = row.to_bytes();
+        prop_assert_eq!(bytes.len(), CustomerRow::SIZE);
+        prop_assert_eq!(CustomerRow::from_bytes(&bytes), row);
+    }
+
+    #[test]
+    fn stock_and_district_rows_round_trip(
+        w_id in any::<u32>(), i_id in any::<u32>(), quantity in any::<u32>(),
+        ytd in any::<u64>(), next_o_id in any::<u32>(),
+        dist in arb_fixed::<240>(), data in arb_fixed::<48>(),
+    ) {
+        let stock = StockRow {
+            w_id, i_id, quantity, ytd: ytd as u32,
+            order_cnt: next_o_id, remote_cnt: quantity, dist, data,
+        };
+        let b = stock.to_bytes();
+        prop_assert_eq!(b.len(), StockRow::SIZE);
+        prop_assert_eq!(StockRow::from_bytes(&b), stock);
+
+        let district = DistrictRow {
+            w_id, id: i_id, tax_bp: quantity, ytd, next_o_id,
+            next_h_id: i_id, oldest_undelivered: next_o_id,
+            name: [7; 16],
+        };
+        let b = district.to_bytes();
+        prop_assert_eq!(b.len(), DistrictRow::SIZE);
+        prop_assert_eq!(DistrictRow::from_bytes(&b), district);
+    }
+
+    #[test]
+    fn order_line_row_round_trips(
+        w_id in any::<u32>(), d_id in any::<u32>(), o_id in any::<u32>(),
+        number in any::<u32>(), i_id in any::<u32>(), supply in any::<u32>(),
+        quantity in any::<u32>(), amount in any::<u64>(),
+        delivery_ts in any::<u64>(), dist_info in arb_fixed::<24>(),
+    ) {
+        let row = OrderLineRow {
+            w_id, d_id, o_id, number, i_id, supply_w_id: supply,
+            quantity, amount, delivery_ts, dist_info,
+        };
+        prop_assert_eq!(OrderLineRow::from_bytes(&row.to_bytes()), row);
+    }
+
+    #[test]
+    fn transactions_round_trip(
+        w in 1u16..100, d in 1u8..=10, c in 1u32..10_000,
+        amount in 1u32..1_000_000, carrier in 1u8..=10, threshold in 1u32..30,
+        lines in prop::collection::vec((1u32..100_000, 1u16..100, 1u8..=10), 1..15),
+    ) {
+        let txns = vec![
+            Transaction::NewOrder {
+                w, d, c,
+                lines: lines.iter().map(|(i, sw, q)| OrderLineReq {
+                    i_id: *i, supply_w: *sw, qty: *q,
+                }).collect(),
+            },
+            Transaction::Payment { w, d, c_w: w.saturating_add(1), c_d: d, c, amount },
+            Transaction::OrderStatus { w, d, c },
+            Transaction::Delivery { w, carrier },
+            Transaction::StockLevel { w, d, threshold },
+        ];
+        for t in txns {
+            prop_assert_eq!(Transaction::decode(&t.encode()), Some(t));
+        }
+    }
+
+    /// Object ids collide exactly when the table-relevant key components
+    /// collide — the packing is injective over the workload's key space.
+    #[test]
+    fn object_ids_are_injective(
+        keys in prop::collection::vec(
+            (0u8..6, 1u16..64, 1u8..=10, 1u32..100_000, 0u8..16),
+            2..50,
+        ),
+    ) {
+        // Canonical key = exactly the components each table's id encodes.
+        let canonical: Vec<(u8, u16, u8, u32, u8)> = keys.iter().map(|(t, w, d, k, line)| {
+            match t {
+                0 => (0, *w, *d, 0, 0),
+                1 => (1, *w, *d, *k, 0),
+                2 => (2, *w, *d, *k, 0),
+                3 => (3, *w, *d, *k, line % 16),
+                4 => (4, *w, 0, *k, 0),
+                _ => (5, 0, 0, *k, 0),
+            }
+        }).collect();
+        let ids: Vec<_> = canonical.iter().map(|(t, w, d, k, line)| match t {
+            0 => ids::district(*w, *d),
+            1 => ids::customer(*w, *d, *k),
+            2 => ids::order(*w, *d, *k),
+            3 => ids::order_line(*w, *d, *k, *line),
+            4 => ids::stock(*w, *k),
+            _ => ids::item(*k),
+        }).collect();
+        let id_set: std::collections::HashSet<_> = ids.iter().collect();
+        let key_set: std::collections::HashSet<_> = canonical.iter().collect();
+        prop_assert_eq!(id_set.len(), key_set.len());
+    }
+}

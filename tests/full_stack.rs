@@ -1,0 +1,179 @@
+//! Workspace-level integration tests: the full stack (simulator → RDMA
+//! fabric → atomic multicast → Heron → TPC-C) under load, failures, and
+//! failover.
+
+use heron::core::{HeronCluster, HeronConfig, PartitionId};
+use heron::rdma::{Fabric, LatencyModel};
+use heron::tpcc::{ids, TpccApp, TpccScale};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build(
+    seed: u64,
+    warehouses: u16,
+    replicas: usize,
+) -> (sim::Simulation, HeronCluster, Arc<TpccApp>) {
+    let simulation = sim::Simulation::new(seed);
+    let fabric = Fabric::new(LatencyModel::connectx4());
+    let app = Arc::new(TpccApp::new(TpccScale::small(), warehouses));
+    let cluster = HeronCluster::build(
+        &fabric,
+        HeronConfig::new(warehouses as usize, replicas),
+        app.clone(),
+    );
+    cluster.spawn(&simulation);
+    (simulation, cluster, app)
+}
+
+/// Asserts every replica of every partition holds identical district and
+/// stock state.
+fn assert_converged(cluster: &HeronCluster, warehouses: u16, replicas: usize) {
+    let scale = TpccScale::small();
+    for w in 1..=warehouses {
+        let p = PartitionId(w - 1);
+        for d in 1..=scale.districts {
+            let expect = cluster.peek(p, 0, ids::district(w, d)).unwrap();
+            for r in 1..replicas {
+                assert_eq!(
+                    cluster.peek(p, r, ids::district(w, d)).unwrap(),
+                    expect,
+                    "district w{w}d{d} diverged at replica {r}"
+                );
+            }
+        }
+        for i in 1..=scale.items {
+            let expect = cluster.peek(p, 0, ids::stock(w, i)).unwrap();
+            for r in 1..replicas {
+                assert_eq!(
+                    cluster.peek(p, r, ids::stock(w, i)).unwrap(),
+                    expect,
+                    "stock w{w}i{i} diverged at replica {r}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tpcc_under_multi_client_load_converges() {
+    let (simulation, cluster, app) = build(61, 4, 3);
+    let done = Arc::new(AtomicU64::new(0));
+    for c in 0..6u64 {
+        let mut client = cluster.client(format!("c{c}"));
+        let app = app.clone();
+        let done = done.clone();
+        simulation.spawn(format!("client{c}"), move || {
+            let mut gen = app.generator(c + 10);
+            for i in 0..60u64 {
+                let home = ((c + i) % 4 + 1) as u16;
+                client.execute(&gen.next(home).encode());
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+        });
+    }
+    let c2 = cluster.clone();
+    simulation.spawn("checker", move || {
+        while done.load(Ordering::SeqCst) < 6 {
+            sim::sleep(Duration::from_millis(1));
+        }
+        sim::sleep(Duration::from_millis(5));
+        assert_converged(&c2, 4, 3);
+        sim::stop();
+    });
+    simulation.run().unwrap();
+    assert_eq!(cluster.metrics().completed.load(Ordering::Relaxed), 360);
+}
+
+#[test]
+fn ordering_leader_failover_keeps_the_service_available() {
+    // Replica 0 of partition 0 hosts its group's multicast *leader*.
+    // Crashing that node forces an epoch change in the ordering layer and
+    // client retries; Heron must keep executing correctly on the surviving
+    // majority.
+    let (simulation, cluster, app) = build(62, 2, 3);
+    let c2 = cluster.clone();
+    let mut client = cluster.client("c");
+    simulation.spawn("client", move || {
+        let mut gen = app.generator(5);
+        for i in 0..20u64 {
+            client.execute(&gen.next((i % 2 + 1) as u16).encode());
+        }
+        c2.crash_replica(PartitionId(0), 0); // kill the group-0 leader
+        for i in 0..40u64 {
+            client.execute(&gen.next((i % 2 + 1) as u16).encode());
+        }
+        sim::sleep(Duration::from_millis(10));
+        // The surviving replicas of partition 0 agree with each other and
+        // with partition 1's replicas on their own state.
+        let scale = TpccScale::small();
+        for d in 1..=scale.districts {
+            assert_eq!(
+                c2.peek(PartitionId(0), 1, ids::district(1, d)).unwrap(),
+                c2.peek(PartitionId(0), 2, ids::district(1, d)).unwrap(),
+                "survivors of p0 diverged on district {d}"
+            );
+        }
+        sim::stop();
+    });
+    simulation.run().unwrap();
+    assert_eq!(cluster.metrics().completed.load(Ordering::Relaxed), 60);
+}
+
+#[test]
+fn concurrent_crashes_in_different_partitions_recover() {
+    let (simulation, cluster, app) = build(63, 2, 3);
+    let c2 = cluster.clone();
+    let metrics = cluster.metrics();
+    let mut client = cluster.client("c");
+    simulation.spawn("client", move || {
+        let mut gen = app.generator(8);
+        for i in 0..10u64 {
+            client.execute(&gen.next((i % 2 + 1) as u16).encode());
+        }
+        // One follower down in each partition simultaneously.
+        c2.crash_replica(PartitionId(0), 2);
+        c2.crash_replica(PartitionId(1), 1);
+        for i in 0..60u64 {
+            client.execute(&gen.next((i % 2 + 1) as u16).encode());
+        }
+        c2.recover_replica(PartitionId(0), 2);
+        c2.recover_replica(PartitionId(1), 1);
+        for i in 0..60u64 {
+            if std::env::var("HERON_DBG").is_ok() {
+                eprintln!("[{}] post-recovery {i}", sim::now());
+            }
+            client.execute(&gen.next((i % 2 + 1) as u16).encode());
+        }
+        sim::sleep(Duration::from_millis(100));
+        assert_converged(&c2, 2, 3);
+        sim::stop();
+    });
+    simulation.run().unwrap();
+    assert_eq!(metrics.completed.load(Ordering::Relaxed), 130);
+}
+
+#[test]
+fn full_stack_is_deterministic() {
+    fn run(seed: u64) -> Vec<u8> {
+        let (simulation, cluster, app) = build(seed, 2, 3);
+        let mut client = cluster.client("c");
+        let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let o = out.clone();
+        simulation.spawn("client", move || {
+            let mut gen = app.generator(4);
+            for i in 0..40u64 {
+                let r = client.execute(&gen.next((i % 2 + 1) as u16).encode());
+                o.lock().extend_from_slice(&r);
+            }
+            sim::stop();
+        });
+        simulation.run().unwrap();
+        let v = out.lock().clone();
+        v
+    }
+    // Same seed ⇒ byte-identical responses. (Different seeds produce the
+    // same *application* responses too — the workload generator is seeded
+    // independently — so only the positive property is asserted.)
+    assert_eq!(run(99), run(99));
+}
