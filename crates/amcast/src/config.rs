@@ -29,8 +29,19 @@ pub struct McastConfig {
     pub submit_cpu: Duration,
     /// CPU time the leader spends per message it orders.
     pub ordering_cpu: Duration,
+    /// Marginal leader CPU for the 2nd..Nth message ordered within one
+    /// group-commit window (header parsing and bookkeeping amortize once
+    /// the per-batch costs — cache misses, verb posting, doorbells — are
+    /// paid). Only charged when `max_batch > 1`.
+    pub ordering_cpu_batched: Duration,
     /// CPU time a follower spends applying one log entry.
     pub follower_cpu: Duration,
+    /// Group-commit batch cap: the leader drains up to this many
+    /// finalizable messages per iteration and replicates them to
+    /// followers as one doorbell-batched log append with a single
+    /// majority-ack round. `1` (the default) disables batching and
+    /// reproduces the unbatched execution bit-for-bit under a fixed seed.
+    pub max_batch: usize,
 }
 
 impl McastConfig {
@@ -54,7 +65,9 @@ impl McastConfig {
             leader_timeout: Duration::from_millis(2),
             submit_cpu: Duration::from_nanos(3_000),
             ordering_cpu: Duration::from_nanos(6_500),
+            ordering_cpu_batched: Duration::from_nanos(850),
             follower_cpu: Duration::from_nanos(800),
+            max_batch: 1,
         }
     }
 
@@ -69,6 +82,14 @@ impl McastConfig {
     #[must_use]
     pub fn with_max_payload(mut self, bytes: usize) -> Self {
         self.max_payload = bytes;
+        self
+    }
+
+    /// Sets the group-commit batch cap (`1` disables batching).
+    #[must_use]
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        assert!(n >= 1, "max_batch must be at least 1");
+        self.max_batch = n;
         self
     }
 
@@ -119,8 +140,11 @@ mod tests {
     fn builder_setters() {
         let c = McastConfig::new(1, 3)
             .with_max_clients(128)
-            .with_max_payload(2048);
+            .with_max_payload(2048)
+            .with_max_batch(8);
         assert_eq!(c.max_clients, 128);
         assert_eq!(c.max_payload, 2048);
+        assert_eq!(c.max_batch, 8);
+        assert_eq!(McastConfig::new(1, 3).max_batch, 1, "batching off by default");
     }
 }

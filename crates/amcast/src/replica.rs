@@ -9,9 +9,9 @@ use crate::layout::{
 use crate::timestamp::{GroupId, MsgId, Timestamp};
 use crate::{mask_groups, DestMask};
 use bytes::Bytes;
-use rdma_sim::{Node, QueuePair};
+use rdma_sim::{Node, QueuePair, WriteBatch};
 use sim::SimTime;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Which replica index leads a group in the given epoch.
@@ -46,6 +46,10 @@ struct State {
     clock: u64,
     pending: HashMap<u32, Pending>,
     finalized: BTreeSet<(u64, u32)>,
+    /// Messages ordered so far in the current group-commit window; the
+    /// first message of a window pays the full `ordering_cpu`, the rest
+    /// pay the marginal batched cost. Unused when `max_batch <= 1`.
+    ordering_window: usize,
     next_seq: u64,
     acks_cache: Vec<u64>,
     last_hb_sent: SimTime,
@@ -141,6 +145,7 @@ impl McastReplica {
             clock: 0,
             pending: HashMap::new(),
             finalized: BTreeSet::new(),
+            ordering_window: 0,
             next_seq: 0,
             acks_cache: vec![0; self.n()],
             last_hb_sent: SimTime::ZERO,
@@ -241,6 +246,7 @@ impl McastReplica {
     // ------------------------------------------------------------------
 
     fn do_work(&self, st: &mut State, qps: &mut HashMap<usize, QueuePair>) {
+        st.ordering_window = 0;
         self.scan_submissions(st, qps);
         self.scan_ctrl(st, qps);
         if st.is_leader {
@@ -405,7 +411,7 @@ impl McastReplica {
             self.write_ctrl(st, qps, target, CtrlKind::FwdSub, uid, mask, 0, &payload);
             return;
         }
-        sim::sleep(self.inner.cfg.ordering_cpu);
+        self.charge_ordering(st);
         {
             let pend = st.pending.entry(uid).or_insert(Pending {
                 payload: None,
@@ -437,6 +443,24 @@ impl McastReplica {
             }
         }
         self.try_finalize(st, qps, uid);
+    }
+
+    /// Charges leader CPU for ordering one message. With group commit
+    /// enabled (`max_batch > 1`) the first message of each window pays the
+    /// full `ordering_cpu` and the following ones only the marginal
+    /// `ordering_cpu_batched`; with `max_batch = 1` every message pays the
+    /// full cost, exactly as the unbatched code did.
+    fn charge_ordering(&self, st: &mut State) {
+        let cfg = &self.inner.cfg;
+        if cfg.max_batch <= 1 || st.ordering_window == 0 {
+            sim::sleep(cfg.ordering_cpu);
+        } else {
+            sim::sleep(cfg.ordering_cpu_batched);
+        }
+        st.ordering_window += 1;
+        if st.ordering_window >= cfg.max_batch {
+            st.ordering_window = 0;
+        }
     }
 
     /// Sends our clock proposal to every replica of every destination group
@@ -541,6 +565,9 @@ impl McastReplica {
     /// no pending message we have proposed for (but not finalized) could
     /// receive a smaller final timestamp.
     fn leader_sequence_ready(&self, st: &mut State, qps: &mut HashMap<usize, QueuePair>) {
+        if self.inner.cfg.max_batch > 1 {
+            return self.leader_sequence_ready_batched(st, qps);
+        }
         loop {
             let Some(&(ts_raw, uid)) = st.finalized.iter().next() else {
                 return;
@@ -587,6 +614,120 @@ impl McastReplica {
                 }
             }
             self.append_log(st, qps, uid, pend.mask, ts_raw, &payload);
+        }
+    }
+
+    /// Group-commit variant of [`Self::leader_sequence_ready`]: drains all
+    /// finalizable messages in rounds of up to `max_batch`, announces their
+    /// finals via one doorbell-batched write per destination replica, and
+    /// replicates each round to every follower as a single doorbell-batched
+    /// log append. Messages are popped from `finalized` in exactly the same
+    /// order as the unbatched path, so delivery order and timestamps are
+    /// identical — only the verb count and leader CPU change.
+    fn leader_sequence_ready_batched(
+        &self,
+        st: &mut State,
+        qps: &mut HashMap<usize, QueuePair>,
+    ) {
+        let max_batch = self.inner.cfg.max_batch;
+        loop {
+            // Collect one round of ready messages. Popping a message never
+            // unblocks another (the blocked predicate only consults
+            // non-finalized pending proposals), so checking per pop matches
+            // the unbatched loop exactly.
+            let mut round: Vec<(u64, u32, DestMask, Vec<u8>)> = Vec::new();
+            while round.len() < max_batch {
+                let Some(&(ts_raw, uid)) = st.finalized.iter().next() else {
+                    break;
+                };
+                let blocked = st.pending.iter().any(|(u, p)| {
+                    if st.finals.contains_key(u) {
+                        return false;
+                    }
+                    match p.myprop {
+                        Some(prop) => Timestamp::new(prop, MsgId(*u)).raw() < ts_raw,
+                        None => false,
+                    }
+                });
+                if blocked {
+                    break;
+                }
+                st.finalized.remove(&(ts_raw, uid));
+                let pend = st.pending.remove(&uid).expect("finalized implies pending");
+                let payload = pend.payload.expect("finalized implies payload");
+                round.push((ts_raw, uid, pend.mask, payload));
+            }
+            if round.is_empty() {
+                return;
+            }
+            let drained_all = round.len() < max_batch;
+
+            // Final announcements: queue every message's Final for every
+            // destination replica, then ring one doorbell per target.
+            // BTreeMap keeps the posting order deterministic.
+            let mut ctrl: BTreeMap<usize, WriteBatch> = BTreeMap::new();
+            for (_, uid, mask, _) in &round {
+                let final_clock = st.finals[uid];
+                for g in mask_groups(*mask) {
+                    for i in 0..self.n() {
+                        let target = self.inner.global_idx(g, i);
+                        if target == self.my_global {
+                            continue;
+                        }
+                        self.queue_ctrl(
+                            st,
+                            qps,
+                            &mut ctrl,
+                            target,
+                            CtrlKind::Final,
+                            *uid,
+                            u64::from(self.group.0),
+                            final_clock,
+                            &[],
+                        );
+                    }
+                }
+            }
+            for (_, batch) in ctrl {
+                let _ = batch.post();
+            }
+
+            // Log append: write every entry locally, publish log_seq once
+            // for the whole round, then one doorbell-batched write per
+            // follower carrying all of the round's entries.
+            let mut entries: Vec<(u64, Vec<u8>)> = Vec::with_capacity(round.len());
+            for (ts_raw, uid, mask, payload) in &round {
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.done.insert(*uid);
+                st.props.remove(uid);
+                let entry = encode_log(seq, *uid, *mask, *ts_raw, payload);
+                let my_slot = self.inner.sizes.log_slot(self.layout, seq);
+                self.node
+                    .local_write(my_slot, &entry)
+                    .expect("own log slot in range");
+                entries.push((seq, entry));
+            }
+            self.node
+                .local_write_word(self.layout.log_seq, st.next_seq)
+                .expect("own log_seq word");
+            for i in 0..self.n() {
+                if i == self.idx {
+                    continue;
+                }
+                let target = self.inner.global_idx(self.group, i);
+                let node = self.peer_node(target).clone();
+                let peer_layout = self.inner.layouts[&node.id()];
+                let mut batch = self.qp(qps, target).write_batch();
+                for (seq, entry) in &entries {
+                    batch.push(self.inner.sizes.log_slot(peer_layout, *seq), entry.clone());
+                }
+                let _ = batch.post();
+            }
+
+            if drained_all {
+                return;
+            }
         }
     }
 
@@ -737,11 +878,23 @@ impl McastReplica {
             let node_id = self.peer_node(target).id();
             let peer_layout = self.inner.layouts[&node_id];
             let qp = self.qp(qps, target);
-            for seq in from..to {
-                let entry = self.read_own_log(seq);
-                let buf = encode_log(seq, entry.uid, entry.mask, entry.ts_raw, &entry.payload);
-                let slot = self.inner.sizes.log_slot(peer_layout, seq);
-                let _ = qp.post_write(slot, buf);
+            if self.inner.cfg.max_batch > 1 {
+                let mut batch = qp.write_batch();
+                for seq in from..to {
+                    let entry = self.read_own_log(seq);
+                    let buf =
+                        encode_log(seq, entry.uid, entry.mask, entry.ts_raw, &entry.payload);
+                    batch.push(self.inner.sizes.log_slot(peer_layout, seq), buf);
+                }
+                let _ = batch.post();
+            } else {
+                for seq in from..to {
+                    let entry = self.read_own_log(seq);
+                    let buf =
+                        encode_log(seq, entry.uid, entry.mask, entry.ts_raw, &entry.payload);
+                    let slot = self.inner.sizes.log_slot(peer_layout, seq);
+                    let _ = qp.post_write(slot, buf);
+                }
             }
         }
     }
@@ -978,5 +1131,37 @@ impl McastReplica {
         let buf = encode_ctrl(stamp, kind, uid, a, b, payload);
         let qp = self.qp(qps, target);
         let _ = qp.post_write(slot, buf);
+    }
+
+    /// Like [`Self::write_ctrl`] but queues the entry into a per-target
+    /// [`WriteBatch`] instead of posting it immediately; the caller rings
+    /// one doorbell per target when the batch is complete. Stamps are
+    /// consumed in queue order, so consecutive entries land in consecutive
+    /// ring slots exactly as individual posts would.
+    #[allow(clippy::too_many_arguments)]
+    fn queue_ctrl(
+        &self,
+        st: &mut State,
+        qps: &mut HashMap<usize, QueuePair>,
+        batches: &mut BTreeMap<usize, WriteBatch>,
+        target: usize,
+        kind: CtrlKind,
+        uid: u32,
+        a: DestMask,
+        b: u64,
+        payload: &[u8],
+    ) {
+        let stamp = st.ctrl_out_stamp[target];
+        st.ctrl_out_stamp[target] = stamp + 1;
+        let node_id = self.peer_node(target).id();
+        let slot = self
+            .inner
+            .sizes
+            .ctrl_slot(self.inner.layouts[&node_id], self.my_global, stamp);
+        let buf = encode_ctrl(stamp, kind, uid, a, b, payload);
+        batches
+            .entry(target)
+            .or_insert_with(|| self.qp(qps, target).write_batch())
+            .push(slot, buf);
     }
 }

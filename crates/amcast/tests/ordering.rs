@@ -224,6 +224,97 @@ fn deliveries_continue_after_leader_crash_with_client_retry() {
     assert_eq!(logs[1], logs[2]);
 }
 
+/// Runs one workload plan under the given group-commit cap and returns the
+/// per-replica delivery logs. The plan is a single client multicasting to
+/// destination sets chosen by `pattern % 3` with the given inter-send gaps.
+fn run_batching_scenario(
+    seed: u64,
+    max_batch: usize,
+    plan: &[(u8, u32)],
+) -> Vec<Vec<(MsgId, Timestamp)>> {
+    let h = build(
+        seed,
+        McastConfig::new(2, 3).with_max_batch(max_batch),
+    );
+    let mut client = h.mcast.client(&h.fabric.add_node("client"));
+    let plan = plan.to_vec();
+    h.simulation.spawn("client", move || {
+        for (i, (pattern, gap_us)) in plan.into_iter().enumerate() {
+            let dests = match pattern % 3 {
+                0 => vec![GroupId(0)],
+                1 => vec![GroupId(1)],
+                _ => vec![GroupId(0), GroupId(1)],
+            };
+            client.multicast(&dests, &(i as u32).to_le_bytes());
+            sim::sleep(Duration::from_micros(u64::from(gap_us)));
+        }
+    });
+    h.simulation.run_until(sim::SimTime::from_millis(60)).unwrap();
+    let logs = h.logs.lock().clone();
+    logs
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(5))]
+
+    /// Group commit is a pure performance optimisation: for any workload,
+    /// every `max_batch` setting yields the same per-replica delivery
+    /// order as the unbatched protocol, and every run independently keeps
+    /// the §II-B properties (uniform prefix/acyclic order, unique
+    /// monotone timestamps).
+    #[test]
+    fn group_commit_preserves_delivery_order(
+        seed in 100u64..200,
+        plan in proptest::prop::collection::vec((0u8..3, 3u32..=15), 8..=24),
+    ) {
+        let baseline = run_batching_scenario(seed, 1, &plan);
+        // The unbatched run must itself be complete: each group's replicas
+        // deliver exactly the messages addressed to that group.
+        for g in 0..2u8 {
+            let expect = plan
+                .iter()
+                .filter(|(p, _)| p % 3 == 2 || p % 3 == g)
+                .count();
+            for r in 0..3 {
+                proptest::prop_assert_eq!(baseline[g as usize * 3 + r].len(), expect);
+            }
+        }
+        for mb in [2usize, 8, 64] {
+            let logs = run_batching_scenario(seed, mb, &plan);
+            // Identical delivery order, replica by replica.
+            for (r, (batched, unbatched)) in logs.iter().zip(baseline.iter()).enumerate() {
+                let ids_b: Vec<MsgId> = batched.iter().map(|(m, _)| *m).collect();
+                let ids_u: Vec<MsgId> = unbatched.iter().map(|(m, _)| *m).collect();
+                proptest::prop_assert_eq!(
+                    &ids_b, &ids_u,
+                    "replica {} order diverged at max_batch={}", r, mb
+                );
+            }
+            // Uniform prefix/acyclic order across all replica pairs.
+            for a in 0..logs.len() {
+                for b in (a + 1)..logs.len() {
+                    assert_consistent(&logs[a], &logs[b]);
+                }
+            }
+            // Unique monotone timestamps within the batched run.
+            let mut ts_of: HashMap<MsgId, Timestamp> = HashMap::new();
+            for log in logs.iter() {
+                let ts: Vec<_> = log.iter().map(|(_, t)| *t).collect();
+                let mut sorted = ts.clone();
+                sorted.sort();
+                proptest::prop_assert_eq!(&ts, &sorted, "non-monotone delivery at max_batch={}", mb);
+                for &(m, t) in log {
+                    if let Some(prev) = ts_of.insert(m, t) {
+                        proptest::prop_assert_eq!(prev, t);
+                    }
+                }
+            }
+            let distinct: HashSet<Timestamp> = ts_of.values().copied().collect();
+            proptest::prop_assert_eq!(distinct.len(), ts_of.len(), "duplicate timestamps at max_batch={}", mb);
+        }
+    }
+}
+
 #[test]
 fn concurrent_clients_to_disjoint_groups_scale_independently() {
     let h = build(16, McastConfig::new(2, 3));

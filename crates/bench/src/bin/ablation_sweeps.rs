@@ -96,13 +96,47 @@ fn execution_mode_sweep(quick: bool) {
     );
 }
 
+fn batching_sweep(quick: bool) {
+    println!("\n-- ablation 4: end-to-end batching cap (Heron null requests, 4 partitions) --");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "max_batch", "tps", "mean lat", "p99 lat", "sim events", "wall"
+    );
+    let mut base_tps = 0.0;
+    for max_batch in [1usize, 2, 4, 8, 16, 32, 64] {
+        let s = run_heron(
+            &RunConfig::new(4, 3, Workload::Null)
+                .quick(quick)
+                .with_max_batch(max_batch),
+        );
+        if max_batch == 1 {
+            base_tps = s.tps;
+        }
+        println!(
+            "{:<10} {:>12.0} {:>12.2?} {:>12.2?} {:>14} {:>8.0}ms  ({:.2}x)",
+            max_batch,
+            s.tps,
+            s.mean,
+            s.p99,
+            s.events,
+            s.wall_ms,
+            s.tps / base_tps,
+        );
+    }
+    println!(
+        "group commit amortizes the leader's per-message ordering CPU and doorbells;\n\
+         gains saturate once the window covers the queue the clients can build"
+    );
+}
+
 fn main() {
     let quick = quick_mode();
     banner(
-        "Ablations: transfer chunk size, wait-for-all cut-off, execution mode",
+        "Ablations: transfer chunk size, wait-for-all cut-off, execution mode, batching",
         "§V-E2 (32 KiB payloads), §V-A question 3 (cut-off time), §III-D2 (execution variants)",
     );
     chunk_size_sweep();
     cutoff_sweep(quick);
     execution_mode_sweep(quick);
+    batching_sweep(quick);
 }

@@ -9,11 +9,19 @@
 //!   2.65× / 3.98× for 4/8/16 WH relative to 2 WH;
 //! * local-only TPCC scales linearly.
 //!
+//! After the main table, a batching ablation compares the unbatched system
+//! (`max_batch = 1`, the paper's design) against end-to-end batching
+//! (group commit + doorbell-coalesced verbs) on the Heron-null workload at
+//! the largest scales: virtual-time throughput must rise AND the
+//! simulator must execute fewer events (≈ wall-clock), both recorded in
+//! `bench_results/BENCH_fig4.json`.
+//!
 //! `cargo run -p heron-bench --release --bin fig4_throughput [--quick]`
 
-use heron_bench::{banner, quick_mode, run_heron, RunConfig, Workload};
+use heron_bench::{banner, quick_mode, run_heron, write_results, Json, LoadSummary, RunConfig, Workload};
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let quick = quick_mode();
     banner(
         "Figure 4: throughput scalability (requests/s)",
@@ -36,14 +44,14 @@ fn main() {
         print!("{:>12}", format!("{p}WH"));
     }
     println!();
-    let mut table: Vec<Vec<f64>> = Vec::new();
+    let mut table: Vec<Vec<LoadSummary>> = Vec::new();
     for (label, wl) in workloads {
         print!("{label:<26}");
         let mut row = Vec::new();
         for &p in &partitions {
             let summary = run_heron(&RunConfig::new(p, 3, wl).quick(quick));
-            row.push(summary.tps);
             print!("{:>12.0}", summary.tps);
+            row.push(summary);
             use std::io::Write;
             std::io::stdout().flush().ok();
         }
@@ -56,11 +64,123 @@ fn main() {
         if row.len() < 3 {
             continue;
         }
-        let base = row[1];
+        let base = row[1].tps;
         let factors: Vec<String> = row[2..]
             .iter()
-            .map(|t| format!("{:.2}x", t / base))
+            .map(|s| format!("{:.2}x", s.tps / base))
             .collect();
         println!("  {label:<26} {}", factors.join(" / "));
     }
+
+    // ------------------------------------------------------------------
+    // Batching ablation: unbatched vs end-to-end batching on Heron-null
+    // at the two largest scales. The max_batch=1 column reuses the main
+    // table's runs (they ARE the unbatched system).
+    // ------------------------------------------------------------------
+    println!("\n-- batching ablation: Heron (null requests), max_batch 1 vs 8 --");
+    println!(
+        "{:<6} {:>11} {:>12} {:>14} {:>10} {:>12} {:>10}",
+        "WH", "max_batch", "tps", "sim events", "wall", "events/req", "comparison"
+    );
+    let heron_row = &table[1]; // Heron (null requests)
+    let ablate_at: Vec<usize> = partitions.iter().copied().rev().take(2).rev().collect();
+    // Fixed work: every client issues exactly this many requests, so both
+    // systems execute an identical request set and the simulator-event and
+    // wall-clock comparison is exact.
+    let reqs_per_client: u64 = if quick { 60 } else { 250 };
+    // (partitions, fixed-window unbatched/batched, fixed-work unbatched/batched)
+    let mut ablation: Vec<(usize, LoadSummary, LoadSummary, LoadSummary, LoadSummary)> =
+        Vec::new();
+    for &p in &ablate_at {
+        let idx = partitions.iter().position(|&x| x == p).expect("in list");
+        let unbatched = heron_row[idx].clone();
+        let base_cfg = RunConfig::new(p, 3, Workload::Null).quick(quick);
+        let batched = run_heron(&base_cfg.clone().with_max_batch(8));
+        let work_cfg = base_cfg.with_requests(reqs_per_client);
+        let total_reqs = (work_cfg.clients as u64 * reqs_per_client) as f64;
+        let u_work = run_heron(&work_cfg.clone());
+        let b_work = run_heron(&work_cfg.with_max_batch(8));
+        for (mb, s, basis, per_req) in [
+            (1usize, &unbatched, "window", f64::NAN),
+            (8, &batched, "window", f64::NAN),
+            (1, &u_work, "work", u_work.events as f64 / total_reqs),
+            (8, &b_work, "work", b_work.events as f64 / total_reqs),
+        ] {
+            println!(
+                "{:<6} {:>11} {:>12.0} {:>14} {:>8.0}ms {:>12} {:>10}",
+                p,
+                mb,
+                s.tps,
+                s.events,
+                s.wall_ms,
+                if per_req.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{per_req:.1}")
+                },
+                format!("fixed {basis}"),
+            );
+        }
+        ablation.push((p, unbatched, batched, u_work, b_work));
+    }
+    println!("batched vs unbatched:");
+    for (p, u, b, uw, bw) in &ablation {
+        println!(
+            "  {p}WH: throughput {:.2}x (fixed window); identical request set: \
+             {:.2}x fewer events, {:.2}x less wall-clock",
+            b.tps / u.tps,
+            uw.events as f64 / bw.events as f64,
+            uw.wall_ms / bw.wall_ms,
+        );
+    }
+
+    // Machine-readable results.
+    let mut out = Json::obj();
+    out.set("figure", "fig4");
+    out.set("quick", quick);
+    out.set("partitions", partitions.iter().map(|&p| p as u64).collect::<Vec<_>>());
+    let mut tput = Json::obj();
+    for ((label, _), row) in workloads.iter().zip(&table) {
+        tput.set(label, row.iter().map(|s| s.tps).collect::<Vec<_>>());
+    }
+    out.set("throughput", tput);
+    out.set(
+        "events_executed",
+        table
+            .iter()
+            .flatten()
+            .map(|s| s.events)
+            .sum::<u64>(),
+    );
+    out.set("wall_clock_s", wall_start.elapsed().as_secs_f64());
+    let mut rows = Vec::new();
+    for (p, u, b, uw, bw) in &ablation {
+        for (mb, basis, s) in [
+            (1u64, "fixed_window", u),
+            (8, "fixed_window", b),
+            (1, "fixed_work", uw),
+            (8, "fixed_work", bw),
+        ] {
+            let mut r = Json::obj();
+            r.set("workload", "Heron (null requests)");
+            r.set("partitions", *p);
+            r.set("max_batch", mb);
+            r.set("basis", basis);
+            r.set("tps", s.tps);
+            r.set("events", s.events);
+            r.set("wall_ms", s.wall_ms);
+            rows.push(r);
+        }
+        let mut r = Json::obj();
+        r.set("workload", "Heron (null requests)");
+        r.set("partitions", *p);
+        r.set("speedup_tps", b.tps / u.tps);
+        // < 1.0 means batching cut the simulator's work for an identical
+        // request set (fewer doorbells → fewer landing events and wakes).
+        r.set("fixed_work_events_ratio", bw.events as f64 / uw.events as f64);
+        r.set("fixed_work_wall_ratio", bw.wall_ms / uw.wall_ms);
+        rows.push(r);
+    }
+    out.set("ablation", rows);
+    write_results("BENCH_fig4.json", &out).expect("write bench_results/BENCH_fig4.json");
 }

@@ -7,9 +7,12 @@
 //!
 //! `cargo run -p heron-bench --release --bin fig5_vs_dynastar [--quick]`
 
-use heron_bench::{banner, quick_mode, run_dynastar_tpcc, run_heron, RunConfig, Workload};
+use heron_bench::{
+    banner, quick_mode, run_dynastar_tpcc, run_heron, write_results, Json, RunConfig, Workload,
+};
 
 fn main() {
+    let wall_start = std::time::Instant::now();
     let quick = quick_mode();
     banner(
         "Figure 5: Heron vs DynaStar on TPC-C",
@@ -24,6 +27,11 @@ fn main() {
         "{:<6} {:>14} {:>14} {:>8} | {:>12} {:>12} {:>8}",
         "WH", "Heron tps", "DynaStar tps", "ratio", "Heron lat", "DynaStar lat", "ratio"
     );
+    let mut heron_tps = Vec::new();
+    let mut dynastar_tps = Vec::new();
+    let mut heron_lat_us = Vec::new();
+    let mut dynastar_lat_us = Vec::new();
+    let mut events_total = 0u64;
     for &p in &partitions {
         let h = run_heron(&RunConfig::new(p, 3, Workload::Tpcc).quick(quick));
         let mut ds_cfg = RunConfig::new(p, 3, Workload::Tpcc).quick(quick);
@@ -41,6 +49,30 @@ fn main() {
             d.mean,
             d.mean.as_secs_f64() / h.mean.as_secs_f64(),
         );
+        heron_tps.push(h.tps);
+        dynastar_tps.push(d.tps);
+        heron_lat_us.push(h.mean.as_secs_f64() * 1e6);
+        dynastar_lat_us.push(d.mean.as_secs_f64() * 1e6);
+        events_total += h.events + d.events;
     }
     println!("\npaper: throughput ratio 17x (1WH) .. 27x (16WH); latency ratio 43.9x–72x");
+
+    let mut out = Json::obj();
+    out.set("figure", "fig5");
+    out.set("quick", quick);
+    out.set(
+        "partitions",
+        partitions.iter().map(|&p| p as u64).collect::<Vec<_>>(),
+    );
+    let mut tput = Json::obj();
+    tput.set("Heron (Tpcc)", heron_tps);
+    tput.set("DynaStar (Tpcc)", dynastar_tps);
+    out.set("throughput", tput);
+    let mut lat = Json::obj();
+    lat.set("Heron mean (us)", heron_lat_us);
+    lat.set("DynaStar mean (us)", dynastar_lat_us);
+    out.set("latency", lat);
+    out.set("events_executed", events_total);
+    out.set("wall_clock_s", wall_start.elapsed().as_secs_f64());
+    write_results("BENCH_fig5.json", &out).expect("write bench_results/BENCH_fig5.json");
 }

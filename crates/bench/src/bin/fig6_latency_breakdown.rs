@@ -23,12 +23,17 @@ fn run(
     label: &str,
     span: Option<u16>, // None = standard TPCC NewOrder mix
     requests: u32,
+    max_batch: usize,
 ) -> (Duration, Duration, Duration, Duration, Vec<f64>) {
     let warehouses = 4u16;
     let simulation = sim::Simulation::new(7);
     let fabric = Fabric::new(LatencyModel::connectx4());
     let app = Arc::new(TpccApp::new(TpccScale::bench(), warehouses));
-    let cluster = HeronCluster::build(&fabric, HeronConfig::new(warehouses as usize, 3), app.clone());
+    let cluster = HeronCluster::build(
+        &fabric,
+        HeronConfig::new(warehouses as usize, 3).with_max_batch(max_batch),
+        app.clone(),
+    );
     cluster.spawn(&simulation);
     let mut client = cluster.client(label);
     let app2 = app.clone();
@@ -88,15 +93,19 @@ fn main() {
         "workload", "ordering", "coordination", "execution", "total"
     );
     let mut cdfs: Vec<(String, Vec<f64>)> = Vec::new();
-    let configs: Vec<(String, Option<u16>)> = vec![
-        ("Tpcc".into(), None),
-        ("1WH".into(), Some(1)),
-        ("2WH".into(), Some(2)),
-        ("3WH".into(), Some(3)),
-        ("4WH".into(), Some(4)),
+    // `max_batch` only helps under concurrency; with a single closed-loop
+    // client the batched row must match the unbatched one — a latency
+    // no-regression check for the batching machinery.
+    let configs: Vec<(String, Option<u16>, usize)> = vec![
+        ("Tpcc".into(), None, 1),
+        ("Tpcc b8".into(), None, 8),
+        ("1WH".into(), Some(1), 1),
+        ("2WH".into(), Some(2), 1),
+        ("3WH".into(), Some(3), 1),
+        ("4WH".into(), Some(4), 1),
     ];
-    for (label, span) in configs {
-        let (o, c, e, total, samples) = run(&label, span, requests);
+    for (label, span, max_batch) in configs {
+        let (o, c, e, total, samples) = run(&label, span, requests, max_batch);
         println!(
             "{:<10} {:>10.2?} {:>14.2?} {:>11.2?} {:>10.2?}",
             label, o, c, e, total

@@ -53,6 +53,15 @@ pub struct RunConfig {
     pub wait_for_all: Option<Option<Duration>>,
     /// Multi-partition execution mode (paper §III-D2).
     pub execution_mode: heron_core::ExecutionMode,
+    /// End-to-end batching cap (ordering-layer group commit + coalesced
+    /// Phase 2/4 doorbells). `1` = unbatched, the paper's baseline system.
+    pub max_batch: usize,
+    /// Fixed-work mode: when set, each client issues exactly this many
+    /// requests and the run measures the whole execution (virtual time,
+    /// simulator events, and wall clock for an identical request set)
+    /// instead of counting completions inside a fixed window. `warmup` and
+    /// `window` are ignored.
+    pub requests: Option<u64>,
 }
 
 impl RunConfig {
@@ -72,7 +81,24 @@ impl RunConfig {
             workload,
             wait_for_all: None,
             execution_mode: heron_core::ExecutionMode::default(),
+            max_batch: 1,
+            requests: None,
         }
+    }
+
+    /// Sets the end-to-end batching cap.
+    #[must_use]
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// Switches to fixed-work mode: every client issues exactly `n`
+    /// requests, then the run ends.
+    #[must_use]
+    pub fn with_requests(mut self, n: u64) -> Self {
+        self.requests = Some(n);
+        self
     }
 
     /// Shrinks the run for `--quick` smoke mode.
@@ -123,6 +149,12 @@ pub struct LoadSummary {
     pub delays: Vec<(f64, Duration)>,
     /// State transfers initiated during the run (lagger events).
     pub transfers_started: u64,
+    /// Scheduler events the simulator executed for the whole run (warm-up
+    /// included) — the wall-clock cost driver, since every event is a host
+    /// park/unpark.
+    pub events: u64,
+    /// Host wall-clock time for the whole run, milliseconds.
+    pub wall_ms: f64,
 }
 
 fn percentile_of(sorted: &[u64], q: f64) -> Duration {
@@ -145,6 +177,7 @@ pub fn quantile(sorted_us: &[f64], q: f64) -> f64 {
 /// Builds a Heron deployment for `cfg` and drives it with closed-loop
 /// clients; returns the measured summary.
 pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
+    let wall_start = std::time::Instant::now();
     let simulation = sim::Simulation::new(cfg.seed);
     let fabric = Fabric::new(LatencyModel::connectx4());
     let app: Arc<dyn StateMachine> = match cfg.workload {
@@ -158,24 +191,35 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
     if let Some(delta) = cfg.wait_for_all {
         hcfg = hcfg.with_wait_for_all(delta);
     }
-    hcfg = hcfg.with_execution_mode(cfg.execution_mode);
+    hcfg = hcfg
+        .with_execution_mode(cfg.execution_mode)
+        .with_max_batch(cfg.max_batch);
     let cluster = HeronCluster::build(&fabric, hcfg, app);
     cluster.spawn(&simulation);
 
     let end = sim::SimTime::ZERO + cfg.warmup + cfg.window;
+    let fixed_requests = cfg.requests;
+    let live_clients = Arc::new(std::sync::atomic::AtomicUsize::new(cfg.clients));
     for c in 0..cfg.clients {
         let mut client = cluster.client(format!("c{c}"));
         let workload = cfg.workload;
         let scale = cfg.scale;
         let partitions = cfg.partitions as u16;
         let seed = cfg.seed * 1000 + c as u64;
+        let live = live_clients.clone();
         simulation.spawn(format!("client-{c}"), move || {
             let mut gen = tpcc::TpccGen::new(scale, partitions, seed);
             if workload == Workload::TpccLocal {
                 gen.local_only = true;
             }
             let home = (c as u16 % partitions) + 1;
-            while sim::now() < end {
+            let mut issued = 0u64;
+            loop {
+                match fixed_requests {
+                    Some(n) if issued >= n => break,
+                    None if sim::now() >= end => break,
+                    _ => {}
+                }
                 match workload {
                     Workload::Tpcc | Workload::TpccLocal => {
                         client.execute(&gen.next(home).encode());
@@ -195,19 +239,35 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
                         client.execute_on(&NullApp::request(&dests), &dests);
                     }
                 }
+                issued += 1;
+            }
+            // In fixed-work mode the last client to finish ends the run.
+            if fixed_requests.is_some() && live.fetch_sub(1, Ordering::Relaxed) == 1 {
+                sim::stop();
             }
         });
     }
 
     let metrics = cluster.metrics();
-    // Snapshot at the end of the warm-up.
-    simulation
-        .run_until(sim::SimTime::ZERO + cfg.warmup)
-        .expect("warmup");
-    let completed0 = metrics.completed.load(Ordering::Relaxed);
-    let samples0 = metrics.latencies.lock().len();
-    let breakdown0 = metrics.breakdowns.lock().len();
-    simulation.run_until(end).expect("measurement window");
+    let (completed0, samples0, breakdown0);
+    let window_secs;
+    if fixed_requests.is_some() {
+        // Fixed work: measure the whole run, cold start included — both
+        // sides of a comparison pay it identically.
+        (completed0, samples0, breakdown0) = (0, 0, 0);
+        simulation.run().expect("fixed-work run");
+        window_secs = simulation.now().as_nanos() as f64 / 1e9;
+    } else {
+        // Snapshot at the end of the warm-up.
+        simulation
+            .run_until(sim::SimTime::ZERO + cfg.warmup)
+            .expect("warmup");
+        completed0 = metrics.completed.load(Ordering::Relaxed);
+        samples0 = metrics.latencies.lock().len();
+        breakdown0 = metrics.breakdowns.lock().len();
+        simulation.run_until(end).expect("measurement window");
+        window_secs = cfg.window.as_secs_f64();
+    }
     let completed1 = metrics.completed.load(Ordering::Relaxed);
 
     let mut window_samples: Vec<u64> = metrics.latencies.lock()[samples0..].to_vec();
@@ -248,7 +308,7 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
         .collect::<Vec<_>>();
 
     LoadSummary {
-        tps: (completed1 - completed0) as f64 / cfg.window.as_secs_f64(),
+        tps: (completed1 - completed0) as f64 / window_secs,
         mean,
         p50: percentile_of(&window_samples, 0.5),
         p95: percentile_of(&window_samples, 0.95),
@@ -261,11 +321,14 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
         multi: summarize(true),
         delays,
         transfers_started: metrics.transfers_started.load(Ordering::Relaxed),
+        events: simulation.events_executed(),
+        wall_ms: wall_start.elapsed().as_secs_f64() * 1_000.0,
     }
 }
 
 /// Drives the DynaStar baseline with the TPC-C mix; returns the summary.
 pub fn run_dynastar_tpcc(cfg: &RunConfig) -> LoadSummary {
+    let wall_start = std::time::Instant::now();
     let simulation = sim::Simulation::new(cfg.seed);
     let app = Arc::new(TpccApp::new(cfg.scale, cfg.partitions as u16));
     let ds = DynaStar::build(
@@ -319,5 +382,7 @@ pub fn run_dynastar_tpcc(cfg: &RunConfig) -> LoadSummary {
         multi: BreakdownSummary::default(),
         delays: vec![],
         transfers_started: 0,
+        events: simulation.events_executed(),
+        wall_ms: wall_start.elapsed().as_secs_f64() * 1_000.0,
     }
 }

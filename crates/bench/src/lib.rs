@@ -19,12 +19,14 @@
 
 pub mod harness;
 pub mod null;
+pub mod report;
 pub mod syncapp;
 
 pub use harness::{
     quantile, run_dynastar_tpcc, run_heron, LoadSummary, RunConfig, Workload,
 };
 pub use null::NullApp;
+pub use report::{write_results, Json};
 
 /// `true` when `--quick` was passed: benchmarks shrink their measurement
 /// windows for a fast smoke run.

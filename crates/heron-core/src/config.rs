@@ -120,6 +120,22 @@ impl HeronConfig {
         self
     }
 
+    /// Sets the end-to-end batching cap: the ordering layer's group-commit
+    /// window and, when above 1, doorbell-coalesced Phase 2/4 coordination
+    /// flushes in the execution layer. `1` (the default) disables batching
+    /// everywhere and reproduces the unbatched system bit-for-bit.
+    #[must_use]
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        assert!(n >= 1, "max_batch must be at least 1");
+        self.mcast.max_batch = n;
+        self
+    }
+
+    /// The end-to-end batching cap (see [`Self::with_max_batch`]).
+    pub fn max_batch(&self) -> usize {
+        self.mcast.max_batch
+    }
+
     /// Majority size per partition.
     pub fn majority(&self) -> usize {
         self.replicas_per_partition / 2 + 1
@@ -143,6 +159,14 @@ mod tests {
         let cfg = HeronConfig::new(1, 3).with_max_clients(100);
         assert_eq!(cfg.max_clients, 100);
         assert_eq!(cfg.mcast.max_clients, 100);
+    }
+
+    #[test]
+    fn with_max_batch_propagates_to_mcast() {
+        let cfg = HeronConfig::new(2, 3).with_max_batch(16);
+        assert_eq!(cfg.max_batch(), 16);
+        assert_eq!(cfg.mcast.max_batch, 16);
+        assert_eq!(HeronConfig::new(2, 3).max_batch(), 1, "batching off by default");
     }
 
     #[test]

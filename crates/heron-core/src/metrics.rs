@@ -122,13 +122,15 @@ impl Metrics {
         Duration::from_nanos(l.iter().sum::<u64>() / l.len() as u64)
     }
 
-    /// The `q`-quantile (0.0–1.0) of recorded latencies.
+    /// The `q`-quantile (0.0–1.0, clamped) of recorded latencies; zero
+    /// when no samples were recorded.
     pub fn latency_quantile(&self, q: f64) -> Duration {
         let mut l = self.latencies.lock().clone();
         if l.is_empty() {
             return Duration::ZERO;
         }
         l.sort_unstable();
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let idx = ((l.len() - 1) as f64 * q).round() as usize;
         Duration::from_nanos(l[idx])
     }
@@ -166,8 +168,12 @@ impl Metrics {
         )
     }
 
-    /// Throughput over a measurement window.
+    /// Throughput over a measurement window; zero for an empty window
+    /// (instead of `inf`/`NaN` from the division).
     pub fn throughput(&self, window: Duration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
         self.completed.load(Ordering::Relaxed) as f64 / window.as_secs_f64()
     }
 }
@@ -236,5 +242,26 @@ mod tests {
         assert_eq!(m.latency_quantile(0.5), Duration::ZERO);
         let (o, c, e) = m.mean_breakdown(None);
         assert_eq!((o, c, e), (Duration::ZERO, Duration::ZERO, Duration::ZERO));
+    }
+
+    #[test]
+    fn throughput_of_empty_window_is_zero_not_nan() {
+        let m = Metrics::new(1);
+        assert_eq!(m.throughput(Duration::ZERO), 0.0);
+        m.record_latency(Duration::from_micros(5));
+        // Even with completions, a zero window must not divide by zero.
+        assert_eq!(m.throughput(Duration::ZERO), 0.0);
+        assert_eq!(m.throughput(Duration::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn quantile_arguments_are_clamped() {
+        let m = Metrics::new(1);
+        for us in [10u64, 20, 30] {
+            m.record_latency(Duration::from_micros(us));
+        }
+        assert_eq!(m.latency_quantile(-1.0), Duration::from_micros(10));
+        assert_eq!(m.latency_quantile(2.0), Duration::from_micros(30));
+        assert_eq!(m.latency_quantile(f64::NAN), Duration::from_micros(10));
     }
 }

@@ -24,6 +24,10 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Lagging;
 
+/// Writes queued per target node, to be flushed in the same doorbell batch
+/// as the next coordination entry for that node (batched mode only).
+type PendingWrites = HashMap<rdma_sim::NodeId, Vec<(rdma_sim::Addr, Vec<u8>)>>;
+
 /// A replica's request-execution process.
 pub(crate) struct Executor {
     shared: Arc<ReplicaShared>,
@@ -200,6 +204,7 @@ impl Executor {
         // (it will be skipped via last_req), otherwise we caught up to a
         // point *before* this request and must still execute it.
         let t_exec = sim::now();
+        let mut pending_writes = PendingWrites::new();
         let active_only = self.cfg().execution_mode == crate::ExecutionMode::ActiveOnly;
         let active = shared
             .cluster
@@ -222,8 +227,9 @@ impl Executor {
             Bytes::new()
         } else {
             let exec = loop {
+                pending_writes.clear();
                 let attempt = if active_only {
-                    self.execute_active_only(&payload, ts, &dests)
+                    self.execute_active_only(&payload, ts, &dests, &mut pending_writes)
                 } else {
                     self.read_objects(&payload, ts, &dests, &dests)
                         .map(|reads| self.execute_and_write(&payload, ts, &reads))
@@ -243,9 +249,10 @@ impl Executor {
         let exec_ns = (sim::now() - t_exec).as_nanos() as u64;
 
         // Lines 14–16: Phase 4 — same barrier, with the optional
-        // wait-for-all delay (paper §V-E1).
+        // wait-for-all delay (paper §V-E1). Queued active-only write-backs
+        // ride the same doorbells.
         let t_p4 = sim::now();
-        self.write_coord(&dests, ts, 2);
+        self.write_coord_with(&dests, ts, 2, pending_writes);
         self.wait_coord(&dests, ts, 2, self.cfg().wait_for_all);
         let p4_ns = (sim::now() - t_p4).as_nanos() as u64;
 
@@ -265,8 +272,26 @@ impl Executor {
     /// every involved partition: smallest partition first, then by replica
     /// index — the order behind Table I's per-partition asymmetry.
     fn write_coord(&self, dests: &[PartitionId], ts: Timestamp, phase: u64) {
+        self.write_coord_with(dests, ts, phase, PendingWrites::new());
+    }
+
+    /// [`Self::write_coord`] with queued object writes coalesced in: in
+    /// batched mode (`max_batch > 1`) each target's pending writes and its
+    /// coordination entry are flushed as ONE doorbell batch — the coord
+    /// entry pushed last, so by the fabric's in-order application a peer
+    /// that observes the barrier entry also observes every object write
+    /// that preceded it (the invariant the passive execution path relies
+    /// on, previously guaranteed by FIFO ordering of individual verbs).
+    fn write_coord_with(
+        &self,
+        dests: &[PartitionId],
+        ts: Timestamp,
+        phase: u64,
+        mut pending: PendingWrites,
+    ) {
         let shared = &self.shared;
         let n = self.n();
+        let batched = self.cfg().max_batch() > 1;
         let entry = encode_coord(ts.raw(), phase);
         let mut sorted = dests.to_vec();
         sorted.sort_unstable();
@@ -278,11 +303,24 @@ impl Executor {
                     .coord_slot(shared.partition.0 as usize, shared.idx, n);
                 if target.id() == shared.node.id() {
                     let _ = shared.node.local_write(slot_on_target, &entry);
+                } else if batched {
+                    let mut batch = shared.qp(&target).write_batch();
+                    for (addr, buf) in pending.remove(&target.id()).unwrap_or_default() {
+                        batch.push(addr, buf);
+                    }
+                    batch.push(slot_on_target, entry.to_vec());
+                    let _ = batch.post();
                 } else {
                     let _ = shared.qp(&target).post_write(slot_on_target, entry.to_vec());
                 }
             }
         }
+        // Write-backs only target replicas of involved partitions, so the
+        // barrier loop above must have drained everything.
+        debug_assert!(
+            pending.is_empty(),
+            "queued writes must target barrier peers"
+        );
     }
 
     fn layout_of(&self, node: &rdma_sim::Node) -> crate::layout::ReplicaLayout {
@@ -544,6 +582,7 @@ impl Executor {
         payload: &[u8],
         ts: Timestamp,
         dests: &[PartitionId],
+        pending: &mut PendingWrites,
     ) -> Result<Execution, Lagging> {
         let shared = &self.shared;
         let app = Arc::clone(&shared.cluster.app);
@@ -604,7 +643,11 @@ impl Executor {
         if !total_compute.is_zero() {
             sim::sleep(total_compute);
         }
-        // Write back the passive partitions' objects.
+        // Write back the passive partitions' objects. In batched mode they
+        // are queued and ride the Phase-4 coordination doorbell (one batch
+        // per peer); unbatched, each image is its own verb, exactly as
+        // before.
+        let batched = self.cfg().max_batch() > 1;
         for (h, oid, value) in remote_writes {
             let versions = remote_slots.get(&oid).unwrap_or_else(|| {
                 panic!(
@@ -619,7 +662,11 @@ impl Executor {
                     continue; // unknown address: that replica will lag and state-transfer
                 };
                 let image = encode_slot_image(versions, &value, ts, cap);
-                let _ = shared.qp(&target).post_write(addr, image);
+                if batched {
+                    pending.entry(target.id()).or_default().push((addr, image));
+                } else {
+                    let _ = shared.qp(&target).post_write(addr, image);
+                }
             }
         }
         Ok(Execution {

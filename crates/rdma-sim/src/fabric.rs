@@ -70,6 +70,10 @@ pub struct FabricStats {
     pub bytes_read: AtomicU64,
     /// Total payload bytes carried by (posted or signaled) writes.
     pub bytes_written: AtomicU64,
+    /// Doorbell rings: one per individually posted verb, one per
+    /// [`crate::WriteBatch`] regardless of how many writes it carries.
+    /// `posted_writes / doorbells` is the achieved batching factor.
+    pub doorbells: AtomicU64,
 }
 
 impl FabricStats {

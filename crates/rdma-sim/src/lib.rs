@@ -47,4 +47,4 @@ mod qp;
 pub use error::{RdmaError, RdmaResult};
 pub use fabric::{Addr, Fabric, FabricStats, Message, Node, NodeId};
 pub use latency::LatencyModel;
-pub use qp::QueuePair;
+pub use qp::{QueuePair, WriteBatch};

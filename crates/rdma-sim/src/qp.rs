@@ -84,6 +84,7 @@ impl QueuePair {
         sim::sleep_ns(lat.one_way(len));
         let stats = &self.local.fabric.stats;
         stats.reads.fetch_add(1, Ordering::Relaxed);
+        stats.doorbells.fetch_add(1, Ordering::Relaxed);
         stats.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
         Ok(data)
     }
@@ -137,6 +138,7 @@ impl QueuePair {
         sim::sleep_ns(lat.one_way(8));
         let stats = &self.local.fabric.stats;
         stats.writes.fetch_add(1, Ordering::Relaxed);
+        stats.doorbells.fetch_add(1, Ordering::Relaxed);
         stats
             .bytes_written
             .fetch_add(data.len() as u64, Ordering::Relaxed);
@@ -181,6 +183,7 @@ impl QueuePair {
         {
             let stats = &self.local.fabric.stats;
             stats.posted_writes.fetch_add(1, Ordering::Relaxed);
+            stats.doorbells.fetch_add(1, Ordering::Relaxed);
             stats.bytes_written.fetch_add(stats_bytes, Ordering::Relaxed);
         }
         sim::schedule_ns(delay, move || {
@@ -239,8 +242,21 @@ impl QueuePair {
             self.remote.inner.mem_cond.notify_all();
         }
         sim::sleep_ns(lat.one_way(8));
-        self.local.fabric.stats.cas_ops.fetch_add(1, Ordering::Relaxed);
+        let stats = &self.local.fabric.stats;
+        stats.cas_ops.fetch_add(1, Ordering::Relaxed);
+        stats.doorbells.fetch_add(1, Ordering::Relaxed);
         Ok(old)
+    }
+
+    /// Opens a doorbell batch towards this queue pair's remote end: up to
+    /// N unsignaled writes posted with a single doorbell ring. See
+    /// [`WriteBatch`].
+    pub fn write_batch(&self) -> WriteBatch {
+        WriteBatch {
+            qp: self.clone(),
+            writes: Vec::new(),
+            bytes: 0,
+        }
     }
 
     /// Two-sided send. The payload arrives in the remote node's receive
@@ -262,10 +278,120 @@ impl QueuePair {
             - now;
         let remote = self.remote.clone();
         let from = self.local.id();
-        self.local.fabric.stats.sends.fetch_add(1, Ordering::Relaxed);
+        let stats = &self.local.fabric.stats;
+        stats.sends.fetch_add(1, Ordering::Relaxed);
+        stats.doorbells.fetch_add(1, Ordering::Relaxed);
         sim::schedule_ns(delay, move || {
             if remote.is_alive() {
                 remote.inner.inbox.send(Message { from, payload });
+            }
+        });
+        Ok(())
+    }
+}
+
+/// A doorbell batch of unsignaled writes to a single peer.
+///
+/// Real ConnectX NICs let the driver chain multiple WQEs and ring the
+/// doorbell once; the NIC then streams the work requests back-to-back.
+/// The model follows that: posting the batch charges the issuing process
+/// `post_ns` **once** (one doorbell) regardless of the number of writes,
+/// the combined payload serializes as one unit on the (src, dst) link,
+/// and all writes land atomically (in push order) at the arrival instant
+/// as a single scheduler event.
+///
+/// A batch of exactly one write is cost- and event-identical to
+/// [`QueuePair::post_write`]: same doorbell charge, same link occupancy,
+/// same single landing event. That equivalence is what lets higher layers
+/// run batched code paths with batch size 1 and reproduce unbatched
+/// executions bit-for-bit.
+///
+/// Crash semantics match unsignaled writes: if the remote node is crashed
+/// at arrival time the whole batch is silently dropped.
+#[derive(Debug)]
+pub struct WriteBatch {
+    qp: QueuePair,
+    writes: Vec<(Addr, Vec<u8>)>,
+    bytes: usize,
+}
+
+impl WriteBatch {
+    /// Queues one write; no fabric activity until [`WriteBatch::post`].
+    pub fn push(&mut self, addr: Addr, data: Vec<u8>) {
+        self.bytes += data.len();
+        self.writes.push((addr, data));
+    }
+
+    /// Queues one 8-byte word write.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::Misaligned`] for an unaligned address.
+    pub fn push_word(&mut self, addr: Addr, value: u64) -> RdmaResult<()> {
+        if !addr.is_word_aligned() {
+            return Err(RdmaError::Misaligned);
+        }
+        self.push(addr, value.to_le_bytes().to_vec());
+        Ok(())
+    }
+
+    /// Number of queued writes.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True if nothing has been queued.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Total queued payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Rings the doorbell: charges `post_ns` once, occupies the link with
+    /// the combined payload, and schedules a single landing event that
+    /// applies every queued write in push order.
+    ///
+    /// Posting an empty batch is free and touches neither the fabric nor
+    /// the stats.
+    ///
+    /// # Errors
+    ///
+    /// [`RdmaError::LocalFailure`] if the local node is crashed.
+    pub fn post(self) -> RdmaResult<()> {
+        if self.writes.is_empty() {
+            return Ok(());
+        }
+        let qp = &self.qp;
+        qp.check_local_alive()?;
+        let lat = qp.local.fabric.latency;
+        sim::sleep_ns(lat.post_ns);
+        let now = sim::now().as_nanos();
+        let delay = qp
+            .local
+            .fabric
+            .fifo_arrival(qp.local.id(), qp.remote.id(), now, self.bytes)
+            - now;
+        {
+            let stats = &qp.local.fabric.stats;
+            stats
+                .posted_writes
+                .fetch_add(self.writes.len() as u64, Ordering::Relaxed);
+            stats.doorbells.fetch_add(1, Ordering::Relaxed);
+            stats
+                .bytes_written
+                .fetch_add(self.bytes as u64, Ordering::Relaxed);
+        }
+        let remote = qp.remote.clone();
+        let writes = self.writes;
+        sim::schedule_ns(delay, move || {
+            if remote.is_alive() {
+                for (addr, data) in &writes {
+                    // Ignore landing errors, as for any unsignaled write.
+                    let _ = remote.local_write(*addr, data);
+                }
             }
         });
         Ok(())
@@ -462,6 +588,129 @@ mod tests {
             assert_eq!(elapsed, lat.post_ns + 2 * ser + lat.one_way_ns);
         });
         simulation.run().unwrap();
+    }
+
+    #[test]
+    fn write_batch_of_one_matches_post_write_exactly() {
+        // The equivalence higher layers rely on: a 1-write batch has the
+        // same posting cost and the same landing instant as post_write.
+        let simulation = sim::Simulation::new(7);
+        let fabric = Fabric::new(LatencyModel::connectx4());
+        let a = fabric.add_node("a");
+        let b = fabric.add_node("b");
+        let c = fabric.add_node("c");
+        let addr_b = b.alloc_words(1);
+        let addr_c = c.alloc_words(1);
+        let (b2, c2) = (b.clone(), c.clone());
+        simulation.spawn("writer", move || {
+            // post_write on the a->b link.
+            let qp_b = a.connect(&b);
+            let t0 = sim::now().as_nanos();
+            qp_b.post_write_word(addr_b, 7).unwrap();
+            let post_cost = sim::now().as_nanos() - t0;
+            // 1-write batch on the fresh a->c link (same link history).
+            let qp_c = a.connect(&c);
+            let t1 = sim::now().as_nanos();
+            let mut batch = qp_c.write_batch();
+            batch.push_word(addr_c, 7).unwrap();
+            batch.post().unwrap();
+            let batch_cost = sim::now().as_nanos() - t1;
+            assert_eq!(post_cost, batch_cost);
+            b2.poll_until(|| b2.local_read_word(addr_b).unwrap() == 7);
+            let landed_b = sim::now().as_nanos() - t0;
+            c2.poll_until(|| c2.local_read_word(addr_c).unwrap() == 7);
+            let landed_c = sim::now().as_nanos() - t1;
+            assert_eq!(landed_b, landed_c);
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn write_batch_charges_one_doorbell_for_n_writes() {
+        let (simulation, fabric, a, b) = two_nodes();
+        let addr = b.alloc_words(8);
+        let b2 = b.clone();
+        simulation.spawn("writer", move || {
+            let qp = a.connect(&b);
+            let lat = LatencyModel::connectx4();
+            let t0 = sim::now().as_nanos();
+            let mut batch = qp.write_batch();
+            for i in 0..8u64 {
+                batch.push_word(addr.offset(i * 8), i + 1).unwrap();
+            }
+            assert_eq!(batch.len(), 8);
+            assert_eq!(batch.bytes(), 64);
+            batch.post().unwrap();
+            // One doorbell: post_ns charged once, not 8 times.
+            assert_eq!(sim::now().as_nanos() - t0, lat.post_ns);
+            // All writes land together after serialization of the
+            // combined 64-byte payload plus propagation.
+            b2.poll_until(|| b2.local_read_word(addr.offset(56)).unwrap() == 8);
+            assert_eq!(
+                sim::now().as_nanos() - t0,
+                lat.post_ns + lat.one_way(64)
+            );
+            for i in 0..8u64 {
+                assert_eq!(b2.local_read_word(addr.offset(i * 8)).unwrap(), i + 1);
+            }
+        });
+        simulation.run().unwrap();
+        let s = fabric.stats();
+        assert_eq!(s.posted_writes.load(Ordering::Relaxed), 8);
+        assert_eq!(s.doorbells.load(Ordering::Relaxed), 1);
+        assert_eq!(s.bytes_written.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn write_batch_to_crashed_node_is_dropped_whole() {
+        let (simulation, fabric, a, b) = two_nodes();
+        let addr = b.alloc_words(2);
+        let b2 = b.clone();
+        let b_id = b.id();
+        simulation.spawn("writer", move || {
+            let qp = a.connect(&b);
+            fabric.crash(b_id);
+            let mut batch = qp.write_batch();
+            batch.push_word(addr, 1).unwrap();
+            batch.push_word(addr.offset(8), 2).unwrap();
+            batch.post().unwrap();
+            sim::sleep(std::time::Duration::from_micros(100));
+            fabric.recover(b_id);
+            assert_eq!(b2.local_read_word(addr).unwrap(), 0);
+            assert_eq!(b2.local_read_word(addr.offset(8)).unwrap(), 0);
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn empty_write_batch_is_free() {
+        let (simulation, fabric, a, b) = two_nodes();
+        let _addr = b.alloc_words(1);
+        simulation.spawn("writer", move || {
+            let qp = a.connect(&b);
+            let t0 = sim::now().as_nanos();
+            qp.write_batch().post().unwrap();
+            assert_eq!(sim::now().as_nanos(), t0);
+        });
+        simulation.run().unwrap();
+        assert_eq!(fabric.stats().doorbells.load(Ordering::Relaxed), 0);
+        assert_eq!(fabric.stats().posted_writes.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn doorbells_count_individual_verbs() {
+        let (simulation, fabric, a, b) = two_nodes();
+        let addr = b.alloc_words(4);
+        simulation.spawn("a", move || {
+            let qp = a.connect(&b);
+            qp.write_word(addr, 1).unwrap();
+            qp.post_write_word(addr.offset(8), 2).unwrap();
+            let _ = qp.read(addr, 8).unwrap();
+            let _ = qp.compare_and_swap(addr, 1, 3).unwrap();
+            qp.send(vec![1]).unwrap();
+        });
+        simulation.run().unwrap();
+        assert_eq!(fabric.stats().doorbells.load(Ordering::Relaxed), 5);
     }
 
     #[test]

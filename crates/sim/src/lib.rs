@@ -180,6 +180,35 @@ mod tests {
     }
 
     #[test]
+    fn events_executed_counts_scheduler_work() {
+        let sim = Simulation::new(1);
+        assert_eq!(sim.events_executed(), 0);
+        sim.spawn("p", || {
+            for _ in 0..10 {
+                sleep(Duration::from_nanos(5));
+            }
+        });
+        sim.run().unwrap();
+        // At least one wake per sleep plus the initial spawn wake; the
+        // exact count is an implementation detail, but it must be
+        // monotone in the amount of scheduling done.
+        let after_ten = sim.events_executed();
+        assert!(after_ten >= 11, "got {after_ten}");
+
+        let sim2 = Simulation::new(1);
+        sim2.spawn("p", || {
+            for _ in 0..100 {
+                sleep(Duration::from_nanos(5));
+            }
+        });
+        sim2.run().unwrap();
+        assert!(
+            sim2.events_executed() > after_ten,
+            "more sleeps must execute more events"
+        );
+    }
+
+    #[test]
     fn processes_interleave_by_virtual_time_not_spawn_order() {
         let sim = Simulation::new(1);
         let order = Arc::new(parking_lot::Mutex::new(Vec::new()));

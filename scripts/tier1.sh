@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build + full test suite, fully offline.
+# Every dependency is a vendored shim under shims/ (see README), so this
+# must pass with no network access from a fresh checkout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

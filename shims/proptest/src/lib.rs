@@ -1,0 +1,320 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API this workspace's property tests
+//! use: the `proptest!` macro with `#![proptest_config(..)]`, integer
+//! range and `any::<T>()` strategies, tuple strategies, `prop_map`, and
+//! `prop::collection::vec`. Cases are generated from a deterministic
+//! per-test seed (derived from the test name), so failures reproduce.
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! generated inputs visible in the assertion message.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed derived from the test's name, so each test gets a stable,
+    /// distinct stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Execution configuration; only `cases` is meaningful in the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` — the shim's `any::<T>()`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                (self.start as u128 + (rng.next_u64() as u128 % span)) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                (lo as u128 + (rng.next_u64() as u128 % span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Size specification for collection strategies: an exact size or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy for `Vec`s whose elements come from `elem` and whose
+        /// length is drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { elem, size: size.into() }
+        }
+
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` test-definition macro. Each contained `#[test] fn`
+/// runs `config.cases` generated cases (no shrinking on failure).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (
+        @with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let x = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let v = prop::collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let exact = prop::collection::vec(0u8..=1, 7).generate(&mut rng);
+            assert_eq!(exact.len(), 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: strategies bind, bodies run per case.
+        #[test]
+        fn macro_binds_arguments(
+            a in 0u64..10,
+            pair in (0u8..4, 1usize..3),
+            v in prop::collection::vec(any::<u16>(), 1..4),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!(pair.0 < 4 && pair.1 >= 1);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_works_without_config(x in 0u8..3) {
+            prop_assert!(x < 3);
+        }
+    }
+}
