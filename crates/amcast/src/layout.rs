@@ -31,7 +31,7 @@ pub(crate) const fn round8(n: usize) -> usize {
 
 pub(crate) const SUB_HDR: usize = 4 * WORD; // stamp, uid, mask, len
 pub(crate) const CTRL_HDR: usize = 6 * WORD; // stamp, kind, uid, a, b, len
-pub(crate) const LOG_HDR: usize = 5 * WORD; // stamp, uid, mask, ts, len
+pub(crate) const LOG_HDR: usize = 6 * WORD; // stamp, uid, mask, ts, epoch, len
 
 /// Byte addresses of the multicast regions on one replica node.
 #[derive(Debug, Clone, Copy)]
@@ -218,24 +218,37 @@ pub(crate) struct LogEntry {
     pub payload: Vec<u8>,
 }
 
-pub(crate) fn encode_log(seq: u64, uid: u32, mask: DestMask, ts_raw: u64, payload: &[u8]) -> Vec<u8> {
+/// Encodes a log entry. `epoch` is the epoch of the leader *writing* the
+/// entry into the destination slot (re-stamped on retransmission and
+/// backfill): a recovered replica uses it to distinguish entries confirmed
+/// by the current regime from the stale tail of its own pre-crash log.
+pub(crate) fn encode_log(
+    seq: u64,
+    uid: u32,
+    mask: DestMask,
+    ts_raw: u64,
+    epoch: u64,
+    payload: &[u8],
+) -> Vec<u8> {
     let mut buf = Vec::with_capacity(LOG_HDR + payload.len());
     put_word(&mut buf, seq + 1);
     put_word(&mut buf, u64::from(uid));
     put_word(&mut buf, mask);
     put_word(&mut buf, ts_raw);
+    put_word(&mut buf, epoch);
     put_word(&mut buf, payload.len() as u64);
     buf.extend_from_slice(payload);
     buf
 }
 
-pub(crate) fn decode_log_header(hdr: &[u8]) -> (u64, u32, DestMask, u64, usize) {
+pub(crate) fn decode_log_header(hdr: &[u8]) -> (u64, u32, DestMask, u64, u64, usize) {
     (
         get_word(hdr, 0),
         get_word(hdr, 1) as u32,
         get_word(hdr, 2),
         get_word(hdr, 3),
-        get_word(hdr, 4) as usize,
+        get_word(hdr, 4),
+        get_word(hdr, 5) as usize,
     )
 }
 
@@ -272,9 +285,9 @@ mod tests {
 
     #[test]
     fn log_entry_round_trips() {
-        let buf = encode_log(5, 11, 0b11, 0xABCD, b"payload!");
-        let (stamp, uid, mask, ts, len) = decode_log_header(&buf[..LOG_HDR]);
-        assert_eq!((stamp, uid, mask, ts, len), (6, 11, 0b11, 0xABCD, 8));
+        let buf = encode_log(5, 11, 0b11, 0xABCD, 3, b"payload!");
+        let (stamp, uid, mask, ts, epoch, len) = decode_log_header(&buf[..LOG_HDR]);
+        assert_eq!((stamp, uid, mask, ts, epoch, len), (6, 11, 0b11, 0xABCD, 3, 8));
     }
 
     #[test]

@@ -58,6 +58,16 @@ struct State {
     last_hb_val: u64,
     last_hb_change: SimTime,
     election_target: u64,
+    /// A recovered replica may hold a stale, never-committed tail in its
+    /// own log (entries it appended as a pre-crash leader, or that a since
+    /// deposed leader wrote while it was down). Until the current regime is
+    /// known, applying the local log is unsafe: `await_epoch` blocks
+    /// applies until a *fresh* heartbeat reveals the live leader's epoch,
+    /// and `entry_epoch_floor` then refuses entries stamped by older
+    /// regimes — the live leader's retransmission path overwrites them
+    /// re-stamped with its own epoch.
+    await_epoch: bool,
+    entry_epoch_floor: u64,
 }
 
 /// One multicast replica's protocol driver.
@@ -153,6 +163,8 @@ impl McastReplica {
             last_hb_val: 0,
             last_hb_change: sim::now(),
             election_target: 0,
+            await_epoch: false,
+            entry_epoch_floor: 0,
         };
         let mut incarnation = self.node.incarnation();
         loop {
@@ -171,6 +183,27 @@ impl McastReplica {
                 st.last_hb_change = sim::now();
                 st.is_leader = false;
                 self.resync_lanes(&mut st);
+                // A crash loses volatile ordering state: drop in-flight
+                // proposals/finals (client retries re-learn them) and keep
+                // only what was actually delivered. In particular, a
+                // pre-crash leader's sequencing bookkeeping (`done`,
+                // `finals`) must not survive — a takeover may have replaced
+                // its unreplicated log tail, and reusing stale decisions
+                // would sequence retried messages at obsolete timestamps.
+                st.pending.clear();
+                st.finalized.clear();
+                st.props.clear();
+                st.finals.clear();
+                st.done = st.delivered.clone();
+                // Our own log tail beyond `applied_seq` is suspect for the
+                // same reason: refuse to apply it until a fresh heartbeat
+                // reveals the current regime (`follower_apply_log` then
+                // requires entries stamped by it or a newer one).
+                st.await_epoch = true;
+                st.last_hb_val = self
+                    .node
+                    .local_read_word(self.layout.heartbeat)
+                    .unwrap_or(0);
             }
             self.do_work(&mut st, &mut qps);
             let deadline = if st.is_leader {
@@ -227,11 +260,16 @@ impl McastReplica {
                 }
             }
         } else {
-            // New log entries?
-            let addr = self.inner.sizes.log_slot(self.layout, st.applied_seq);
-            let stamp = self.node.local_read_word(addr).unwrap_or(0);
-            if stamp > st.applied_seq {
-                return true;
+            // New log entries? Mirrors `follower_apply_log`'s recovery
+            // gates exactly, or a refused stale entry would read as
+            // permanent work and this process would spin without blocking.
+            if !st.await_epoch {
+                let addr = self.inner.sizes.log_slot(self.layout, st.applied_seq);
+                let stamp = self.node.local_read_word(addr).unwrap_or(0);
+                let epoch = self.node.local_read_word(addr.offset(32)).unwrap_or(0);
+                if stamp > st.applied_seq && epoch >= st.entry_epoch_floor {
+                    return true;
+                }
             }
             // Heartbeat moved?
             if self.node.local_read_word(self.layout.heartbeat).unwrap_or(0) != st.last_hb_val {
@@ -701,7 +739,7 @@ impl McastReplica {
                 st.next_seq += 1;
                 st.done.insert(*uid);
                 st.props.remove(uid);
-                let entry = encode_log(seq, *uid, *mask, *ts_raw, payload);
+                let entry = encode_log(seq, *uid, *mask, *ts_raw, st.epoch, payload);
                 let my_slot = self.inner.sizes.log_slot(self.layout, seq);
                 self.node
                     .local_write(my_slot, &entry)
@@ -746,7 +784,7 @@ impl McastReplica {
         st.next_seq += 1;
         st.done.insert(uid);
         st.props.remove(&uid);
-        let entry = encode_log(seq, uid, mask, ts_raw, payload);
+        let entry = encode_log(seq, uid, mask, ts_raw, st.epoch, payload);
         let my_slot = self.inner.sizes.log_slot(self.layout, seq);
         self.node
             .local_write(my_slot, &entry)
@@ -797,7 +835,7 @@ impl McastReplica {
             .node
             .local_read(addr, LOG_HDR)
             .expect("log header in range");
-        let (stamp, uid, mask, ts_raw, len) = decode_log_header(&hdr);
+        let (stamp, uid, mask, ts_raw, _epoch, len) = decode_log_header(&hdr);
         debug_assert_eq!(stamp, seq + 1, "own log slot holds wrong sequence");
         let payload = self
             .node
@@ -821,7 +859,9 @@ impl McastReplica {
         st.finals.remove(&entry.uid);
         st.pending.remove(&entry.uid);
         st.max_ts_seen = st.max_ts_seen.max(Timestamp::from_raw(entry.ts_raw).clock());
-        self.inner.deliveries[self.group.0 as usize][self.idx].send(DeliveryEvent::Deliver(
+        // A dead consumer (its process was killed) cannot take deliveries;
+        // dropping the event mirrors losing an upcall to a crashed replica.
+        let _ = self.inner.deliveries[self.group.0 as usize][self.idx].send(DeliveryEvent::Deliver(
             Delivered {
                 id: MsgId(entry.uid),
                 ts: Timestamp::from_raw(entry.ts_raw),
@@ -882,16 +922,20 @@ impl McastReplica {
                 let mut batch = qp.write_batch();
                 for seq in from..to {
                     let entry = self.read_own_log(seq);
-                    let buf =
-                        encode_log(seq, entry.uid, entry.mask, entry.ts_raw, &entry.payload);
+                    // Re-stamped with our epoch: the current regime vouches
+                    // for the entry, so a recovered follower may apply it.
+                    let buf = encode_log(
+                        seq, entry.uid, entry.mask, entry.ts_raw, st.epoch, &entry.payload,
+                    );
                     batch.push(self.inner.sizes.log_slot(peer_layout, seq), buf);
                 }
                 let _ = batch.post();
             } else {
                 for seq in from..to {
                     let entry = self.read_own_log(seq);
-                    let buf =
-                        encode_log(seq, entry.uid, entry.mask, entry.ts_raw, &entry.payload);
+                    let buf = encode_log(
+                        seq, entry.uid, entry.mask, entry.ts_raw, st.epoch, &entry.payload,
+                    );
                     let slot = self.inner.sizes.log_slot(peer_layout, seq);
                     let _ = qp.post_write(slot, buf);
                 }
@@ -904,14 +948,27 @@ impl McastReplica {
     // ------------------------------------------------------------------
 
     fn follower_apply_log(&self, st: &mut State, qps: &mut HashMap<usize, QueuePair>) {
+        if st.await_epoch {
+            // Freshly recovered: the local log may end in a stale tail from
+            // a deposed regime. Hold all applies until a heartbeat reveals
+            // the live leader's epoch (`follower_check_leader` clears this).
+            return;
+        }
         let mut progressed = false;
         loop {
             let addr = self.inner.sizes.log_slot(self.layout, st.applied_seq);
             let Ok(hdr) = self.node.local_read(addr, LOG_HDR) else {
                 break;
             };
-            let (stamp, uid, mask, ts_raw, len) = decode_log_header(&hdr);
+            let (stamp, uid, mask, ts_raw, epoch, len) = decode_log_header(&hdr);
             if stamp == 0 || stamp < st.applied_seq + 1 {
+                break;
+            }
+            if epoch < st.entry_epoch_floor {
+                // Written by a regime older than the one we rejoined under:
+                // this is our own pre-crash tail, never confirmed by a
+                // majority. The live leader retransmits the true entry for
+                // this slot re-stamped with its epoch; wait for it.
                 break;
             }
             if stamp > st.applied_seq + 1 {
@@ -919,7 +976,7 @@ impl McastReplica {
                 // applied them. Surface the gap; the application recovers
                 // out of band (Heron: state transfer).
                 let missed_to = stamp - 2; // the slot now holds seq stamp-1
-                self.inner.deliveries[self.group.0 as usize][self.idx].send(DeliveryEvent::Gap {
+                let _ = self.inner.deliveries[self.group.0 as usize][self.idx].send(DeliveryEvent::Gap {
                     from: st.applied_seq,
                     to: missed_to,
                 });
@@ -970,6 +1027,13 @@ impl McastReplica {
             st.last_hb_val = hb;
             st.last_hb_change = now;
             let seen_epoch = hb >> 32;
+            if st.await_epoch {
+                // First heartbeat since we recovered: only a live leader
+                // heartbeats, so its epoch is the current regime. Entries
+                // written by older regimes (our suspect tail) stay refused.
+                st.await_epoch = false;
+                st.entry_epoch_floor = st.entry_epoch_floor.max(seen_epoch);
+            }
             if seen_epoch > st.epoch {
                 st.epoch = seen_epoch;
                 st.election_target = st.election_target.max(seen_epoch);
@@ -1030,7 +1094,7 @@ impl McastReplica {
                 let Ok(hdr) = qp.read(slot, LOG_HDR) else {
                     return; // holder died mid-transfer; retry next timeout
                 };
-                let (stamp, _, _, _, len) = decode_log_header(&hdr);
+                let (stamp, _, _, _, _, len) = decode_log_header(&hdr);
                 if stamp != seq + 1 {
                     return; // holder's slot was overwritten; retry
                 }
@@ -1066,12 +1130,17 @@ impl McastReplica {
             let qp = self.qp(qps, target_g);
             for s in seq..adopt_to {
                 let entry = self.read_own_log(s);
-                let buf = encode_log(s, entry.uid, entry.mask, entry.ts_raw, &entry.payload);
+                // Backfilled under the new epoch so recovered peers accept.
+                let buf =
+                    encode_log(s, entry.uid, entry.mask, entry.ts_raw, target, &entry.payload);
                 let slot = self.inner.sizes.log_slot(peer_layout, s);
                 let _ = qp.post_write(slot, buf);
             }
         }
-        // 5. Assume leadership.
+        // 5. Assume leadership. We adopted a majority log, so any suspect
+        // recovered tail was superseded; our own appends carry `target`.
+        st.await_epoch = false;
+        st.entry_epoch_floor = st.entry_epoch_floor.max(target);
         st.epoch = target;
         st.is_leader = true;
         st.next_seq = adopt_to;

@@ -315,6 +315,119 @@ proptest::proptest! {
     }
 }
 
+/// Runs one workload under a declarative [`rdma_sim::FaultPlan`]: jitter on
+/// one replica and a fail-stop crash (with later recovery) of a follower in
+/// the other group. Returns the per-replica delivery logs plus the global
+/// index of the crashed replica.
+fn run_faulted_scenario(
+    seed: u64,
+    max_batch: usize,
+    plan: &[(u8, u32)],
+) -> (Vec<Vec<(MsgId, Timestamp)>>, usize) {
+    let h = build(seed, McastConfig::new(2, 3).with_max_batch(max_batch));
+    // Derive the fault targets from the seed: jitter hits one replica of
+    // one group, the crash a *follower* (the initial leader is replica 0;
+    // leader fail-over is exercised by its own test above) of the other.
+    let jitter_group = (seed % 2) as u16;
+    let crash_group = 1 - jitter_group;
+    let jitter_replica = (seed / 2 % 3) as usize;
+    let crash_replica = 1 + (seed / 7 % 2) as usize;
+    let crash_at = Duration::from_micros(40 + seed % 120);
+    let recover_at = crash_at + Duration::from_micros(800 + seed % 1200);
+    let crashed_global = crash_group as usize * h.n + crash_replica;
+    rdma_sim::FaultPlan::new(seed)
+        .jitter(
+            h.mcast.node(GroupId(jitter_group), jitter_replica).id(),
+            Duration::from_micros(1 + seed % 20),
+        )
+        .crash_at(h.mcast.node(GroupId(crash_group), crash_replica).id(), crash_at)
+        .recover_at(h.mcast.node(GroupId(crash_group), crash_replica).id(), recover_at)
+        .arm(&h.simulation, &h.fabric);
+    let mut client = h.mcast.client(&h.fabric.add_node("client"));
+    let plan = plan.to_vec();
+    h.simulation.spawn("client", move || {
+        for (i, (pattern, gap_us)) in plan.into_iter().enumerate() {
+            let dests = match pattern % 3 {
+                0 => vec![GroupId(0)],
+                1 => vec![GroupId(1)],
+                _ => vec![GroupId(0), GroupId(1)],
+            };
+            client.multicast(&dests, &(i as u32).to_le_bytes());
+            sim::sleep(Duration::from_micros(u64::from(gap_us)));
+        }
+    });
+    h.simulation.run_until(sim::SimTime::from_millis(100)).unwrap();
+    let logs = h.logs.lock().clone();
+    (logs, crashed_global)
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(4))]
+
+    /// §II-B properties survive the §IV fault model: under per-verb jitter
+    /// on one replica and a fail-stop crash + recovery of a follower, every
+    /// replica that stayed up delivers the full message set of its group in
+    /// a single system-wide consistent order with unique timestamps — and
+    /// the recovered replica's (possibly partial) log embeds in that same
+    /// order. Holds identically without and with group commit.
+    #[test]
+    fn order_and_timestamps_survive_jitter_and_crash(
+        seed in 300u64..400,
+        plan in proptest::prop::collection::vec((0u8..3, 3u32..=15), 8..=20),
+    ) {
+        for mb in [1usize, 8] {
+            let (logs, crashed) = run_faulted_scenario(seed, mb, &plan);
+            // Completeness at the replicas that never crashed.
+            for g in 0..2u8 {
+                let expect = plan
+                    .iter()
+                    .filter(|(p, _)| p % 3 == 2 || p % 3 == g)
+                    .count();
+                for r in 0..3 {
+                    let slot = g as usize * 3 + r;
+                    if slot == crashed {
+                        proptest::prop_assert!(
+                            logs[slot].len() <= expect,
+                            "crashed replica over-delivered at max_batch={}", mb
+                        );
+                        continue;
+                    }
+                    proptest::prop_assert_eq!(
+                        logs[slot].len(), expect,
+                        "replica g{}r{} delivered {}/{} at max_batch={}",
+                        g, r, logs[slot].len(), expect, mb
+                    );
+                }
+            }
+            // Uniform prefix/acyclic order across every replica pair,
+            // including the crashed-and-recovered one.
+            for a in 0..logs.len() {
+                for b in (a + 1)..logs.len() {
+                    assert_consistent(&logs[a], &logs[b]);
+                }
+            }
+            // No duplicate deliveries anywhere, timestamp-ordered logs,
+            // per-message timestamp agreement, global uniqueness.
+            let mut ts_of: HashMap<MsgId, Timestamp> = HashMap::new();
+            for log in logs.iter() {
+                let uids: HashSet<MsgId> = log.iter().map(|(m, _)| *m).collect();
+                proptest::prop_assert_eq!(uids.len(), log.len(), "duplicate delivery at max_batch={}", mb);
+                let ts: Vec<_> = log.iter().map(|(_, t)| *t).collect();
+                let mut sorted = ts.clone();
+                sorted.sort();
+                proptest::prop_assert_eq!(&ts, &sorted, "non-monotone delivery at max_batch={}", mb);
+                for &(m, t) in log {
+                    if let Some(prev) = ts_of.insert(m, t) {
+                        proptest::prop_assert_eq!(prev, t, "message delivered with two timestamps");
+                    }
+                }
+            }
+            let distinct: HashSet<Timestamp> = ts_of.values().copied().collect();
+            proptest::prop_assert_eq!(distinct.len(), ts_of.len(), "duplicate timestamps at max_batch={}", mb);
+        }
+    }
+}
+
 #[test]
 fn concurrent_clients_to_disjoint_groups_scale_independently() {
     let h = build(16, McastConfig::new(2, 3));

@@ -1,0 +1,124 @@
+//! Chaos suite runner: N seeded schedules × generated fault plans through
+//! the SMR consistency checker.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p heron-bench --release --bin chaos_suite [-- OPTIONS]
+//!   --schedules N   number of seeded schedules to run (default 8)
+//!   --seed S        base seed; schedule k runs with seed S+k (default 9000)
+//!   --quick         shorter workloads per schedule
+//!   --selftest      corrupt one applied command and verify the checker
+//!                   catches it and the shrinker minimizes it
+//! ```
+//!
+//! Exit status is nonzero iff any schedule fails (non-linearizable
+//! history, store divergence, or stall). A failure is shrunk to a minimal
+//! reproduction and the failing seed is printed for replay.
+
+use heron_bench::chaos::{run, scenario_for_seed, shrink, RunResult};
+use heron_bench::{banner, quick_mode};
+
+fn arg_value(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    banner(
+        "chaos suite — fault-injected schedules through the consistency checker",
+        "fault model of §IV; correctness argument of §III",
+    );
+    let schedules = arg_value("--schedules").unwrap_or(8);
+    let base_seed = arg_value("--seed").unwrap_or(9000);
+    let quick = quick_mode();
+
+    if std::env::args().any(|a| a == "--selftest") {
+        selftest(base_seed, quick);
+        return;
+    }
+
+    let mut failures = Vec::new();
+    for k in 0..schedules {
+        let seed = base_seed + k;
+        let sc = scenario_for_seed(seed, quick);
+        let result = run(&sc);
+        match &result {
+            RunResult::Pass { ops } => {
+                println!(
+                    "seed {seed}: PASS — {ops} ops, {} fault clauses {:?}",
+                    sc.clauses.len(),
+                    sc.clauses
+                );
+            }
+            RunResult::Stalled { pending } => {
+                println!("seed {seed}: STALL — {pending} operations never completed");
+                failures.push((sc, result));
+            }
+            RunResult::Failed(v) => {
+                println!("seed {seed}: FAIL — {v}");
+                failures.push((sc, result));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("chaos suite: all {schedules} schedules passed");
+        return;
+    }
+
+    for (sc, _) in &failures {
+        println!("\nshrinking failing seed {} to a minimal reproduction...", sc.seed);
+        let (min, result) = shrink(sc);
+        println!(
+            "FAILING SEED {} — minimal reproduction: {} clients × {} requests, clauses {:?}",
+            min.seed, min.clients, min.requests, min.clauses
+        );
+        match result {
+            RunResult::Failed(v) => println!("  {v}"),
+            RunResult::Stalled { pending } => println!("  stall: {pending} operations pending"),
+            RunResult::Pass { .. } => unreachable!("shrink keeps only failing scenarios"),
+        }
+        println!(
+            "  replay: cargo run -p heron-bench --release --bin chaos_suite -- \
+             --seed {} --schedules 1{}",
+            min.seed,
+            if quick_mode() { " --quick" } else { "" }
+        );
+    }
+    std::process::exit(1);
+}
+
+/// Corrupts one applied command after a clean run and verifies the checker
+/// reports it (with the seed) and the shrinker strips the scenario to its
+/// minimum. Exits nonzero if the checker misses the corruption.
+fn selftest(base_seed: u64, quick: bool) {
+    let mut sc = scenario_for_seed(base_seed, quick);
+    sc.corrupt = Some((0, 1, 0));
+    println!("selftest: corrupting object 0 at partition 0 replica 1 (seed {base_seed})");
+    let result = run(&sc);
+    if !result.failed() {
+        println!("selftest: FAIL — checker did not detect the corruption");
+        std::process::exit(1);
+    }
+    let (min, result) = shrink(&sc);
+    match result {
+        RunResult::Failed(v) => {
+            println!("selftest: corruption detected — {v}");
+            println!(
+                "selftest: shrunk to {} clients × {} requests, {} clauses",
+                min.clients,
+                min.requests,
+                min.clauses.len()
+            );
+            println!("selftest: OK");
+        }
+        other => {
+            println!("selftest: FAIL — expected a violation after shrinking, got {other:?}");
+            std::process::exit(1);
+        }
+    }
+}

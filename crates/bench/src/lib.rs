@@ -12,11 +12,13 @@
 //! | `table1_wait_for_all` | Table I — delayed transactions under wait-for-all |
 //! | `fig8_state_transfer` | Fig. 8 — state-transfer latency & full-warehouse recovery |
 //! | `ablation_sweeps` | transfer chunk size (§V-E2), Phase-4 cut-off δ (§V-A), execution mode (§III-D2) |
+//! | `chaos_suite` | fault model of §IV — seeded fault plans through the consistency checker |
 //!
 //! Run them with `cargo run -p heron-bench --release --bin <name>`; pass
 //! `--quick` for a shorter, coarser run. Criterion microbenchmarks of the
 //! implementation itself live in `benches/`.
 
+pub mod chaos;
 pub mod harness;
 pub mod null;
 pub mod report;

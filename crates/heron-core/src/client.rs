@@ -68,6 +68,12 @@ impl HeronClient {
         self.id
     }
 
+    /// The sequence number of the last issued request (0 before the
+    /// first).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
     /// Executes one request and blocks until every involved partition has
     /// responded; returns the response of the lowest-numbered involved
     /// partition. Records the end-to-end latency in the cluster metrics.

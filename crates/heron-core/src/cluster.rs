@@ -253,6 +253,40 @@ impl HeronCluster {
         self.replicas[p.0 as usize][i].store.get(oid).map(|(_, v)| v)
     }
 
+    /// Direct read of a committed value *with* its version timestamp
+    /// (diagnostics): the latest version of `oid` at replica `(p, i)`.
+    pub fn peek_versioned(
+        &self,
+        p: PartitionId,
+        i: usize,
+        oid: ObjectId,
+    ) -> Option<(u64, bytes::Bytes)> {
+        self.replicas[p.0 as usize][i]
+            .store
+            .get(oid)
+            .map(|(t, v)| (t.raw(), v))
+    }
+
+    /// The write log of replica `(p, i)` (diagnostics): one `(ts_raw, oid)`
+    /// entry per local write, in apply order.
+    pub fn write_log(&self, p: PartitionId, i: usize) -> Vec<(u64, ObjectId)> {
+        self.replicas[p.0 as usize][i].log.lock().clone()
+    }
+
+    /// The object ids hosted by replica `(p, i)`'s store, sorted
+    /// (diagnostics).
+    pub fn object_ids(&self, p: PartitionId, i: usize) -> Vec<ObjectId> {
+        self.replicas[p.0 as usize][i].store.object_ids()
+    }
+
+    /// Deliberately corrupts the stored value of `oid` at one replica,
+    /// bypassing the protocol (both versions' payload bytes are flipped;
+    /// timestamps stay intact). This exists for the consistency checker's
+    /// self-test: a checker that cannot catch this corruption is broken.
+    pub fn corrupt_value(&self, p: PartitionId, i: usize, oid: ObjectId) {
+        self.replicas[p.0 as usize][i].store.corrupt(oid);
+    }
+
     /// The raw `last_req` timestamp of a replica (diagnostics).
     pub fn last_req(&self, p: PartitionId, i: usize) -> u64 {
         self.replicas[p.0 as usize][i].last_req.load(Ordering::SeqCst)

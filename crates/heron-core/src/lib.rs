@@ -82,6 +82,7 @@
 //! ```
 
 mod app;
+pub mod checker;
 mod client;
 mod cluster;
 mod config;
@@ -93,6 +94,7 @@ mod store;
 mod types;
 
 pub use app::{Execution, LocalReader, ReadSet, StateMachine};
+pub use checker::{CheckedClient, Checker, OpRecord, SequentialSpec, Violation};
 pub use client::HeronClient;
 pub use cluster::HeronCluster;
 pub use config::{ExecutionMode, HeronConfig};

@@ -192,8 +192,18 @@ impl Executor {
             if self.wait_coord_timeout(&dests, ts, 1, self.cfg().transfer_timeout) {
                 break;
             }
-            if self.state_transfer() >= ts.raw() {
-                return; // the transfer included this request
+            // The transfer is abortable on barrier-heal: delivery at a slow
+            // majority can trail ours by whole leader-election timeouts, and
+            // every replica of OUR partition may be stalled right here — in
+            // which case nobody serves transfers and waiting unconditionally
+            // deadlocks the partition (and, transitively, every partition
+            // coordinating with it).
+            let heal_shared = Arc::clone(shared);
+            let heal_dests = dests.clone();
+            let healed = move || coord_status(&heal_shared, &heal_dests, ts, 1).1;
+            match self.state_transfer_abortable(&healed) {
+                Some(rid) if rid >= ts.raw() => return, // transfer covered this request
+                _ => {}
             }
         }
         let p2_ns = (sim::now() - t_p2).as_nanos() as u64;
@@ -340,35 +350,7 @@ impl Executor {
         ts: Timestamp,
         phase: u64,
     ) -> (HashMap<PartitionId, Vec<usize>>, bool, bool) {
-        let shared = &self.shared;
-        let n = self.n();
-        let majority = self.cfg().majority();
-        let mut matching: HashMap<PartitionId, Vec<usize>> = HashMap::new();
-        let mut all_majority = true;
-        let mut all_everyone = true;
-        for &h in dests {
-            let mut ok = 0usize;
-            let mut m = Vec::new();
-            for q in 0..n {
-                let slot = shared.layout.coord_slot(h.0 as usize, q, n);
-                let tmp = shared.node.local_read_word(slot).unwrap_or(0);
-                let ph = shared.node.local_read_word(slot.offset(8)).unwrap_or(0);
-                if tmp == ts.raw() && ph >= phase {
-                    ok += 1;
-                    m.push(q);
-                } else if tmp > ts.raw() {
-                    ok += 1;
-                }
-            }
-            if ok < majority {
-                all_majority = false;
-            }
-            if ok < n {
-                all_everyone = false;
-            }
-            matching.insert(h, m);
-        }
-        (matching, all_majority, all_everyone)
+        coord_status(&self.shared, dests, ts, phase)
     }
 
     /// Like [`Executor::wait_coord`] but gives up after `timeout`; returns
@@ -738,6 +720,26 @@ impl Executor {
     /// (raw timestamp): every request up to and including it is reflected
     /// in our state afterwards.
     fn state_transfer(&mut self) -> u64 {
+        self.state_transfer_abortable(&|| false)
+            .expect("non-abortable transfer always completes")
+    }
+
+    /// [`Self::state_transfer`] with an escape hatch: between responder
+    /// re-arms, if `abort()` reports that the condition we fell back from
+    /// has healed (e.g. a coordination barrier's entries arrived late
+    /// rather than never), the request is withdrawn and `None` returned.
+    ///
+    /// Without this, a whole partition can deadlock: every executor that
+    /// misses a barrier by a hair falls into the transfer fallback, and
+    /// since responders only serve from the executor main loop, replicas
+    /// stuck in the fallback can never serve each other.
+    ///
+    /// Withdrawal only happens while the request is provably untouched —
+    /// our own status word is still 1 (armed, unclaimed; responders claim
+    /// with a remote CAS on it, and the read-then-reset below is atomic in
+    /// the cooperative simulation) and no chunk of this transfer has been
+    /// applied — so a partially-applied snapshot can never be abandoned.
+    fn state_transfer_abortable(&mut self, abort: &dyn Fn() -> bool) -> Option<u64> {
         let shared = &self.shared;
         let metrics = &shared.cluster.metrics;
         metrics.transfers_started.fetch_add(1, Ordering::Relaxed);
@@ -789,6 +791,32 @@ impl Executor {
                 if done {
                     break;
                 }
+                if abort() {
+                    let status = shared
+                        .node
+                        .local_read_word(my_sync.offset(8))
+                        .unwrap_or(0);
+                    let untouched = {
+                        let prog = shared.transfer.lock();
+                        prog.stream_bound.is_none() && prog.bytes == 0
+                    };
+                    if status == 1 && untouched {
+                        // Withdraw: reset our own status word first (kills
+                        // any in-flight responder claim — the CAS on it
+                        // will now fail), then clear our entry on every
+                        // peer so their serve loops stop raising it.
+                        let _ = shared.node.local_write(my_sync, &encode_sync(0, 0));
+                        shared.transfer.lock().expected = 0;
+                        let clear = encode_sync(0, 0);
+                        for q in 0..self.n() {
+                            let target = shared.peer(shared.partition, q);
+                            if target.id() != shared.node.id() {
+                                let _ = shared.qp(&target).post_write(my_sync, clear.to_vec());
+                            }
+                        }
+                        return None;
+                    }
+                }
                 // Timeout: the selected responder may have failed; re-arm
                 // (the rotation on the responder side picks the next one).
             }
@@ -835,7 +863,7 @@ impl Executor {
                 duration_ns: (sim::now() - t0).as_nanos() as u64,
                 native_bytes: prog.native_bytes,
             });
-            return rid;
+            return Some(rid);
         }
     }
 
@@ -1035,6 +1063,46 @@ impl LocalReader for StoreReader<'_> {
         }
         self.shared.store.get(oid).map(|(_, v)| v)
     }
+}
+
+/// Reads the replica's own coordination memory and returns, per involved
+/// partition, `(matching, satisfied-majority, satisfied-everyone)` — free
+/// function so the phase-2 barrier can be re-checked from inside the
+/// state-transfer fallback without re-borrowing the executor.
+pub(crate) fn coord_status(
+    shared: &ReplicaShared,
+    dests: &[PartitionId],
+    ts: Timestamp,
+    phase: u64,
+) -> (HashMap<PartitionId, Vec<usize>>, bool, bool) {
+    let n = shared.cluster.cfg.replicas_per_partition;
+    let majority = shared.cluster.cfg.majority();
+    let mut matching: HashMap<PartitionId, Vec<usize>> = HashMap::new();
+    let mut all_majority = true;
+    let mut all_everyone = true;
+    for &h in dests {
+        let mut ok = 0usize;
+        let mut m = Vec::new();
+        for q in 0..n {
+            let slot = shared.layout.coord_slot(h.0 as usize, q, n);
+            let tmp = shared.node.local_read_word(slot).unwrap_or(0);
+            let ph = shared.node.local_read_word(slot.offset(8)).unwrap_or(0);
+            if tmp == ts.raw() && ph >= phase {
+                ok += 1;
+                m.push(q);
+            } else if tmp > ts.raw() {
+                ok += 1;
+            }
+        }
+        if ok < majority {
+            all_majority = false;
+        }
+        if ok < n {
+            all_everyone = false;
+        }
+        matching.insert(h, m);
+    }
+    (matching, all_majority, all_everyone)
 }
 
 /// The `(requester idx, from_tmp)` of every state-transfer request

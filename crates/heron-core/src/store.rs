@@ -226,6 +226,30 @@ impl VersionedStore {
         SlotVersions::decode(&raw, slot.cap)
     }
 
+    /// All hosted object ids, sorted (diagnostics / consistency checker).
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self.inner.lock().slots.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Flips the first payload byte of **both** versions of `oid`'s slot,
+    /// leaving timestamps and lengths intact — a deliberate corruption used
+    /// by the consistency checker's self-test to prove the cross-replica
+    /// checks fire. Has no visible effect on zero-length values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not hosted here.
+    pub fn corrupt(&self, oid: ObjectId) {
+        let slot = self.slot(oid).expect("object hosted here");
+        let mut raw = self.raw_slot_bytes(slot);
+        let one = VERSION_HDR + slot.cap;
+        raw[VERSION_HDR] ^= 0xFF;
+        raw[one + VERSION_HDR] ^= 0xFF;
+        self.apply_raw_slot(oid, &raw);
+    }
+
     /// Raw slot bytes — what state transfer ships to a lagger.
     pub fn raw_slot_bytes(&self, slot: Slot) -> Vec<u8> {
         self.node

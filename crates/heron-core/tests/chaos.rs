@@ -1,0 +1,466 @@
+//! Chaos suite: seeded fault plans driven through the SMR consistency
+//! checker.
+//!
+//! Every scenario builds a bank on a fault-injected fabric, runs a
+//! deterministic workload through [`Checker`]-wrapped clients, and then
+//! asserts that (1) the run completed — every request got a response
+//! despite the injected faults — and (2) the checker passes: replica
+//! agreement, store/commit-order consistency, and linearizability of the
+//! client history. The faults are injected entirely at the fabric/QP layer
+//! by [`rdma_sim::FaultPlan`]; the protocol code paths carry no test-only
+//! logic.
+//!
+//! The final tests are the checker's self-test: deliberately corrupting
+//! one applied command (or one recorded response) must produce a
+//! [`Violation`] naming the seed and the offending operation.
+
+use bytes::Bytes;
+use heron_core::checker::{check_history, Checker, SequentialSpec};
+use heron_core::{
+    Execution, HeronCluster, HeronConfig, LocalReader, ObjectId, PartitionId, Placement, ReadSet,
+    StateMachine, StorageKind,
+};
+use rdma_sim::{Fabric, FaultPlan, LatencyModel};
+use sim::SimTime;
+use std::sync::Arc;
+use std::time::Duration;
+
+const OP_TRANSFER: u8 = 1;
+const OP_READ: u8 = 2;
+const INITIAL: u64 = 1000;
+
+fn enc_transfer(from: u64, to: u64, amount: u64) -> Vec<u8> {
+    let mut v = vec![OP_TRANSFER];
+    v.extend_from_slice(&from.to_le_bytes());
+    v.extend_from_slice(&to.to_le_bytes());
+    v.extend_from_slice(&amount.to_le_bytes());
+    v
+}
+
+fn enc_read(acct: u64) -> Vec<u8> {
+    let mut v = vec![OP_READ];
+    v.extend_from_slice(&acct.to_le_bytes());
+    v
+}
+
+fn arg(req: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(req[1 + i * 8..9 + i * 8].try_into().unwrap())
+}
+
+/// The bank of `tests/smr.rs`, reused as the chaos application: accounts
+/// round-robin over partitions; transfers are (potentially multi-partition)
+/// read-modify-writes; reads audit one account.
+struct Bank {
+    partitions: u16,
+    accounts: u64,
+}
+
+impl Bank {
+    fn partition_of(&self, acct: u64) -> PartitionId {
+        PartitionId((acct % self.partitions as u64) as u16)
+    }
+}
+
+impl StateMachine for Bank {
+    fn placement(&self, oid: ObjectId) -> Placement {
+        Placement::Partition(self.partition_of(oid.0))
+    }
+
+    fn storage_kind(&self, _oid: ObjectId) -> StorageKind {
+        StorageKind::Serialized
+    }
+
+    fn destinations(&self, req: &[u8]) -> Vec<PartitionId> {
+        match req[0] {
+            OP_TRANSFER => {
+                let mut d = vec![
+                    self.partition_of(arg(req, 0)),
+                    self.partition_of(arg(req, 1)),
+                ];
+                d.sort_unstable();
+                d.dedup();
+                d
+            }
+            _ => vec![self.partition_of(arg(req, 0))],
+        }
+    }
+
+    fn read_set(&self, req: &[u8]) -> Vec<ObjectId> {
+        match req[0] {
+            OP_TRANSFER => vec![ObjectId(arg(req, 0)), ObjectId(arg(req, 1))],
+            _ => vec![ObjectId(arg(req, 0))],
+        }
+    }
+
+    fn execute(
+        &self,
+        partition: PartitionId,
+        req: &[u8],
+        reads: &ReadSet,
+        _local: &dyn LocalReader,
+    ) -> Execution {
+        let get = |oid: u64| {
+            u64::from_le_bytes(
+                reads.get(ObjectId(oid)).expect("read present")[..8]
+                    .try_into()
+                    .unwrap(),
+            )
+        };
+        match req[0] {
+            OP_TRANSFER => {
+                let (from, to, amount) = (arg(req, 0), arg(req, 1), arg(req, 2));
+                let (bf, bt) = (get(from), get(to));
+                let ok = bf >= amount;
+                let (nf, nt) = if ok {
+                    (bf - amount, bt + amount)
+                } else {
+                    (bf, bt)
+                };
+                let mut writes = Vec::new();
+                if self.partition_of(from) == partition {
+                    writes.push((ObjectId(from), Bytes::copy_from_slice(&nf.to_le_bytes())));
+                }
+                if self.partition_of(to) == partition {
+                    writes.push((ObjectId(to), Bytes::copy_from_slice(&nt.to_le_bytes())));
+                }
+                Execution {
+                    writes,
+                    response: Bytes::copy_from_slice(&[ok as u8]),
+                    compute: Duration::from_micros(2),
+                }
+            }
+            _ => Execution {
+                writes: vec![],
+                response: Bytes::copy_from_slice(&get(arg(req, 0)).to_le_bytes()),
+                compute: Duration::from_micros(1),
+            },
+        }
+    }
+
+    fn bootstrap(&self, partition: PartitionId) -> Vec<(ObjectId, Bytes)> {
+        (0..self.accounts)
+            .filter(|a| self.partition_of(*a) == partition)
+            .map(|a| (ObjectId(a), Bytes::copy_from_slice(&INITIAL.to_le_bytes())))
+            .collect()
+    }
+}
+
+/// The sequential model of the bank, for the linearizability check.
+struct BankSpec {
+    accounts: u64,
+}
+
+impl SequentialSpec for BankSpec {
+    type State = Vec<u64>;
+
+    fn initial(&self) -> Vec<u64> {
+        vec![INITIAL; self.accounts as usize]
+    }
+
+    fn apply(&self, state: &mut Vec<u64>, req: &[u8]) -> Bytes {
+        match req[0] {
+            OP_TRANSFER => {
+                let (from, to, amount) =
+                    (arg(req, 0) as usize, arg(req, 1) as usize, arg(req, 2));
+                let ok = state[from] >= amount;
+                if ok {
+                    state[from] -= amount;
+                    state[to] += amount;
+                }
+                Bytes::copy_from_slice(&[ok as u8])
+            }
+            _ => Bytes::copy_from_slice(&state[arg(req, 0) as usize].to_le_bytes()),
+        }
+    }
+}
+
+/// One chaos run: builds the cluster, arms `plan`, runs `clients`
+/// deterministic closed-loop workloads of `requests` transfers each
+/// (finishing with a full audit of every account), and returns the checker
+/// and final cluster state.
+///
+/// Panics if the run did not finish within the (generous) virtual-time
+/// deadline — i.e. if the injected faults stalled recovery.
+fn run_chaos(
+    seed: u64,
+    partitions: usize,
+    replicas: usize,
+    accounts: u64,
+    clients: usize,
+    requests: u64,
+    make_plan: impl FnOnce(&Fabric, &HeronCluster) -> FaultPlan,
+) -> (Checker, HeronCluster) {
+    let simulation = sim::Simulation::new(seed);
+    let fabric = Fabric::new(LatencyModel::connectx4());
+    let bank = Arc::new(Bank {
+        partitions: partitions as u16,
+        accounts,
+    });
+    let cluster = HeronCluster::build(&fabric, HeronConfig::new(partitions, replicas), bank);
+    cluster.spawn(&simulation);
+    make_plan(&fabric, &cluster).arm(&simulation, &fabric);
+
+    let checker = Checker::new(seed);
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    for c in 0..clients {
+        let mut client = checker.client(&cluster, format!("c{c}"));
+        let done = done.clone();
+        let c = c as u64;
+        simulation.spawn(format!("chaos-client{c}"), move || {
+            for i in 0..requests {
+                let from = (seed + c * 13 + i * 7) % accounts;
+                let to = (from + 1 + (i + c) % (accounts - 1)) % accounts;
+                if from == to || i % 5 == 4 {
+                    client.execute(&enc_read(from));
+                } else {
+                    client.execute(&enc_transfer(from, to, 1 + i % 9));
+                }
+            }
+            // Closing audit: reads of every account anchor the final state
+            // in the recorded history.
+            for a in 0..accounts {
+                client.execute(&enc_read(a));
+            }
+            if done.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1 == clients {
+                // Let followers drain their Phase-4 work before the final
+                // state is inspected.
+                sim::sleep(Duration::from_millis(10));
+                sim::stop();
+            }
+        });
+    }
+    simulation
+        .run_until(SimTime::from_secs(30))
+        .expect("simulation error");
+
+    let history = checker.history();
+    let pending: Vec<_> = history.iter().filter(|o| !o.completed()).collect();
+    assert!(
+        pending.is_empty(),
+        "seed {seed}: recovery did not complete; {} operations still pending: \
+         first = client {} seq {}",
+        pending.len(),
+        pending[0].client,
+        pending[0].seq
+    );
+    (checker, cluster)
+}
+
+fn assert_consistent(checker: &Checker, cluster: &HeronCluster, accounts: u64) {
+    if let Err(v) = checker.check(cluster, &BankSpec { accounts }) {
+        panic!("{v}");
+    }
+}
+
+/// Scenario 1: the ordering leader of partition 0 crashes mid-run — in
+/// the middle of the Phase-2 coordination traffic of the multi-partition
+/// transfers — and later recovers. Clients must retry through the
+/// failover and the recovered leader must catch up by state transfer.
+#[test]
+fn leader_crash_mid_phase2() {
+    let (checker, cluster) = run_chaos(101, 2, 3, 6, 1, 40, |_, cl| {
+        FaultPlan::new(101)
+            .crash_at(cl.replica_node(PartitionId(0), 0).id(), Duration::from_micros(400))
+            .recover_at(cl.replica_node(PartitionId(0), 0).id(), Duration::from_millis(40))
+    });
+    assert_consistent(&checker, &cluster, 6);
+}
+
+/// Scenario 2: a replica is paused (all its verbs stall) across a window
+/// of multi-partition transactions, turning it into a lagger that must
+/// catch up through the state-transfer protocol while the majority keeps
+/// executing.
+#[test]
+fn lagger_during_multi_partition_txns() {
+    let (checker, cluster) = run_chaos(102, 2, 3, 6, 2, 30, |_, cl| {
+        FaultPlan::new(102).pause(
+            cl.replica_node(PartitionId(0), 2).id(),
+            Duration::from_micros(300),
+            Duration::from_millis(8),
+        )
+    });
+    assert_consistent(&checker, &cluster, 6);
+}
+
+/// Scenario 3: a replica crashes, recovers, and crashes *again* while its
+/// state transfer is in flight — the second fault lands mid-catch-up, so
+/// the transfer must be abandoned and restarted after the final recovery.
+#[test]
+fn crash_during_state_transfer() {
+    let (checker, cluster) = run_chaos(103, 2, 3, 6, 1, 50, |_, cl| {
+        let victim = cl.replica_node(PartitionId(0), 2).id();
+        FaultPlan::new(103)
+            .crash_at(victim, Duration::from_micros(200))
+            .recover_at(victim, Duration::from_millis(2))
+            .crash_at(victim, Duration::from_micros(2100))
+            .recover_at(victim, Duration::from_millis(25))
+    });
+    assert_consistent(&checker, &cluster, 6);
+}
+
+/// Scenario 4: drop-and-retry of coordination writes — a burst of verbs
+/// issued by two different replicas is silently lost. Majority quorums
+/// absorb the losses and the protocol's retry/timeout paths recover.
+#[test]
+fn dropped_coordination_writes_are_absorbed() {
+    let (checker, cluster) = run_chaos(104, 2, 3, 6, 1, 40, |_, cl| {
+        let mut plan = FaultPlan::new(104);
+        let a = cl.replica_node(PartitionId(0), 1).id();
+        let b = cl.replica_node(PartitionId(1), 2).id();
+        for nth in 20..30 {
+            plan = plan.drop_verb(a, nth);
+        }
+        for nth in 35..40 {
+            plan = plan.drop_verb(b, nth);
+        }
+        plan
+    });
+    assert_consistent(&checker, &cluster, 6);
+}
+
+/// Scenario 5: one replica of each partition runs with all its verbs 4×
+/// slower — persistent laggers that must not corrupt anything or hold up
+/// client progress past the majority.
+#[test]
+fn slow_replicas_stay_consistent() {
+    let (checker, cluster) = run_chaos(105, 2, 3, 6, 2, 30, |_, cl| {
+        FaultPlan::new(105)
+            .slowdown(cl.replica_node(PartitionId(0), 1).id(), 4)
+            .slowdown(cl.replica_node(PartitionId(1), 2).id(), 4)
+    });
+    assert_consistent(&checker, &cluster, 6);
+}
+
+/// Scenario 6: seeded per-verb latency jitter on every replica — random
+/// completion reordering within the fabric, no crashes. The protocol must
+/// be insensitive to timing alone.
+#[test]
+fn random_jitter_everywhere() {
+    let (checker, cluster) = run_chaos(106, 2, 3, 6, 2, 40, |_, cl| {
+        let mut plan = FaultPlan::new(106);
+        for p in 0..2u16 {
+            for i in 0..3 {
+                plan = plan.jitter(
+                    cl.replica_node(PartitionId(p), i).id(),
+                    Duration::from_micros(25),
+                );
+            }
+        }
+        plan
+    });
+    assert_consistent(&checker, &cluster, 6);
+}
+
+/// Scenario 7: a replica fail-stops on its Nth issued verb (deterministic
+/// mid-protocol crash point) and is recovered by a timed action later.
+#[test]
+fn crash_on_nth_verb() {
+    let (checker, cluster) = run_chaos(107, 2, 3, 6, 1, 40, |_, cl| {
+        let victim = cl.replica_node(PartitionId(1), 1).id();
+        FaultPlan::new(107)
+            .crash_on_verb(victim, 150)
+            .recover_at(victim, Duration::from_millis(30))
+    });
+    assert_consistent(&checker, &cluster, 6);
+}
+
+/// Scenario 8: compound fault — a crash in one partition while a replica
+/// of the other partition is paused, with jitter on a third node. Both
+/// partitions keep majorities, so the system must ride it out.
+#[test]
+fn compound_crash_plus_pause_plus_jitter() {
+    let (checker, cluster) = run_chaos(108, 2, 3, 6, 2, 30, |_, cl| {
+        FaultPlan::new(108)
+            .crash_at(cl.replica_node(PartitionId(0), 1).id(), Duration::from_micros(500))
+            .recover_at(cl.replica_node(PartitionId(0), 1).id(), Duration::from_millis(20))
+            .pause(
+                cl.replica_node(PartitionId(1), 2).id(),
+                Duration::from_micros(400),
+                Duration::from_millis(6),
+            )
+            .jitter(cl.replica_node(PartitionId(0), 2).id(), Duration::from_micros(10))
+    });
+    assert_consistent(&checker, &cluster, 6);
+}
+
+/// Scenario 9: faults on *single-partition* traffic only — partition 1's
+/// whole replica set jittered while one of its replicas crashes and
+/// recovers; partition 0 is untouched and must be completely unaffected.
+#[test]
+fn faults_in_one_partition_do_not_leak() {
+    let (checker, cluster) = run_chaos(109, 2, 3, 6, 1, 40, |_, cl| {
+        let mut plan = FaultPlan::new(109)
+            .crash_at(cl.replica_node(PartitionId(1), 0).id(), Duration::from_micros(600))
+            .recover_at(cl.replica_node(PartitionId(1), 0).id(), Duration::from_millis(25));
+        for i in 1..3 {
+            plan = plan.jitter(
+                cl.replica_node(PartitionId(1), i).id(),
+                Duration::from_micros(15),
+            );
+        }
+        plan
+    });
+    assert_consistent(&checker, &cluster, 6);
+    // Partition 0 never saw a fault: every replica fully caught up.
+    let top = cluster.completed_req(PartitionId(0), 0);
+    for i in 1..3 {
+        assert_eq!(cluster.completed_req(PartitionId(0), i), top);
+    }
+}
+
+/// A fault-free baseline through the same machinery: the checker must
+/// pass, trivially, on an undisturbed run.
+#[test]
+fn fault_free_baseline() {
+    let (checker, cluster) = run_chaos(110, 2, 3, 6, 2, 30, |_, _| FaultPlan::new(110));
+    assert_consistent(&checker, &cluster, 6);
+}
+
+/// Checker self-test, part 1: corrupting one **applied command's** stored
+/// result at a single replica (bypassing the protocol) must be reported as
+/// a store violation naming the seed.
+#[test]
+fn checker_catches_corrupted_applied_command() {
+    let (checker, cluster) = run_chaos(111, 2, 3, 6, 1, 30, |_, _| FaultPlan::new(111));
+    // Sanity: the untouched run is clean.
+    assert_consistent(&checker, &cluster, 6);
+    // Flip the payload bytes of account 0 at partition 0, replica 1.
+    cluster.corrupt_value(PartitionId(0), 1, ObjectId(0));
+    let v = checker
+        .check_replicas(&cluster)
+        .expect_err("corruption must be detected");
+    assert_eq!(v.check, "store", "unexpected violation class: {v}");
+    let msg = v.to_string();
+    assert!(msg.contains("seed 111"), "violation must name the seed: {msg}");
+    assert!(msg.contains("obj:0x0"), "violation must name the object: {msg}");
+}
+
+/// Checker self-test, part 2: corrupting one recorded **response** in the
+/// history must fail linearizability and pin the offending operation.
+#[test]
+fn checker_catches_corrupted_history() {
+    let (checker, _cluster) = run_chaos(112, 2, 3, 6, 1, 30, |_, _| FaultPlan::new(112));
+    let mut history = checker.history();
+    check_history(&history, &BankSpec { accounts: 6 }, 112).expect("clean history linearizes");
+    // Corrupt the response of the last audit read (a nonzero balance
+    // surely exists; report it off by one).
+    let idx = history
+        .iter()
+        .rposition(|o| o.request[0] == OP_READ)
+        .expect("audit reads recorded");
+    let real = u64::from_le_bytes(
+        history[idx].response.as_ref().unwrap()[..8]
+            .try_into()
+            .unwrap(),
+    );
+    history[idx].response = Some(Bytes::copy_from_slice(&(real + 1).to_le_bytes()));
+    let (client, seq) = (history[idx].client, history[idx].seq);
+    let v = check_history(&history, &BankSpec { accounts: 6 }, 112)
+        .expect_err("corrupted response must not linearize");
+    assert_eq!(v.check, "linearizability");
+    let culprit = v.op.clone().expect("offending operation pinned");
+    assert_eq!((culprit.client, culprit.seq), (client, seq));
+    let msg = v.to_string();
+    assert!(msg.contains("seed 112"), "{msg}");
+    assert!(msg.contains(&format!("client {client}")), "{msg}");
+}

@@ -282,7 +282,9 @@ impl<M: Send + 'static> Endpoint<M> {
         let from = self.inner.id;
         sim::schedule_ns(arrive_delay, move || {
             if target.alive.load(Ordering::SeqCst) {
-                target.inbox.send((from, msg));
+                // Silently lost if every receiving process has crashed,
+                // like a datagram into a dead host.
+                let _ = target.inbox.send((from, msg));
             }
         });
     }

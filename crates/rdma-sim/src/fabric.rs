@@ -123,6 +123,11 @@ pub(crate) struct FabricInner {
     /// Per directed (src, dst) pair: virtual arrival time of the last
     /// operation, enforcing the in-order delivery of RC transport.
     pub(crate) link_clock: Mutex<std::collections::HashMap<(NodeId, NodeId), u64>>,
+    /// Set once a [`crate::FaultPlan`] with verb-level faults is armed;
+    /// lets the verb hot path skip the fault lock entirely when no plan is
+    /// installed, keeping fault-free runs bit-identical and cheap.
+    pub(crate) faults_on: AtomicBool,
+    pub(crate) faults: Mutex<Option<crate::faults::FaultRuntime>>,
 }
 
 impl FabricInner {
@@ -138,6 +143,24 @@ impl FabricInner {
         let send_end = now.max(*link_free) + ser;
         *link_free = send_end;
         send_end + self.latency.one_way_ns
+    }
+
+    /// Consults the armed fault plan (if any) about a verb `node` is about
+    /// to issue at `now_ns`. Without a plan this is a single relaxed load.
+    pub(crate) fn verb_fate(&self, node: NodeId, now_ns: u64) -> crate::faults::VerbFate {
+        if !self.faults_on.load(Ordering::Relaxed) {
+            return crate::faults::VerbFate::Proceed {
+                stall_ns: 0,
+                slow: 1,
+            };
+        }
+        match self.faults.lock().as_mut() {
+            Some(runtime) => runtime.verb_fate(node, now_ns),
+            None => crate::faults::VerbFate::Proceed {
+                stall_ns: 0,
+                slow: 1,
+            },
+        }
     }
 }
 
@@ -165,6 +188,8 @@ impl Fabric {
                 nodes: RwLock::new(Vec::new()),
                 stats: FabricStats::default(),
                 link_clock: Mutex::new(std::collections::HashMap::new()),
+                faults_on: AtomicBool::new(false),
+                faults: Mutex::new(None),
             }),
         }
     }

@@ -41,10 +41,12 @@
 
 mod error;
 mod fabric;
+mod faults;
 mod latency;
 mod qp;
 
 pub use error::{RdmaError, RdmaResult};
 pub use fabric::{Addr, Fabric, FabricStats, Message, Node, NodeId};
+pub use faults::FaultPlan;
 pub use latency::LatencyModel;
 pub use qp::{QueuePair, WriteBatch};

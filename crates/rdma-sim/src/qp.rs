@@ -48,6 +48,48 @@ impl QueuePair {
         Ok(())
     }
 
+    /// Accounts the verb-level fault plan costs: post_ns (scaled by any
+    /// slowdown), injected stalls, and decides whether this verb's
+    /// completion is dropped. Must be called at the verb's posting point.
+    fn post_verb(&self) -> RdmaResult<FaultGate> {
+        let gate = self.fault_gate()?;
+        sim::sleep_ns(self.local.fabric.latency.post_ns * gate.slow);
+        Ok(gate)
+    }
+
+    /// Passes the verb through the fabric's fault layer (if a
+    /// [`crate::FaultPlan`] is armed): charges any injected stall, crashes
+    /// the local node if the plan says so, and reports whether this verb's
+    /// completion is to be dropped and how much the node is slowed. With no
+    /// plan armed this is a no-op returning the identity gate.
+    fn fault_gate(&self) -> RdmaResult<FaultGate> {
+        match self
+            .local
+            .fabric
+            .verb_fate(self.local.id(), sim::now().as_nanos())
+        {
+            crate::faults::VerbFate::Proceed { stall_ns, slow } => {
+                if stall_ns > 0 {
+                    sim::sleep_ns(stall_ns);
+                }
+                Ok(FaultGate { slow, drop: false })
+            }
+            crate::faults::VerbFate::Drop { stall_ns, slow } => {
+                if stall_ns > 0 {
+                    sim::sleep_ns(stall_ns);
+                }
+                Ok(FaultGate { slow, drop: true })
+            }
+            crate::faults::VerbFate::CrashLocal => {
+                self.local
+                    .inner
+                    .alive
+                    .store(false, std::sync::atomic::Ordering::SeqCst);
+                Err(RdmaError::LocalFailure)
+            }
+        }
+    }
+
     /// Sleeps until the op reaches the remote node, respecting RC in-order
     /// delivery and link serialization on this (src, dst) link, and
     /// returns at the arrival instant.
@@ -72,16 +114,21 @@ impl QueuePair {
     /// range; [`RdmaError::LocalFailure`] if this node is crashed.
     pub fn read(&self, addr: Addr, len: usize) -> RdmaResult<Vec<u8>> {
         self.check_local_alive()?;
+        let gate = self.post_verb()?;
         let lat = self.local.fabric.latency;
-        sim::sleep_ns(lat.post_ns);
         self.sleep_until_arrival(8);
+        if gate.drop {
+            // Request lost in the fabric: the completion queue reports an
+            // error, indistinguishable from a remote failure.
+            return Err(RdmaError::RemoteFailure);
+        }
         if !self.remote.is_alive() {
             return Err(RdmaError::RemoteFailure);
         }
         // Snapshot at arrival time: per-word atomicity holds because all
         // memory mutations happen at single virtual instants.
         let data = self.remote.local_read(addr, len)?;
-        sim::sleep_ns(lat.one_way(len));
+        sim::sleep_ns(lat.one_way(len) * gate.slow);
         let stats = &self.local.fabric.stats;
         stats.reads.fetch_add(1, Ordering::Relaxed);
         stats.doorbells.fetch_add(1, Ordering::Relaxed);
@@ -128,14 +175,19 @@ impl QueuePair {
     /// [`RdmaError::LocalFailure`].
     pub fn write(&self, addr: Addr, data: &[u8]) -> RdmaResult<()> {
         self.check_local_alive()?;
+        let gate = self.post_verb()?;
         let lat = self.local.fabric.latency;
-        sim::sleep_ns(lat.post_ns);
         self.sleep_until_arrival(data.len());
+        if gate.drop {
+            // Dropped before landing: remote memory is left untouched and
+            // the issuer sees an errored completion.
+            return Err(RdmaError::RemoteFailure);
+        }
         if !self.remote.is_alive() {
             return Err(RdmaError::RemoteFailure);
         }
         self.remote.local_write(addr, data)?;
-        sim::sleep_ns(lat.one_way(8));
+        sim::sleep_ns(lat.one_way(8) * gate.slow);
         let stats = &self.local.fabric.stats;
         stats.writes.fetch_add(1, Ordering::Relaxed);
         stats.doorbells.fetch_add(1, Ordering::Relaxed);
@@ -170,8 +222,7 @@ impl QueuePair {
     /// [`RdmaError::LocalFailure`] if this node is crashed.
     pub fn post_write(&self, addr: Addr, data: Vec<u8>) -> RdmaResult<()> {
         self.check_local_alive()?;
-        let lat = self.local.fabric.latency;
-        sim::sleep_ns(lat.post_ns);
+        let gate = self.post_verb()?;
         let now = sim::now().as_nanos();
         let delay = self
             .local
@@ -185,6 +236,10 @@ impl QueuePair {
             stats.posted_writes.fetch_add(1, Ordering::Relaxed);
             stats.doorbells.fetch_add(1, Ordering::Relaxed);
             stats.bytes_written.fetch_add(stats_bytes, Ordering::Relaxed);
+        }
+        if gate.drop {
+            // Lost in the fabric; unsignaled, so nobody is told.
+            return Ok(());
         }
         sim::schedule_ns(delay, move || {
             if remote.is_alive() {
@@ -220,9 +275,12 @@ impl QueuePair {
             return Err(RdmaError::Misaligned);
         }
         self.check_local_alive()?;
+        let gate = self.post_verb()?;
         let lat = self.local.fabric.latency;
-        sim::sleep_ns(lat.post_ns);
         self.sleep_until_arrival(16);
+        if gate.drop {
+            return Err(RdmaError::RemoteFailure);
+        }
         if !self.remote.is_alive() {
             return Err(RdmaError::RemoteFailure);
         }
@@ -241,7 +299,7 @@ impl QueuePair {
         if old == expected {
             self.remote.inner.mem_cond.notify_all();
         }
-        sim::sleep_ns(lat.one_way(8));
+        sim::sleep_ns(lat.one_way(8) * gate.slow);
         let stats = &self.local.fabric.stats;
         stats.cas_ops.fetch_add(1, Ordering::Relaxed);
         stats.doorbells.fetch_add(1, Ordering::Relaxed);
@@ -268,8 +326,7 @@ impl QueuePair {
     /// [`RdmaError::LocalFailure`] if this node is crashed.
     pub fn send(&self, payload: Vec<u8>) -> RdmaResult<()> {
         self.check_local_alive()?;
-        let lat = self.local.fabric.latency;
-        sim::sleep_ns(lat.post_ns);
+        let gate = self.post_verb()?;
         let now = sim::now().as_nanos();
         let delay = self
             .local
@@ -281,13 +338,28 @@ impl QueuePair {
         let stats = &self.local.fabric.stats;
         stats.sends.fetch_add(1, Ordering::Relaxed);
         stats.doorbells.fetch_add(1, Ordering::Relaxed);
+        if gate.drop {
+            return Ok(());
+        }
         sim::schedule_ns(delay, move || {
             if remote.is_alive() {
-                remote.inner.inbox.send(Message { from, payload });
+                // A send into a crashed receiver is silently lost; the
+                // mailbox refuses posts for a dead node anyway.
+                let _ = remote.inner.inbox.send(Message { from, payload });
             }
         });
         Ok(())
     }
+}
+
+/// The fault layer's decision about one verb: how much to scale the verb's
+/// latency charges and whether its completion is lost. The identity gate
+/// (`slow == 1`, `drop == false`) is what every verb gets when no
+/// [`crate::FaultPlan`] is armed.
+#[derive(Debug, Clone, Copy)]
+struct FaultGate {
+    slow: u64,
+    drop: bool,
 }
 
 /// A doorbell batch of unsignaled writes to a single peer.
@@ -366,8 +438,9 @@ impl WriteBatch {
         }
         let qp = &self.qp;
         qp.check_local_alive()?;
-        let lat = qp.local.fabric.latency;
-        sim::sleep_ns(lat.post_ns);
+        // One doorbell ⇒ the whole batch counts as one verb for the fault
+        // plan; dropping it loses every queued write, like a lost WQE chain.
+        let gate = qp.post_verb()?;
         let now = sim::now().as_nanos();
         let delay = qp
             .local
@@ -383,6 +456,9 @@ impl WriteBatch {
             stats
                 .bytes_written
                 .fetch_add(self.bytes as u64, Ordering::Relaxed);
+        }
+        if gate.drop {
+            return Ok(());
         }
         let remote = qp.remote.clone();
         let writes = self.writes;

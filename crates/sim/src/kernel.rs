@@ -319,13 +319,25 @@ impl Kernel {
     }
 
     /// Wakes a parked process if `token` still matches its current block.
+    /// Wakes aimed at killed or finished processes are discarded: the kill
+    /// path already queued the wake that unwinds the victim, so honouring a
+    /// later notify would only enqueue stale events.
     pub(crate) fn wake(&self, pid: Pid, token: u64) {
         let mut st = self.state.lock();
         let now = st.now;
         let p = &st.procs[pid.0 as usize];
-        if !p.finished && p.parked && p.token == token {
+        if !p.finished && !p.killed && p.parked && p.token == token {
             Self::push_entry(&mut st, now, Wake::Proc { pid, token });
         }
+    }
+
+    /// Whether the process was killed or has finished — i.e. will never
+    /// again run user code. Used by [`crate::Mailbox`] to fail sends whose
+    /// every receiver is gone instead of queueing them forever.
+    pub(crate) fn is_dead(&self, pid: Pid) -> bool {
+        let st = self.state.lock();
+        let p = &st.procs[pid.0 as usize];
+        p.killed || p.finished
     }
 
     pub(crate) fn kill(&self, pid: Pid) {

@@ -30,7 +30,7 @@
 //! let (tx, rx) = Mailbox::pair();
 //! sim.spawn("producer", move || {
 //!     sim::sleep(Duration::from_micros(5));
-//!     tx.send(123u32);
+//!     tx.send(123u32).unwrap();
 //! });
 //! sim.spawn("consumer", move || {
 //!     let v = rx.recv();
@@ -49,7 +49,7 @@ mod time;
 pub use cond::Cond;
 pub use error::{SimError, SimResult};
 pub use kernel::{Pid, Simulation};
-pub use mailbox::{Mailbox, MailboxReceiver, MailboxSender, RecvTimeoutError};
+pub use mailbox::{Mailbox, MailboxReceiver, MailboxSender, RecvTimeoutError, SendError};
 pub use time::SimTime;
 
 use kernel::with_ctx;

@@ -1,6 +1,7 @@
 //! Unbounded FIFO channels between simulated processes.
 
 use crate::cond::Cond;
+use crate::kernel::{with_ctx, Kernel, Pid};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
@@ -19,9 +20,29 @@ impl fmt::Display for RecvTimeoutError {
 
 impl std::error::Error for RecvTimeoutError {}
 
+/// Error returned by [`Mailbox::send`] when every process that ever
+/// received from the mailbox has crashed (been [`crate::kill`]ed) or
+/// finished: the message can never be consumed, so instead of queueing it
+/// forever — and letting the sender block on a reply that cannot come —
+/// the send fails and hands the value back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "every receiver of this mailbox has crashed or finished")
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendError<T> {}
+
 struct Inner<T> {
     queue: Mutex<VecDeque<T>>,
     cond: Cond,
+    /// Every process that has blocked in [`Mailbox::recv`] /
+    /// [`Mailbox::recv_timeout`]. Once non-empty, sends fail when all of
+    /// them are dead; dead entries are pruned while a live one remains.
+    owners: Mutex<Vec<(Arc<Kernel>, Pid)>>,
 }
 
 /// An unbounded FIFO mailbox. The simulation's equivalent of an mpsc
@@ -78,8 +99,19 @@ impl<T> Mailbox<T> {
             inner: Arc::new(Inner {
                 queue: Mutex::new(VecDeque::new()),
                 cond,
+                owners: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// Registers the calling process as a receiver of this mailbox.
+    fn bind_current(&self) {
+        with_ctx(|kernel, pid| {
+            let mut owners = self.inner.owners.lock();
+            if !owners.iter().any(|(_, p)| *p == pid) {
+                owners.push((Arc::clone(kernel), pid));
+            }
+        });
     }
 
     /// Creates a connected sender/receiver pair over a fresh mailbox.
@@ -91,9 +123,27 @@ impl<T> Mailbox<T> {
     /// Appends a message. Never blocks; wakes any blocked receiver.
     ///
     /// Callable from process or event context.
-    pub fn send(&self, value: T) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] (handing the value back) if at least one
+    /// process has received from this mailbox and **all** of them have been
+    /// [`crate::kill`]ed or finished — the message would otherwise sit in
+    /// the queue forever while the sender waits on a reply that can never
+    /// come, deadlocking the simulation.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        {
+            let mut owners = self.inner.owners.lock();
+            if !owners.is_empty() {
+                if owners.iter().all(|(k, p)| k.is_dead(*p)) {
+                    return Err(SendError(value));
+                }
+                owners.retain(|(k, p)| !k.is_dead(*p));
+            }
+        }
         self.inner.queue.lock().push_back(value);
         self.inner.cond.notify_all();
+        Ok(())
     }
 
     /// Pops the oldest message without blocking.
@@ -107,6 +157,7 @@ impl<T> Mailbox<T> {
     ///
     /// Panics when called from outside a simulated process.
     pub fn recv(&self) -> T {
+        self.bind_current();
         loop {
             if let Some(v) = self.try_recv() {
                 return v;
@@ -121,6 +172,7 @@ impl<T> Mailbox<T> {
     ///
     /// Returns [`RecvTimeoutError`] if the timeout elapsed with no message.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.bind_current();
         let deadline = crate::now() + timeout;
         loop {
             if let Some(v) = self.try_recv() {
@@ -145,8 +197,12 @@ impl<T> Mailbox<T> {
 
 impl<T> MailboxSender<T> {
     /// Appends a message; never blocks. See [`Mailbox::send`].
-    pub fn send(&self, value: T) {
-        self.0.send(value);
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] if every receiver has crashed or finished.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
     }
 }
 
@@ -193,7 +249,7 @@ mod tests {
         let (tx, rx) = Mailbox::pair();
         sim.spawn("producer", move || {
             for i in 0..10 {
-                tx.send(i);
+                tx.send(i).unwrap();
                 sleep(Duration::from_nanos(5));
             }
         });
@@ -215,7 +271,7 @@ mod tests {
         });
         sim.spawn("producer", move || {
             sleep(Duration::from_nanos(900));
-            tx.send(7);
+            tx.send(7).unwrap();
         });
         sim.run().unwrap();
     }
@@ -243,7 +299,7 @@ mod tests {
         });
         sim.spawn("producer", move || {
             sleep(Duration::from_nanos(100));
-            tx.send(42);
+            tx.send(42).unwrap();
         });
         sim.run().unwrap();
     }
@@ -253,12 +309,99 @@ mod tests {
         let mb = Mailbox::new();
         assert!(mb.is_empty());
         assert_eq!(mb.try_recv(), None);
-        mb.send(1);
-        mb.send(2);
+        mb.send(1).unwrap();
+        mb.send(2).unwrap();
         assert_eq!(mb.len(), 2);
         assert_eq!(mb.try_recv(), Some(1));
         assert_eq!(mb.try_recv(), Some(2));
         assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn send_to_crashed_process_errors_deterministically() {
+        // The receiver blocks in recv(), is killed, and every later send
+        // must fail — at the same virtual instant on every run.
+        fn run() -> (u64, Result<(), SendError<u32>>, Result<(), SendError<u32>>) {
+            let sim = Simulation::new(17);
+            let (tx, rx) = Mailbox::<u32>::pair();
+            let receiver = sim.spawn("receiver", move || {
+                let _ = rx.recv(); // parks forever; killed while parked
+            });
+            let out = std::sync::Arc::new(parking_lot::Mutex::new(None));
+            let o = out.clone();
+            sim.spawn("sender", move || {
+                sleep(Duration::from_nanos(100));
+                crate::kill(receiver);
+                crate::yield_now(); // let the victim unwind
+                let first = tx.send(1);
+                let second = tx.send(2);
+                *o.lock() = Some((now().as_nanos(), first, second));
+            });
+            sim.run().unwrap();
+            let got = out.lock().take().unwrap();
+            got
+        }
+        let (at, first, second) = run();
+        assert_eq!(first, Err(SendError(1)), "send to a crashed receiver");
+        assert_eq!(second, Err(SendError(2)), "it keeps failing");
+        assert_eq!((at, first, second), run(), "bit-identical replay");
+    }
+
+    #[test]
+    fn send_before_any_receiver_exists_queues() {
+        let sim = Simulation::new(1);
+        let (tx, rx) = Mailbox::pair();
+        sim.spawn("sender", move || {
+            // Nobody has received yet: ownership is unknown, sends queue.
+            tx.send(5).unwrap();
+        });
+        sim.spawn("consumer", move || {
+            sleep(Duration::from_nanos(50));
+            assert_eq!(rx.recv(), 5);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn send_succeeds_while_one_of_two_receivers_lives() {
+        let sim = Simulation::new(1);
+        let mb: Mailbox<u32> = Mailbox::new();
+        let (mb1, mb2) = (mb.clone(), mb.clone());
+        let doomed = sim.spawn("doomed", move || {
+            let _ = mb1.recv();
+        });
+        sim.spawn("survivor", move || {
+            assert_eq!(mb2.recv(), 1);
+        });
+        sim.spawn("sender", move || {
+            sleep(Duration::from_nanos(10));
+            crate::kill(doomed);
+            crate::yield_now();
+            // One registered receiver is still alive: delivery succeeds.
+            mb.send(1).unwrap();
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn notify_after_waiter_killed_does_not_wake_or_hang() {
+        // A Cond waiter that was killed must not absorb or corrupt later
+        // notifies; the run completes without deadlock.
+        let sim = Simulation::new(1);
+        let cond = crate::Cond::new();
+        let c1 = cond.clone();
+        let victim = sim.spawn("victim", move || {
+            c1.wait(); // killed while parked here
+            unreachable!("killed process must not resume");
+        });
+        sim.spawn("notifier", move || {
+            sleep(Duration::from_nanos(10));
+            crate::kill(victim);
+            crate::yield_now();
+            assert!(crate::is_finished(victim));
+            cond.notify_all(); // wake aimed at a dead process: discarded
+        });
+        sim.run().unwrap();
     }
 
     #[test]
@@ -276,7 +419,7 @@ mod tests {
         sim.spawn("producer", move || {
             sleep(Duration::from_nanos(10));
             for v in [100, 200, 300] {
-                mb.send(v);
+                mb.send(v).unwrap();
             }
         });
         sim.run().unwrap();

@@ -88,7 +88,7 @@ proptest! {
             simulation.spawn(format!("s{sender}"), move || {
                 for (i, d) in delays.iter().enumerate() {
                     sim::sleep_ns(u64::from(*d));
-                    mb.send((sender, i));
+                    mb.send((sender, i)).unwrap();
                 }
             });
         }

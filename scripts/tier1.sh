@@ -7,3 +7,19 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Chaos gate: seeded fault plans through the SMR consistency checker
+# (DESIGN.md §9). Fixed seed window so failures replay exactly; on a
+# non-linearizable history or a stall the suite exits non-zero and prints
+# the failing seed plus its shrunken minimal reproduction.
+if ! cargo run -q --release --offline -p heron-bench --bin chaos_suite -- \
+    --quick --seed 9000 --schedules 8; then
+  echo "tier1: chaos suite FAILED — replay with:" >&2
+  echo "  cargo run --release -p heron-bench --bin chaos_suite -- --quick --seed <failing seed> --schedules 1" >&2
+  exit 1
+fi
+
+# Checker self-test: corrupt one applied command and require the checker to
+# report the violation (proves the gate can actually fail).
+cargo run -q --release --offline -p heron-bench --bin chaos_suite -- \
+    --quick --selftest
