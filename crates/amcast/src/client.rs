@@ -85,7 +85,10 @@ impl McastClient {
     }
 
     fn submit(&mut self, uid: MsgId, dests: &[GroupId], payload: &[u8]) {
-        assert!(!dests.is_empty(), "multicast needs at least one destination");
+        assert!(
+            !dests.is_empty(),
+            "multicast needs at least one destination"
+        );
         assert!(
             payload.len() <= self.inner.cfg.max_payload,
             "payload exceeds McastConfig::max_payload"
@@ -103,10 +106,7 @@ impl McastClient {
                 stamp
             };
             let layout = self.inner.layouts[&target_id];
-            let slot = self
-                .inner
-                .sizes
-                .sub_slot(layout, self.client_idx, stamp);
+            let slot = self.inner.sizes.sub_slot(layout, self.client_idx, stamp);
             let buf = encode_sub(stamp, uid.0, mask, payload);
             let qp = self
                 .qps

@@ -147,6 +147,42 @@ impl Mcast {
         &self.inner.cfg
     }
 
+    /// Annotates every ordering-layer memory region as
+    /// [`rdma_sim::RegionKind::Sync`] for the race detector: the
+    /// submission rings, control words, log, acks and heartbeats are
+    /// synchronization memory by design — unsynchronized one-sided access
+    /// to them *is* the protocol's coordination, so reads acquire, writes
+    /// release, and the generic data-race checks do not apply.
+    pub fn annotate_sync_regions(&self, detector: &rdma_sim::RaceDetector) {
+        let sizes = &self.inner.sizes;
+        for (g, group) in self.inner.nodes.iter().enumerate() {
+            for (i, node) in group.iter().enumerate() {
+                let layout = &self.inner.layouts[&node.id()];
+                let regions: [(rdma_sim::Addr, usize, &str); 6] = [
+                    (layout.sub, sizes.sub_region(), "sub"),
+                    (layout.ctrl, sizes.ctrl_region(), "ctrl"),
+                    (layout.log, sizes.log_region(), "log"),
+                    (layout.log_seq, WORD, "log-seq"),
+                    (
+                        layout.acks,
+                        self.inner.cfg.replicas_per_group * WORD,
+                        "acks",
+                    ),
+                    (layout.heartbeat, WORD, "heartbeat"),
+                ];
+                for (addr, len, what) in regions {
+                    detector.annotate(
+                        node,
+                        addr,
+                        len,
+                        rdma_sim::RegionKind::Sync,
+                        format!("mcast-g{g}r{i}:{what}"),
+                    );
+                }
+            }
+        }
+    }
+
     /// The fabric this deployment runs on (e.g. for operation counters).
     pub fn fabric(&self) -> &Fabric {
         &self.inner.fabric
@@ -195,7 +231,10 @@ impl Mcast {
     /// Allocates a fresh globally-unique message id.
     pub(crate) fn alloc_uid(inner: &McastInner) -> MsgId {
         let uid = inner.uid_counter.fetch_add(1, Ordering::SeqCst);
-        assert!(uid < (1 << 22), "message uid space exhausted (2^22 messages)");
+        assert!(
+            uid < (1 << 22),
+            "message uid space exhausted (2^22 messages)"
+        );
         MsgId(uid)
     }
 }

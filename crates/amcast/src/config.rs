@@ -145,6 +145,10 @@ mod tests {
         assert_eq!(c.max_clients, 128);
         assert_eq!(c.max_payload, 2048);
         assert_eq!(c.max_batch, 8);
-        assert_eq!(McastConfig::new(1, 3).max_batch, 1, "batching off by default");
+        assert_eq!(
+            McastConfig::new(1, 3).max_batch,
+            1,
+            "batching off by default"
+        );
     }
 }

@@ -287,7 +287,10 @@ mod tests {
     fn log_entry_round_trips() {
         let buf = encode_log(5, 11, 0b11, 0xABCD, 3, b"payload!");
         let (stamp, uid, mask, ts, epoch, len) = decode_log_header(&buf[..LOG_HDR]);
-        assert_eq!((stamp, uid, mask, ts, epoch, len), (6, 11, 0b11, 0xABCD, 3, 8));
+        assert_eq!(
+            (stamp, uid, mask, ts, epoch, len),
+            (6, 11, 0b11, 0xABCD, 3, 8)
+        );
     }
 
     #[test]

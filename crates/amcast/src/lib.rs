@@ -42,6 +42,7 @@
 //! longest, backfills peers, and continues. Messages already sequenced and
 //! majority-replicated survive; in-flight submissions are recovered by
 //! client retry (see `DESIGN.md` for the scope of this guarantee).
+#![forbid(unsafe_code)]
 
 mod client;
 mod cluster;
@@ -51,7 +52,7 @@ mod replica;
 mod timestamp;
 
 pub use client::McastClient;
-pub use cluster::{DeliveryEvent, Delivered, Mcast};
+pub use cluster::{Delivered, DeliveryEvent, Mcast};
 pub use config::McastConfig;
 pub use replica::McastReplica;
 pub use timestamp::{GroupId, MsgId, Timestamp};

@@ -62,8 +62,16 @@ struct State {
     /// own log (entries it appended as a pre-crash leader, or that a since
     /// deposed leader wrote while it was down). Until the current regime is
     /// known, applying the local log is unsafe: `await_epoch` blocks
-    /// applies until a *fresh* heartbeat reveals the live leader's epoch,
-    /// and `entry_epoch_floor` then refuses entries stamped by older
+    /// applies until the regime is learned, through either exit:
+    ///
+    /// * a *fresh* heartbeat reveals the live leader's epoch
+    ///   (`follower_check_leader`), or
+    /// * this replica itself wins a takeover — after adopting a majority
+    ///   log any suspect tail is superseded, so assuming leadership clears
+    ///   the gate.
+    ///
+    /// Both exits raise `entry_epoch_floor` to the learned epoch (it only
+    /// ever ratchets up), and applies then refuse entries stamped by older
     /// regimes — the live leader's retransmission path overwrites them
     /// re-stamped with its own epoch.
     await_epoch: bool,
@@ -272,7 +280,12 @@ impl McastReplica {
                 }
             }
             // Heartbeat moved?
-            if self.node.local_read_word(self.layout.heartbeat).unwrap_or(0) != st.last_hb_val {
+            if self
+                .node
+                .local_read_word(self.layout.heartbeat)
+                .unwrap_or(0)
+                != st.last_hb_val
+            {
                 return true;
             }
         }
@@ -472,10 +485,7 @@ impl McastReplica {
                     st.clock += 1;
                     let prop = st.clock;
                     st.pending.get_mut(&uid).expect("just inserted").myprop = Some(prop);
-                    st.props
-                        .entry(uid)
-                        .or_default()
-                        .insert(self.group.0, prop);
+                    st.props.entry(uid).or_default().insert(self.group.0, prop);
                     self.broadcast_proposal(st, qps, uid, mask, prop);
                 }
             }
@@ -535,7 +545,12 @@ impl McastReplica {
         if st.done.contains(&uid) {
             return;
         }
-        let entry = st.props.entry(uid).or_default().entry(from_group).or_insert(0);
+        let entry = st
+            .props
+            .entry(uid)
+            .or_default()
+            .entry(from_group)
+            .or_insert(0);
         *entry = (*entry).max(clock);
         st.max_ts_seen = st.max_ts_seen.max(clock);
         if st.is_leader {
@@ -662,11 +677,7 @@ impl McastReplica {
     /// log append. Messages are popped from `finalized` in exactly the same
     /// order as the unbatched path, so delivery order and timestamps are
     /// identical — only the verb count and leader CPU change.
-    fn leader_sequence_ready_batched(
-        &self,
-        st: &mut State,
-        qps: &mut HashMap<usize, QueuePair>,
-    ) {
+    fn leader_sequence_ready_batched(&self, st: &mut State, qps: &mut HashMap<usize, QueuePair>) {
         let max_batch = self.inner.cfg.max_batch;
         loop {
             // Collect one round of ready messages. Popping a message never
@@ -798,7 +809,10 @@ impl McastReplica {
             }
             let target = self.inner.global_idx(self.group, i);
             let node = self.peer_node(target).clone();
-            let slot = self.inner.sizes.log_slot(self.inner.layouts[&node.id()], seq);
+            let slot = self
+                .inner
+                .sizes
+                .log_slot(self.inner.layouts[&node.id()], seq);
             let qp = self.qp(qps, target);
             let _ = qp.post_write(slot, entry.clone());
         }
@@ -858,17 +872,19 @@ impl McastReplica {
         st.props.remove(&entry.uid);
         st.finals.remove(&entry.uid);
         st.pending.remove(&entry.uid);
-        st.max_ts_seen = st.max_ts_seen.max(Timestamp::from_raw(entry.ts_raw).clock());
+        st.max_ts_seen = st
+            .max_ts_seen
+            .max(Timestamp::from_raw(entry.ts_raw).clock());
         // A dead consumer (its process was killed) cannot take deliveries;
         // dropping the event mirrors losing an upcall to a crashed replica.
-        let _ = self.inner.deliveries[self.group.0 as usize][self.idx].send(DeliveryEvent::Deliver(
-            Delivered {
+        let _ = self.inner.deliveries[self.group.0 as usize][self.idx].send(
+            DeliveryEvent::Deliver(Delivered {
                 id: MsgId(entry.uid),
                 ts: Timestamp::from_raw(entry.ts_raw),
                 dests: entry.mask,
                 payload: Bytes::from(entry.payload),
-            },
-        ));
+            }),
+        );
     }
 
     /// Returns `true` if a heartbeat round was sent.
@@ -912,7 +928,9 @@ impl McastReplica {
             }
             // Entries older than the log window are gone; the follower
             // will observe a gap.
-            let window_lo = st.next_seq.saturating_sub(self.inner.sizes.log_slots as u64 / 2);
+            let window_lo = st
+                .next_seq
+                .saturating_sub(self.inner.sizes.log_slots as u64 / 2);
             let from = behind.max(window_lo);
             let to = st.next_seq.min(from + BATCH);
             let node_id = self.peer_node(target).id();
@@ -925,7 +943,12 @@ impl McastReplica {
                     // Re-stamped with our epoch: the current regime vouches
                     // for the entry, so a recovered follower may apply it.
                     let buf = encode_log(
-                        seq, entry.uid, entry.mask, entry.ts_raw, st.epoch, &entry.payload,
+                        seq,
+                        entry.uid,
+                        entry.mask,
+                        entry.ts_raw,
+                        st.epoch,
+                        &entry.payload,
                     );
                     batch.push(self.inner.sizes.log_slot(peer_layout, seq), buf);
                 }
@@ -934,7 +957,12 @@ impl McastReplica {
                 for seq in from..to {
                     let entry = self.read_own_log(seq);
                     let buf = encode_log(
-                        seq, entry.uid, entry.mask, entry.ts_raw, st.epoch, &entry.payload,
+                        seq,
+                        entry.uid,
+                        entry.mask,
+                        entry.ts_raw,
+                        st.epoch,
+                        &entry.payload,
                     );
                     let slot = self.inner.sizes.log_slot(peer_layout, seq);
                     let _ = qp.post_write(slot, buf);
@@ -976,10 +1004,12 @@ impl McastReplica {
                 // applied them. Surface the gap; the application recovers
                 // out of band (Heron: state transfer).
                 let missed_to = stamp - 2; // the slot now holds seq stamp-1
-                let _ = self.inner.deliveries[self.group.0 as usize][self.idx].send(DeliveryEvent::Gap {
-                    from: st.applied_seq,
-                    to: missed_to,
-                });
+                let _ = self.inner.deliveries[self.group.0 as usize][self.idx].send(
+                    DeliveryEvent::Gap {
+                        from: st.applied_seq,
+                        to: missed_to,
+                    },
+                );
                 st.applied_seq = stamp - 1;
                 continue;
             }
@@ -1044,7 +1074,9 @@ impl McastReplica {
         if self.n() == 1 {
             return;
         }
-        if now.checked_sub(st.last_hb_change).map(|d| d >= self.inner.cfg.leader_timeout)
+        if now
+            .checked_sub(st.last_hb_change)
+            .map(|d| d >= self.inner.cfg.leader_timeout)
             != Some(true)
         {
             return;
@@ -1131,8 +1163,14 @@ impl McastReplica {
             for s in seq..adopt_to {
                 let entry = self.read_own_log(s);
                 // Backfilled under the new epoch so recovered peers accept.
-                let buf =
-                    encode_log(s, entry.uid, entry.mask, entry.ts_raw, target, &entry.payload);
+                let buf = encode_log(
+                    s,
+                    entry.uid,
+                    entry.mask,
+                    entry.ts_raw,
+                    target,
+                    &entry.payload,
+                );
                 let slot = self.inner.sizes.log_slot(peer_layout, s);
                 let _ = qp.post_write(slot, buf);
             }
@@ -1163,7 +1201,11 @@ impl McastReplica {
             .filter(|u| !st.done.contains(u))
             .collect();
         for uid in uids {
-            let myprop = st.props.get(&uid).and_then(|m| m.get(&self.group.0)).copied();
+            let myprop = st
+                .props
+                .get(&uid)
+                .and_then(|m| m.get(&self.group.0))
+                .copied();
             st.pending.entry(uid).or_insert(Pending {
                 payload: None,
                 mask: 0,

@@ -29,7 +29,11 @@ fn build(seed: u64, cfg: McastConfig) -> Harness {
     let groups = cfg.groups;
     let n = cfg.replicas_per_group;
     let nodes: Vec<Vec<_>> = (0..groups)
-        .map(|g| (0..n).map(|i| fabric.add_node(format!("g{g}r{i}"))).collect())
+        .map(|g| {
+            (0..n)
+                .map(|i| fabric.add_node(format!("g{g}r{i}")))
+                .collect()
+        })
         .collect();
     let mcast = Mcast::build(&fabric, nodes, cfg);
     mcast.spawn_replicas(&simulation);
@@ -82,7 +86,9 @@ fn single_group_delivers_everything_in_timestamp_order() {
             sim::sleep(Duration::from_micros(5));
         }
     });
-    h.simulation.run_until(sim::SimTime::from_millis(20)).unwrap();
+    h.simulation
+        .run_until(sim::SimTime::from_millis(20))
+        .unwrap();
     let logs = h.logs.lock();
     for r in 0..3 {
         assert_eq!(logs[r].len(), 50, "replica {r} must deliver all messages");
@@ -111,7 +117,9 @@ fn timestamps_are_unique_and_carried_consistently() {
             sim::sleep(Duration::from_micros(8));
         }
     });
-    h.simulation.run_until(sim::SimTime::from_millis(30)).unwrap();
+    h.simulation
+        .run_until(sim::SimTime::from_millis(30))
+        .unwrap();
     let logs = h.logs.lock();
     // Uniqueness across the whole system, and per-message agreement on ts.
     let mut ts_of: HashMap<MsgId, Timestamp> = HashMap::new();
@@ -147,7 +155,9 @@ fn cross_group_order_is_acyclic_and_prefix_consistent() {
             }
         });
     }
-    h.simulation.run_until(sim::SimTime::from_millis(50)).unwrap();
+    h.simulation
+        .run_until(sim::SimTime::from_millis(50))
+        .unwrap();
     let logs = h.logs.lock();
     // Every pair of replica logs (same or different groups) must agree on
     // the relative order of common messages — the uniform prefix/acyclic
@@ -176,7 +186,9 @@ fn five_replica_groups_work() {
             sim::sleep(Duration::from_micros(10));
         }
     });
-    h.simulation.run_until(sim::SimTime::from_millis(30)).unwrap();
+    h.simulation
+        .run_until(sim::SimTime::from_millis(30))
+        .unwrap();
     let logs = h.logs.lock();
     for (r, log) in logs.iter().enumerate() {
         assert_eq!(log.len(), 20, "replica {r} delivered {}", log.len());
@@ -213,7 +225,9 @@ fn deliveries_continue_after_leader_crash_with_client_retry() {
             }
         }
     });
-    h.simulation.run_until(sim::SimTime::from_millis(400)).unwrap();
+    h.simulation
+        .run_until(sim::SimTime::from_millis(400))
+        .unwrap();
     let logs = h.logs.lock();
     // Survivors delivered all 20 messages exactly once, consistently.
     for r in [1usize, 2] {
@@ -232,10 +246,7 @@ fn run_batching_scenario(
     max_batch: usize,
     plan: &[(u8, u32)],
 ) -> Vec<Vec<(MsgId, Timestamp)>> {
-    let h = build(
-        seed,
-        McastConfig::new(2, 3).with_max_batch(max_batch),
-    );
+    let h = build(seed, McastConfig::new(2, 3).with_max_batch(max_batch));
     let mut client = h.mcast.client(&h.fabric.add_node("client"));
     let plan = plan.to_vec();
     h.simulation.spawn("client", move || {
@@ -249,7 +260,9 @@ fn run_batching_scenario(
             sim::sleep(Duration::from_micros(u64::from(gap_us)));
         }
     });
-    h.simulation.run_until(sim::SimTime::from_millis(60)).unwrap();
+    h.simulation
+        .run_until(sim::SimTime::from_millis(60))
+        .unwrap();
     let logs = h.logs.lock().clone();
     logs
 }
@@ -340,8 +353,14 @@ fn run_faulted_scenario(
             h.mcast.node(GroupId(jitter_group), jitter_replica).id(),
             Duration::from_micros(1 + seed % 20),
         )
-        .crash_at(h.mcast.node(GroupId(crash_group), crash_replica).id(), crash_at)
-        .recover_at(h.mcast.node(GroupId(crash_group), crash_replica).id(), recover_at)
+        .crash_at(
+            h.mcast.node(GroupId(crash_group), crash_replica).id(),
+            crash_at,
+        )
+        .recover_at(
+            h.mcast.node(GroupId(crash_group), crash_replica).id(),
+            recover_at,
+        )
         .arm(&h.simulation, &h.fabric);
     let mut client = h.mcast.client(&h.fabric.add_node("client"));
     let plan = plan.to_vec();
@@ -356,7 +375,9 @@ fn run_faulted_scenario(
             sim::sleep(Duration::from_micros(u64::from(gap_us)));
         }
     });
-    h.simulation.run_until(sim::SimTime::from_millis(100)).unwrap();
+    h.simulation
+        .run_until(sim::SimTime::from_millis(100))
+        .unwrap();
     let logs = h.logs.lock().clone();
     (logs, crashed_global)
 }
@@ -440,7 +461,9 @@ fn concurrent_clients_to_disjoint_groups_scale_independently() {
             }
         });
     }
-    h.simulation.run_until(sim::SimTime::from_millis(20)).unwrap();
+    h.simulation
+        .run_until(sim::SimTime::from_millis(20))
+        .unwrap();
     let logs = h.logs.lock();
     for g in 0..2 {
         for i in 0..3 {

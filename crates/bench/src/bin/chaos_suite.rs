@@ -71,7 +71,10 @@ fn main() {
     }
 
     for (sc, _) in &failures {
-        println!("\nshrinking failing seed {} to a minimal reproduction...", sc.seed);
+        println!(
+            "\nshrinking failing seed {} to a minimal reproduction...",
+            sc.seed
+        );
         let (min, result) = shrink(sc);
         println!(
             "FAILING SEED {} — minimal reproduction: {} clients × {} requests, clauses {:?}",

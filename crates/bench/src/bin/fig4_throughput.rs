@@ -18,7 +18,9 @@
 //!
 //! `cargo run -p heron-bench --release --bin fig4_throughput [--quick]`
 
-use heron_bench::{banner, quick_mode, run_heron, write_results, Json, LoadSummary, RunConfig, Workload};
+use heron_bench::{
+    banner, quick_mode, run_heron, write_results, Json, LoadSummary, RunConfig, Workload,
+};
 
 fn main() {
     let wall_start = std::time::Instant::now();
@@ -89,8 +91,7 @@ fn main() {
     // wall-clock comparison is exact.
     let reqs_per_client: u64 = if quick { 60 } else { 250 };
     // (partitions, fixed-window unbatched/batched, fixed-work unbatched/batched)
-    let mut ablation: Vec<(usize, LoadSummary, LoadSummary, LoadSummary, LoadSummary)> =
-        Vec::new();
+    let mut ablation: Vec<(usize, LoadSummary, LoadSummary, LoadSummary, LoadSummary)> = Vec::new();
     for &p in &ablate_at {
         let idx = partitions.iter().position(|&x| x == p).expect("in list");
         let unbatched = heron_row[idx].clone();
@@ -138,7 +139,10 @@ fn main() {
     let mut out = Json::obj();
     out.set("figure", "fig4");
     out.set("quick", quick);
-    out.set("partitions", partitions.iter().map(|&p| p as u64).collect::<Vec<_>>());
+    out.set(
+        "partitions",
+        partitions.iter().map(|&p| p as u64).collect::<Vec<_>>(),
+    );
     let mut tput = Json::obj();
     for ((label, _), row) in workloads.iter().zip(&table) {
         tput.set(label, row.iter().map(|s| s.tps).collect::<Vec<_>>());
@@ -146,11 +150,7 @@ fn main() {
     out.set("throughput", tput);
     out.set(
         "events_executed",
-        table
-            .iter()
-            .flatten()
-            .map(|s| s.events)
-            .sum::<u64>(),
+        table.iter().flatten().map(|s| s.events).sum::<u64>(),
     );
     out.set("wall_clock_s", wall_start.elapsed().as_secs_f64());
     let mut rows = Vec::new();
@@ -177,7 +177,10 @@ fn main() {
         r.set("speedup_tps", b.tps / u.tps);
         // < 1.0 means batching cut the simulator's work for an identical
         // request set (fewer doorbells → fewer landing events and wakes).
-        r.set("fixed_work_events_ratio", bw.events as f64 / uw.events as f64);
+        r.set(
+            "fixed_work_events_ratio",
+            bw.events as f64 / uw.events as f64,
+        );
         r.set("fixed_work_wall_ratio", bw.wall_ms / uw.wall_ms);
         rows.push(r);
     }

@@ -31,8 +31,11 @@ fn run(kind: Kind, requests: u32) -> (Duration, Vec<f64>) {
     let simulation = sim::Simulation::new(11);
     let fabric = Fabric::new(LatencyModel::connectx4());
     let app = Arc::new(TpccApp::new(TpccScale::bench(), warehouses));
-    let cluster =
-        HeronCluster::build(&fabric, HeronConfig::new(warehouses as usize, 3), app.clone());
+    let cluster = HeronCluster::build(
+        &fabric,
+        HeronConfig::new(warehouses as usize, 3),
+        app.clone(),
+    );
     cluster.spawn(&simulation);
     let mut client = cluster.client("c");
     let app2 = app.clone();

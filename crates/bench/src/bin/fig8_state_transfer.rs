@@ -38,10 +38,7 @@ fn main() {
     // Value of 8128 B → one dual-version slot ≈ 16.4 KiB of transfer
     // payload per object.
     let value_len = 8_128u32;
-    println!(
-        "{:<26} {:>14} {:>14}",
-        "scenario", "bytes moved", "latency"
-    );
+    println!("{:<26} {:>14} {:>14}", "scenario", "bytes moved", "latency");
     let (b, d) = run_transfer(StorageKind::Serialized, 0, value_len);
     println!("{:<26} {:>14} {:>14.2?}", "Protocol (no data)", b, d);
     let mut rates: Vec<(StorageKind, f64)> = Vec::new();

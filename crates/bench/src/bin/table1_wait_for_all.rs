@@ -33,12 +33,7 @@ fn main() {
                 "partition id", "delayed transactions", "average delay"
             );
             for (p, (frac, avg)) in s.delays.iter().enumerate() {
-                println!(
-                    "  #{:<13} {:>21.1}% {:>16.2?}",
-                    p + 1,
-                    frac * 100.0,
-                    avg
-                );
+                println!("  #{:<13} {:>21.1}% {:>16.2?}", p + 1, frac * 100.0, avg);
             }
         }
     }

@@ -165,8 +165,7 @@ impl SequentialSpec for BankSpec {
     fn apply(&self, state: &mut Vec<u64>, req: &[u8]) -> Bytes {
         match req[0] {
             OP_TRANSFER => {
-                let (from, to, amount) =
-                    (arg(req, 0) as usize, arg(req, 1) as usize, arg(req, 2));
+                let (from, to, amount) = (arg(req, 0) as usize, arg(req, 1) as usize, arg(req, 2));
                 let ok = state[from] >= amount;
                 if ok {
                     state[from] -= amount;
@@ -184,17 +183,37 @@ impl SequentialSpec for BankSpec {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Clause {
     /// Fail-stop at a wall-clock instant, recover later.
-    Crash { p: u16, r: usize, at_us: u64, recover_us: u64 },
+    Crash {
+        p: u16,
+        r: usize,
+        at_us: u64,
+        recover_us: u64,
+    },
     /// Fail-stop on the node's nth issued verb, recover at a time.
-    CrashOnVerb { p: u16, r: usize, nth: u64, recover_us: u64 },
+    CrashOnVerb {
+        p: u16,
+        r: usize,
+        nth: u64,
+        recover_us: u64,
+    },
     /// All verbs stall across a window (a transient lagger).
-    Pause { p: u16, r: usize, from_us: u64, until_us: u64 },
+    Pause {
+        p: u16,
+        r: usize,
+        from_us: u64,
+        until_us: u64,
+    },
     /// Every verb slowed by an integer factor (a persistent lagger).
     Slowdown { p: u16, r: usize, factor: u64 },
     /// Seeded per-verb latency jitter up to a bound.
     Jitter { p: u16, r: usize, max_us: u64 },
     /// A burst of issued verbs silently lost.
-    DropBurst { p: u16, r: usize, first: u64, count: u64 },
+    DropBurst {
+        p: u16,
+        r: usize,
+        first: u64,
+        count: u64,
+    },
 }
 
 /// A fully specified chaos scenario: the deterministic workload plus the
@@ -336,7 +355,12 @@ fn build_plan(sc: &Scenario, cluster: &HeronCluster) -> FaultPlan {
     let mut plan = FaultPlan::new(sc.seed);
     for c in &sc.clauses {
         plan = match *c {
-            Clause::Crash { p, r, at_us, recover_us } => plan
+            Clause::Crash {
+                p,
+                r,
+                at_us,
+                recover_us,
+            } => plan
                 .crash_at(
                     cluster.replica_node(PartitionId(p), r).id(),
                     Duration::from_micros(at_us),
@@ -345,13 +369,23 @@ fn build_plan(sc: &Scenario, cluster: &HeronCluster) -> FaultPlan {
                     cluster.replica_node(PartitionId(p), r).id(),
                     Duration::from_micros(recover_us),
                 ),
-            Clause::CrashOnVerb { p, r, nth, recover_us } => plan
+            Clause::CrashOnVerb {
+                p,
+                r,
+                nth,
+                recover_us,
+            } => plan
                 .crash_on_verb(cluster.replica_node(PartitionId(p), r).id(), nth)
                 .recover_at(
                     cluster.replica_node(PartitionId(p), r).id(),
                     Duration::from_micros(recover_us),
                 ),
-            Clause::Pause { p, r, from_us, until_us } => plan.pause(
+            Clause::Pause {
+                p,
+                r,
+                from_us,
+                until_us,
+            } => plan.pause(
                 cluster.replica_node(PartitionId(p), r).id(),
                 Duration::from_micros(from_us),
                 Duration::from_micros(until_us),
@@ -385,11 +419,7 @@ pub fn run(sc: &Scenario) -> RunResult {
         partitions: sc.partitions as u16,
         accounts: sc.accounts,
     });
-    let cluster = HeronCluster::build(
-        &fabric,
-        HeronConfig::new(sc.partitions, sc.replicas),
-        bank,
-    );
+    let cluster = HeronCluster::build(&fabric, HeronConfig::new(sc.partitions, sc.replicas), bank);
     cluster.spawn(&simulation);
     build_plan(sc, &cluster).arm(&simulation, &fabric);
 
@@ -422,7 +452,9 @@ pub fn run(sc: &Scenario) -> RunResult {
     if simulation.run_until(SimTime::from_secs(30)).is_err() {
         // A deadlock counts as a stall: the workload cannot finish.
         let pending = checker.history().iter().filter(|o| !o.completed()).count();
-        return RunResult::Stalled { pending: pending.max(1) };
+        return RunResult::Stalled {
+            pending: pending.max(1),
+        };
     }
 
     let history = checker.history();
@@ -518,12 +550,19 @@ mod tests {
         let mut sc = scenario_for_seed(2, true);
         sc.corrupt = Some((0, 1, 0));
         let first = run(&sc);
-        assert!(first.failed(), "corruption must fail the checker: {first:?}");
+        assert!(
+            first.failed(),
+            "corruption must fail the checker: {first:?}"
+        );
         let (min, result) = shrink(&sc);
         // The corruption is independent of the fault plan and the workload
         // size, so the minimal reproduction strips all clauses and shrinks
         // the workload to the floor.
-        assert!(min.clauses.is_empty(), "clauses not shrunk: {:?}", min.clauses);
+        assert!(
+            min.clauses.is_empty(),
+            "clauses not shrunk: {:?}",
+            min.clauses
+        );
         assert!(min.requests <= 3, "workload not shrunk: {}", min.requests);
         assert_eq!(min.clients, 1);
         match result {

@@ -62,6 +62,17 @@ pub struct RunConfig {
     /// instead of counting completions inside a fixed window. `warmup` and
     /// `window` are ignored.
     pub requests: Option<u64>,
+    /// Enables the Sim-TSan race detector for the run (Heron only); the
+    /// summary's `audit` field then carries the reports and counters.
+    pub race_detector: bool,
+    /// **Self-test only**: breaks the dual-versioning victim guard so the
+    /// detector has a real protocol violation to catch (see
+    /// [`HeronConfig::break_dual_version_guard`]).
+    pub break_guard: bool,
+    /// Chaos plan (Heron only): crash the last replica of partition 0 at
+    /// the first virtual time and recover it at the second, exercising
+    /// crash handling and state transfer under load.
+    pub crash: Option<(Duration, Duration)>,
 }
 
 impl RunConfig {
@@ -83,7 +94,26 @@ impl RunConfig {
             execution_mode: heron_core::ExecutionMode::default(),
             max_batch: 1,
             requests: None,
+            race_detector: false,
+            break_guard: false,
+            crash: None,
         }
+    }
+
+    /// Enables (or disables) the Sim-TSan race detector.
+    #[must_use]
+    pub fn with_race_detector(mut self, on: bool) -> Self {
+        self.race_detector = on;
+        self
+    }
+
+    /// Schedules a crash of partition 0's last replica at `down`, recovered
+    /// at `up`.
+    #[must_use]
+    pub fn with_crash(mut self, down: Duration, up: Duration) -> Self {
+        assert!(up > down, "recovery must come after the crash");
+        self.crash = Some((down, up));
+        self
     }
 
     /// Sets the end-to-end batching cap.
@@ -126,6 +156,15 @@ pub struct BreakdownSummary {
     pub execution: Duration,
 }
 
+/// Race-detector output of one run (`None` when the detector was off).
+#[derive(Debug, Clone)]
+pub struct RaceAuditSummary {
+    /// Every race and protocol-lint report the run produced.
+    pub reports: Vec<rdma_sim::RaceReport>,
+    /// Detector counters (coverage evidence: how much was checked).
+    pub stats: rdma_sim::DetectorStats,
+}
+
 /// The result of one load run.
 #[derive(Debug, Clone)]
 pub struct LoadSummary {
@@ -155,6 +194,9 @@ pub struct LoadSummary {
     pub events: u64,
     /// Host wall-clock time for the whole run, milliseconds.
     pub wall_ms: f64,
+    /// Race-detector reports and counters (`None` when the detector was
+    /// off, always `None` for the DynaStar baseline).
+    pub audit: Option<RaceAuditSummary>,
 }
 
 fn percentile_of(sorted: &[u64], q: f64) -> Duration {
@@ -186,16 +228,30 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
         }
         Workload::Null | Workload::NullLocal => Arc::new(NullApp::new(cfg.partitions as u16)),
     };
-    let mut hcfg =
-        HeronConfig::new(cfg.partitions, cfg.replicas).with_max_clients(cfg.clients + 2);
+    let mut hcfg = HeronConfig::new(cfg.partitions, cfg.replicas).with_max_clients(cfg.clients + 2);
     if let Some(delta) = cfg.wait_for_all {
         hcfg = hcfg.with_wait_for_all(delta);
     }
     hcfg = hcfg
         .with_execution_mode(cfg.execution_mode)
-        .with_max_batch(cfg.max_batch);
+        .with_max_batch(cfg.max_batch)
+        .with_race_detector(cfg.race_detector);
+    if cfg.break_guard {
+        hcfg = hcfg.with_broken_dual_version_guard();
+    }
     let cluster = HeronCluster::build(&fabric, hcfg, app);
     cluster.spawn(&simulation);
+
+    if let Some((down, up)) = cfg.crash {
+        let chaos_fabric = fabric.clone();
+        let victim = cluster.replica_node(PartitionId(0), cfg.replicas - 1).id();
+        simulation.spawn("chaos-ctl", move || {
+            sim::sleep(down);
+            chaos_fabric.crash(victim);
+            sim::sleep(up - down);
+            chaos_fabric.recover(victim);
+        });
+    }
 
     let end = sim::SimTime::ZERO + cfg.warmup + cfg.window;
     let fixed_requests = cfg.requests;
@@ -323,6 +379,10 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
         transfers_started: metrics.transfers_started.load(Ordering::Relaxed),
         events: simulation.events_executed(),
         wall_ms: wall_start.elapsed().as_secs_f64() * 1_000.0,
+        audit: cluster.race_detector().map(|d| RaceAuditSummary {
+            reports: d.reports(),
+            stats: d.stats(),
+        }),
     }
 }
 
@@ -384,5 +444,6 @@ pub fn run_dynastar_tpcc(cfg: &RunConfig) -> LoadSummary {
         transfers_started: 0,
         events: simulation.events_executed(),
         wall_ms: wall_start.elapsed().as_secs_f64() * 1_000.0,
+        audit: None,
     }
 }

@@ -13,10 +13,12 @@
 //! | `fig8_state_transfer` | Fig. 8 — state-transfer latency & full-warehouse recovery |
 //! | `ablation_sweeps` | transfer chunk size (§V-E2), Phase-4 cut-off δ (§V-A), execution mode (§III-D2) |
 //! | `chaos_suite` | fault model of §IV — seeded fault plans through the consistency checker |
+//! | `race_audit` | Sim-TSan sweep — happens-before race & protocol-lint audit over the fig4/fig5/chaos schedules (DESIGN.md §10) |
 //!
 //! Run them with `cargo run -p heron-bench --release --bin <name>`; pass
 //! `--quick` for a shorter, coarser run. Criterion microbenchmarks of the
 //! implementation itself live in `benches/`.
+#![forbid(unsafe_code)]
 
 pub mod chaos;
 pub mod harness;
@@ -25,7 +27,7 @@ pub mod report;
 pub mod syncapp;
 
 pub use harness::{
-    quantile, run_dynastar_tpcc, run_heron, LoadSummary, RunConfig, Workload,
+    quantile, run_dynastar_tpcc, run_heron, LoadSummary, RaceAuditSummary, RunConfig, Workload,
 };
 pub use null::NullApp;
 pub use report::{write_results, Json};

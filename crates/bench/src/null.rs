@@ -4,9 +4,7 @@
 //! from the cost of request execution.
 
 use bytes::Bytes;
-use heron_core::{
-    Execution, LocalReader, ObjectId, PartitionId, Placement, ReadSet, StateMachine,
-};
+use heron_core::{Execution, LocalReader, ObjectId, PartitionId, Placement, ReadSet, StateMachine};
 
 /// A state machine whose requests carry only a destination list and whose
 /// execution is free.

@@ -24,8 +24,7 @@ fn per_object_bytes(value_len: usize) -> u64 {
 fn fig8_harness_transfer_bytes_are_exact_per_kind() {
     for kind in [StorageKind::Serialized, StorageKind::Native] {
         let (objects, value_len) = (20u32, 128u32);
-        let (bytes, _dur) =
-            heron_bench::syncapp::run_transfer(kind, objects, value_len, |_| {});
+        let (bytes, _dur) = heron_bench::syncapp::run_transfer(kind, objects, value_len, |_| {});
         assert_eq!(
             bytes,
             u64::from(objects) * per_object_bytes(value_len as usize),
@@ -45,11 +44,8 @@ fn transfer_ships_only_objects_overwritten_while_down() {
     for kind in [StorageKind::Serialized, StorageKind::Native] {
         let simulation = sim::Simulation::new(8);
         let fabric = Fabric::new(LatencyModel::connectx4());
-        let cluster = HeronCluster::build(
-            &fabric,
-            HeronConfig::new(2, 3),
-            Arc::new(SyncApp { kind }),
-        );
+        let cluster =
+            HeronCluster::build(&fabric, HeronConfig::new(2, 3), Arc::new(SyncApp { kind }));
         cluster.spawn(&simulation);
         let c2 = cluster.clone();
         let metrics = cluster.metrics();

@@ -24,6 +24,7 @@
 //!
 //! The same [`heron_core::StateMachine`] application runs unmodified on
 //! both systems, so Fig. 5 compares identical workloads.
+#![forbid(unsafe_code)]
 
 use bytes::Bytes;
 use heron_core::{Execution, LocalReader, Metrics, ObjectId, PartitionId, ReadSet, StateMachine};
@@ -86,7 +87,11 @@ type CmdId = u64;
 
 enum Msg {
     /// Client → oracle.
-    ClientReq { id: CmdId, client: EndpointId, payload: Vec<u8> },
+    ClientReq {
+        id: CmdId,
+        client: EndpointId,
+        payload: Vec<u8>,
+    },
     /// Oracle → involved leaders.
     Ordered {
         id: CmdId,
@@ -101,9 +106,16 @@ enum Msg {
     /// Follower → leader.
     ReplAck { id: CmdId },
     /// Non-executor leader → executor: the objects the command reads.
-    MoveObjects { id: CmdId, from: PartitionId, objects: Vec<(ObjectId, Bytes)> },
+    MoveObjects {
+        id: CmdId,
+        from: PartitionId,
+        objects: Vec<(ObjectId, Bytes)>,
+    },
     /// Executor → non-executor leaders: updated objects.
-    WriteBack { id: CmdId, writes: Vec<(ObjectId, Bytes)> },
+    WriteBack {
+        id: CmdId,
+        writes: Vec<(ObjectId, Bytes)>,
+    },
     /// Executor leader → client.
     Reply { id: CmdId, response: Bytes },
 }
@@ -164,10 +176,8 @@ impl DynaStar {
                     .map(|i| net.add_endpoint(format!("ds-p{p}-f{i}")).id())
                     .collect::<Vec<_>>(),
             );
-            let store: HashMap<ObjectId, Bytes> = app
-                .bootstrap(PartitionId(p as u16))
-                .into_iter()
-                .collect();
+            let store: HashMap<ObjectId, Bytes> =
+                app.bootstrap(PartitionId(p as u16)).into_iter().collect();
             stores.push(Arc::new(Mutex::new(store)));
         }
         let progress = (0..cfg.partitions)
@@ -234,7 +244,10 @@ impl DynaStar {
 
     /// Attaches a closed-loop client.
     pub fn client(&self, name: impl Into<String>) -> DynaStarClient {
-        let ep = self.inner.net.add_endpoint(format!("ds-client-{}", name.into()));
+        let ep = self
+            .inner
+            .net
+            .add_endpoint(format!("ds-client-{}", name.into()));
         DynaStarClient {
             inner: Arc::clone(&self.inner),
             ep,
@@ -247,7 +260,12 @@ fn run_oracle(inner: Arc<Inner>, ep: Endpoint<Msg>) {
     let mut pseq = vec![0u64; inner.cfg.partitions];
     loop {
         let (_, msg) = ep.recv();
-        let Msg::ClientReq { id, client, payload } = msg else {
+        let Msg::ClientReq {
+            id,
+            client,
+            payload,
+        } = msg
+        else {
             continue;
         };
         sim::sleep(inner.cfg.costs.oracle_cpu);
@@ -280,8 +298,16 @@ enum Stage {
 
 /// Commands a leader has received, ordered by partition sequence number:
 /// `(id, client, payload, executor, involved)`.
-type CommandQueue =
-    BTreeMap<u64, (CmdId, EndpointId, Arc<Vec<u8>>, PartitionId, Vec<PartitionId>)>;
+type CommandQueue = BTreeMap<
+    u64,
+    (
+        CmdId,
+        EndpointId,
+        Arc<Vec<u8>>,
+        PartitionId,
+        Vec<PartitionId>,
+    ),
+>;
 
 struct InFlight {
     id: CmdId,

@@ -10,10 +10,7 @@ use tpcc::{ids, DistrictRow, TpccApp, TpccScale, Transaction};
 fn build_ds(seed: u64, warehouses: u16) -> (sim::Simulation, DynaStar, Arc<TpccApp>) {
     let simulation = sim::Simulation::new(seed);
     let app = Arc::new(TpccApp::new(TpccScale::small(), warehouses));
-    let ds = DynaStar::build(
-        DynaStarConfig::new(warehouses as usize, 3),
-        app.clone(),
-    );
+    let ds = DynaStar::build(DynaStarConfig::new(warehouses as usize, 3), app.clone());
     ds.spawn(&simulation);
     (simulation, ds, app)
 }
@@ -89,7 +86,9 @@ fn mixed_workload_matches_heron_final_state() {
     let txns: Vec<Vec<u8>> = {
         let app = TpccApp::new(TpccScale::small(), warehouses);
         let mut g = app.generator(99);
-        (0..40).map(|i| g.next((i % 2 + 1) as u16).encode()).collect()
+        (0..40)
+            .map(|i| g.next((i % 2 + 1) as u16).encode())
+            .collect()
     };
 
     // Run on DynaStar.
@@ -126,7 +125,9 @@ fn mixed_workload_matches_heron_final_state() {
     for w in 1..=warehouses {
         for d in 1..=scale.districts {
             let ds_row = ds.peek(PartitionId(w - 1), ids::district(w, d)).unwrap();
-            let h_row = heron.peek(PartitionId(w - 1), 0, ids::district(w, d)).unwrap();
+            let h_row = heron
+                .peek(PartitionId(w - 1), 0, ids::district(w, d))
+                .unwrap();
             assert_eq!(ds_row, h_row, "district w{w}d{d} diverged between systems");
         }
     }
@@ -153,7 +154,11 @@ fn dynastar_latency_is_an_order_of_magnitude_above_herons() {
     let sim2 = sim::Simulation::new(45);
     let fabric = Fabric::new(LatencyModel::connectx4());
     let happ = Arc::new(TpccApp::new(TpccScale::small(), warehouses));
-    let heron = HeronCluster::build(&fabric, HeronConfig::new(warehouses as usize, 3), happ.clone());
+    let heron = HeronCluster::build(
+        &fabric,
+        HeronConfig::new(warehouses as usize, 3),
+        happ.clone(),
+    );
     heron.spawn(&sim2);
     let mut hclient = heron.client("c");
     sim2.spawn("client", move || {

@@ -27,6 +27,10 @@
 //! seed and, when one can be pinned, the offending operation — enough to
 //! replay the exact schedule.
 
+// Violations are rich by design (they embed the offending operation for
+// replay) and only exist on the cold failure path.
+#![allow(clippy::result_large_err)]
+
 use crate::client::HeronClient;
 use crate::cluster::HeronCluster;
 use crate::types::{ObjectId, PartitionId};
@@ -392,7 +396,9 @@ pub struct CheckedClient {
 
 impl fmt::Debug for CheckedClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CheckedClient").field("inner", &self.inner).finish()
+        f.debug_struct("CheckedClient")
+            .field("inner", &self.inner)
+            .finish()
     }
 }
 
@@ -450,9 +456,7 @@ pub fn check_history<S: SequentialSpec>(
     seed: u64,
 ) -> Result<(), Violation> {
     let mut ops: Vec<OpRecord> = history.to_vec();
-    ops.sort_by(|a, b| {
-        (a.invoked_ns, a.client, a.seq).cmp(&(b.invoked_ns, b.client, b.seq))
-    });
+    ops.sort_by_key(|o| (o.invoked_ns, o.client, o.seq));
     let completed_total = ops.iter().filter(|o| o.completed()).count();
     let mut taken = vec![false; ops.len()];
     let mut search = Search {
@@ -561,7 +565,14 @@ impl<S: SequentialSpec> Search<'_, S> {
 
 fn first_divergence<S: SequentialSpec>(ops: &[OpRecord], spec: &S) -> Option<OpRecord> {
     let mut done: Vec<&OpRecord> = ops.iter().filter(|o| o.completed()).collect();
-    done.sort_by_key(|o| (o.returned_ns.expect("completed"), o.invoked_ns, o.client, o.seq));
+    done.sort_by_key(|o| {
+        (
+            o.returned_ns.expect("completed"),
+            o.invoked_ns,
+            o.client,
+            o.seq,
+        )
+    });
     let mut st = spec.initial();
     for op in done {
         let resp = spec.apply(&mut st, &op.request);
@@ -641,10 +652,7 @@ mod tests {
     #[test]
     fn stale_read_is_rejected_and_pins_the_operation() {
         // The read strictly follows the write yet returns the old value.
-        let h = vec![
-            op(1, 1, &[1, 7], 0, 10, &[0]),
-            op(2, 1, &[2], 20, 30, &[0]),
-        ];
+        let h = vec![op(1, 1, &[1, 7], 0, 10, &[0]), op(2, 1, &[2], 20, 30, &[0])];
         let v = check_history(&h, &Register, 42).unwrap_err();
         assert_eq!(v.check, "linearizability");
         assert_eq!(v.seed, 42);

@@ -106,7 +106,9 @@ impl HeronClient {
         // Wait for a response from one server in each involved partition.
         let retry = self.cluster.cfg.client_retry;
         loop {
-            let done = self.node.poll_until_timeout(|| self.all_answered(dests, seq), retry);
+            let done = self
+                .node
+                .poll_until_timeout(|| self.all_answered(dests, seq), retry);
             if done {
                 break;
             }

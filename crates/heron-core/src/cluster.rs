@@ -84,7 +84,9 @@ impl ReplicaShared {
     /// memory condition (the executor, typically).
     pub(crate) fn ring_doorbell(&self) {
         let v = self.node.local_read_word(self.layout.doorbell).unwrap_or(0);
-        let _ = self.node.local_write_word(self.layout.doorbell, v.wrapping_add(1));
+        let _ = self
+            .node
+            .local_write_word(self.layout.doorbell, v.wrapping_add(1));
     }
 }
 
@@ -102,6 +104,9 @@ pub(crate) struct ClusterInner {
     pub metrics: Arc<Metrics>,
     pub clients: Mutex<HashMap<u64, ClientInfo>>,
     pub client_counter: AtomicU64,
+    /// The Sim-TSan race detector, when [`HeronConfig::race_detector`] is
+    /// set (protocol lints consult it on their slow paths).
+    pub detector: Option<rdma_sim::RaceDetector>,
 }
 
 /// A Heron deployment: partitioned, replicated state machine on shared
@@ -120,7 +125,10 @@ impl fmt::Debug for HeronCluster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HeronCluster")
             .field("partitions", &self.inner.cfg.partitions)
-            .field("replicas_per_partition", &self.inner.cfg.replicas_per_partition)
+            .field(
+                "replicas_per_partition",
+                &self.inner.cfg.replicas_per_partition,
+            )
             .finish()
     }
 }
@@ -138,6 +146,12 @@ impl HeronCluster {
             })
             .collect();
         let mcast = Mcast::build(fabric, nodes.clone(), cfg.mcast.clone());
+        let detector = cfg.race_detector.then(|| fabric.enable_race_detector());
+        if let Some(det) = &detector {
+            // The ordering layer's rings are synchronization memory by
+            // design: one-sided access to them IS the protocol.
+            mcast.annotate_sync_regions(det);
+        }
         let metrics = Arc::new(Metrics::new(cfg.partitions));
         let inner = Arc::new(ClusterInner {
             cfg,
@@ -148,6 +162,7 @@ impl HeronCluster {
             metrics,
             clients: Mutex::new(HashMap::new()),
             client_counter: AtomicU64::new(1),
+            detector,
         });
         let cfg = &inner.cfg;
         let n = cfg.replicas_per_partition;
@@ -163,7 +178,37 @@ impl HeronCluster {
                     applied: node.alloc_words(1),
                     doorbell: node.alloc_words(1),
                 };
-                let store = VersionedStore::new(node.clone());
+                if let Some(det) = &inner.detector {
+                    use rdma_sim::RegionKind::{Staging, Sync};
+                    let tag = |what: &str| format!("heron-p{p}r{i}:{what}");
+                    det.annotate(
+                        &node,
+                        layout.coord,
+                        cfg.partitions * n * COORD_ENTRY,
+                        Sync,
+                        tag("coord"),
+                    );
+                    det.annotate(
+                        &node,
+                        layout.statesync,
+                        n * SYNC_ENTRY,
+                        Sync,
+                        tag("statesync"),
+                    );
+                    det.annotate(
+                        &node,
+                        layout.ring,
+                        cfg.transfer_slots * (CHUNK_HDR + cfg.transfer_chunk),
+                        Staging,
+                        tag("ring"),
+                    );
+                    det.annotate(&node, layout.applied, 8, Sync, tag("applied"));
+                    det.annotate(&node, layout.doorbell, 8, Sync, tag("doorbell"));
+                }
+                let mut store = VersionedStore::new(node.clone());
+                if let Some(det) = &inner.detector {
+                    store.instrument(det.clone(), cfg.break_dual_version_guard);
+                }
                 for (oid, value) in inner.app.bootstrap(PartitionId(p as u16)) {
                     store.bootstrap(oid, &value);
                 }
@@ -200,10 +245,7 @@ impl HeronCluster {
         for p in 0..self.inner.cfg.partitions {
             for i in 0..self.inner.cfg.replicas_per_partition {
                 let shared = Arc::clone(&self.replicas[p][i]);
-                let deliveries = self
-                    .inner
-                    .mcast
-                    .deliveries(GroupId(p as u16), i);
+                let deliveries = self.inner.mcast.deliveries(GroupId(p as u16), i);
                 simulation.spawn(format!("heron-exec-p{p}r{i}"), move || {
                     Executor::new(shared, deliveries).run()
                 });
@@ -225,6 +267,21 @@ impl HeronCluster {
         Arc::clone(&self.inner.metrics)
     }
 
+    /// The race detector, when enabled via [`HeronConfig::race_detector`].
+    pub fn race_detector(&self) -> Option<rdma_sim::RaceDetector> {
+        self.inner.detector.clone()
+    }
+
+    /// All race and protocol-lint reports recorded so far (empty when the
+    /// detector is off).
+    pub fn race_reports(&self) -> Vec<rdma_sim::RaceReport> {
+        self.inner
+            .detector
+            .as_ref()
+            .map(|d| d.reports())
+            .unwrap_or_default()
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &HeronConfig {
         &self.inner.cfg
@@ -238,19 +295,26 @@ impl HeronCluster {
     /// Crashes replica `(p, i)`: its verbs fail and writes to it are
     /// dropped until [`HeronCluster::recover_replica`].
     pub fn crash_replica(&self, p: PartitionId, i: usize) {
-        self.inner.fabric.crash(self.inner.nodes[p.0 as usize][i].id());
+        self.inner
+            .fabric
+            .crash(self.inner.nodes[p.0 as usize][i].id());
     }
 
     /// Recovers a crashed replica. It will detect the deliveries it missed
     /// and run the state-transfer protocol to catch up.
     pub fn recover_replica(&self, p: PartitionId, i: usize) {
-        self.inner.fabric.recover(self.inner.nodes[p.0 as usize][i].id());
+        self.inner
+            .fabric
+            .recover(self.inner.nodes[p.0 as usize][i].id());
     }
 
     /// Direct read of a committed value at a given replica, for tests and
     /// examples (latest version in its store).
     pub fn peek(&self, p: PartitionId, i: usize, oid: ObjectId) -> Option<bytes::Bytes> {
-        self.replicas[p.0 as usize][i].store.get(oid).map(|(_, v)| v)
+        self.replicas[p.0 as usize][i]
+            .store
+            .get(oid)
+            .map(|(_, v)| v)
     }
 
     /// Direct read of a committed value *with* its version timestamp
@@ -289,7 +353,9 @@ impl HeronCluster {
 
     /// The raw `last_req` timestamp of a replica (diagnostics).
     pub fn last_req(&self, p: PartitionId, i: usize) -> u64 {
-        self.replicas[p.0 as usize][i].last_req.load(Ordering::SeqCst)
+        self.replicas[p.0 as usize][i]
+            .last_req
+            .load(Ordering::SeqCst)
     }
 
     /// The request-handling trace of a replica (diagnostics):
@@ -300,7 +366,9 @@ impl HeronCluster {
 
     /// The raw `completed_req` timestamp of a replica (diagnostics).
     pub fn completed_req(&self, p: PartitionId, i: usize) -> u64 {
-        self.replicas[p.0 as usize][i].completed_req.load(Ordering::SeqCst)
+        self.replicas[p.0 as usize][i]
+            .completed_req
+            .load(Ordering::SeqCst)
     }
 
     /// A replica's inbound-transfer staging view (diagnostics):
@@ -315,7 +383,9 @@ impl HeronCluster {
         let cfg = &self.inner.cfg;
         let slots = (1..=cfg.transfer_slots as u64)
             .map(|k| {
-                let slot = shared.layout.ring_slot(k, cfg.transfer_slots, cfg.transfer_chunk);
+                let slot = shared
+                    .layout
+                    .ring_slot(k, cfg.transfer_slots, cfg.transfer_chunk);
                 (
                     shared.node.local_read_word(slot).unwrap_or(0),
                     shared.node.local_read_word(slot.offset(16)).unwrap_or(0),
@@ -326,7 +396,10 @@ impl HeronCluster {
             prog.expected,
             prog.stream_bound,
             slots,
-            shared.node.local_read_word(shared.layout.applied).unwrap_or(0),
+            shared
+                .node
+                .local_read_word(shared.layout.applied)
+                .unwrap_or(0),
         )
     }
 

@@ -58,6 +58,19 @@ pub struct HeronConfig {
     pub transfer_timeout: Duration,
     /// Multi-partition execution strategy (paper §III-D2).
     pub execution_mode: ExecutionMode,
+    /// Enables the Sim-TSan happens-before race detector on the fabric:
+    /// shadow memory behind every verb, region annotations for all of
+    /// Heron's coordination memory, and the protocol lints. Off by
+    /// default; when off the only cost on the verb hot path is one
+    /// relaxed atomic load, and schedules are bit-identical either way.
+    pub race_detector: bool,
+    /// **Self-test only.** Makes [`crate::VersionedStore::set`] overwrite
+    /// the version with the *larger* timestamp — removing the
+    /// dual-versioning guard that lets concurrent remote readers find the
+    /// version they need. Exists so `race_audit --selftest` can prove the
+    /// race detector catches the resulting protocol violation; never set
+    /// this outside that test.
+    pub break_dual_version_guard: bool,
     /// Ordering-layer configuration.
     pub mcast: McastConfig,
 }
@@ -84,8 +97,25 @@ impl HeronConfig {
             deser_ns_per_kib: 2_290,
             transfer_timeout: Duration::from_millis(5),
             execution_mode: ExecutionMode::default(),
+            race_detector: false,
+            break_dual_version_guard: false,
             mcast,
         }
+    }
+
+    /// Enables (or disables) the Sim-TSan race detector.
+    #[must_use]
+    pub fn with_race_detector(mut self, on: bool) -> Self {
+        self.race_detector = on;
+        self
+    }
+
+    /// **Self-test only**: disables the dual-versioning victim guard (see
+    /// [`HeronConfig::break_dual_version_guard`]).
+    #[must_use]
+    pub fn with_broken_dual_version_guard(mut self) -> Self {
+        self.break_dual_version_guard = true;
+        self
     }
 
     /// Sets the multi-partition execution mode.
@@ -166,7 +196,11 @@ mod tests {
         let cfg = HeronConfig::new(2, 3).with_max_batch(16);
         assert_eq!(cfg.max_batch(), 16);
         assert_eq!(cfg.mcast.max_batch, 16);
-        assert_eq!(HeronConfig::new(2, 3).max_batch(), 1, "batching off by default");
+        assert_eq!(
+            HeronConfig::new(2, 3).max_batch(),
+            1,
+            "batching off by default"
+        );
     }
 
     #[test]

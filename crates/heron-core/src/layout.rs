@@ -200,7 +200,8 @@ pub(crate) fn decode_records(body: &[u8]) -> impl Iterator<Item = (ObjectId, &[u
         let oid = ObjectId(u64::from_le_bytes(
             body[off..off + 8].try_into().expect("oid word"),
         ));
-        let len = u64::from_le_bytes(body[off + 8..off + 16].try_into().expect("len word")) as usize;
+        let len =
+            u64::from_le_bytes(body[off + 8..off + 16].try_into().expect("len word")) as usize;
         let start = off + REC_HDR;
         if start + len > body.len() {
             return None;

@@ -80,6 +80,7 @@
 //! });
 //! simulation.run_until(sim::SimTime::from_millis(50)).unwrap();
 //! ```
+#![forbid(unsafe_code)]
 
 mod app;
 pub mod checker;

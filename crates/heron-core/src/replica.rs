@@ -4,12 +4,12 @@
 use crate::app::{Execution, LocalReader, ReadSet};
 use crate::cluster::ReplicaShared;
 use crate::layout::{
-    encode_coord, encode_record, encode_response, encode_sync, decode_envelope, resp_slot,
-    CHUNK_HDR,
+    decode_envelope, encode_coord, encode_record, encode_response, encode_sync, resp_slot,
+    CHUNK_HDR, COORD_ENTRY,
 };
 use crate::metrics::{Breakdown, TransferRecord};
 use crate::types::{ObjectId, PartitionId, Placement, StorageKind};
-use amcast::{mask_groups, DeliveryEvent, Delivered, Timestamp};
+use amcast::{mask_groups, Delivered, DeliveryEvent, Timestamp};
 use bytes::Bytes;
 use rand::Rng;
 use sim::{Mailbox, SimTime};
@@ -262,6 +262,30 @@ impl Executor {
         // wait-for-all delay (paper §V-E1). Queued active-only write-backs
         // ride the same doorbells.
         let t_p4 = sim::now();
+        // Protocol lint (regression guard): the Phase-4 entry — which in
+        // batched active-only mode carries the remote object write-backs —
+        // must never be posted before the Phase-2 quorum was observed.
+        // Coordination entries are monotone, so once the barrier above
+        // passed this stays satisfied; a hit means a code change skipped
+        // or reordered the Phase-2 wait.
+        if let Some(det) = shared.cluster.detector.as_ref() {
+            let (_, quorum, _) = self.coord_status(&dests, ts, 1);
+            if !quorum {
+                let coord_len = (self.cfg().partitions * self.n() * COORD_ENTRY) as u64;
+                det.report_lint(
+                    "Phase-2 write-back before quorum clock advanced",
+                    &shared.node,
+                    "coord",
+                    (shared.layout.coord.0, shared.layout.coord.0 + coord_len),
+                    None,
+                    format!(
+                        "posting the Phase-4 entry (and its queued write-backs) for ts {} \
+                         while the Phase-2 majority barrier is not satisfied",
+                        ts.raw()
+                    ),
+                );
+            }
+        }
         self.write_coord_with(&dests, ts, 2, pending_writes);
         self.wait_coord(&dests, ts, 2, self.cfg().wait_for_all);
         let p4_ns = (sim::now() - t_p4).as_nanos() as u64;
@@ -308,9 +332,9 @@ impl Executor {
         for h in sorted {
             for q in 0..n {
                 let target = shared.peer(h, q);
-                let slot_on_target = self
-                    .layout_of(&target)
-                    .coord_slot(shared.partition.0 as usize, shared.idx, n);
+                let slot_on_target =
+                    self.layout_of(&target)
+                        .coord_slot(shared.partition.0 as usize, shared.idx, n);
                 if target.id() == shared.node.id() {
                     let _ = shared.node.local_write(slot_on_target, &entry);
                 } else if batched {
@@ -321,7 +345,9 @@ impl Executor {
                     batch.push(slot_on_target, entry.to_vec());
                     let _ = batch.post();
                 } else {
-                    let _ = shared.qp(&target).post_write(slot_on_target, entry.to_vec());
+                    let _ = shared
+                        .qp(&target)
+                        .post_write(slot_on_target, entry.to_vec());
                 }
             }
         }
@@ -374,7 +400,13 @@ impl Executor {
     /// Blocks until a majority of every involved partition has coordinated
     /// (Algorithm 1, lines 10/16). With `delta` set, additionally waits up
     /// to δ for *all* replicas, recording Table I's delay statistics.
-    fn wait_coord(&self, dests: &[PartitionId], ts: Timestamp, phase: u64, delta: Option<Duration>) {
+    fn wait_coord(
+        &self,
+        dests: &[PartitionId],
+        ts: Timestamp,
+        phase: u64,
+        delta: Option<Duration>,
+    ) {
         let shared = &self.shared;
         shared.node.poll_until(|| {
             let (_, maj, _) = self.coord_status(dests, ts, phase);
@@ -502,6 +534,7 @@ impl Executor {
                 .get(&(oid, target.id()))
                 .expect("known candidate has a cached address");
             let slot = crate::store::Slot { addr, cap };
+            let t_issue = sim::now().as_nanos();
             match shared.qp(&target).read(addr, slot.size()) {
                 Err(_) => {
                     // RDMA exception: the process failed; try another
@@ -511,12 +544,81 @@ impl Executor {
                 }
                 Ok(raw) => {
                     let versions = crate::store::SlotVersions::decode(&raw, cap);
-                    if versions.read_for(ts).is_none() {
-                        return Err(Lagging); // lines 23–25
-                    }
+                    let chosen_ts = match versions.read_for(ts) {
+                        None => return Err(Lagging), // lines 23–25
+                        Some((t, _)) => t,
+                    };
+                    self.audit_remote_slot_read(
+                        &target, oid, addr, cap, &versions, chosen_ts, ts, t_issue,
+                    );
                     return Ok((versions, cap));
                 }
             }
+        }
+    }
+
+    /// Protocol lint: adjudicates a completed remote slot read against the
+    /// race detector's shadow state. The raw read of a dual-version slot
+    /// is exempt from the generic check (it legitimately snapshots the
+    /// version a concurrent writer is overwriting), so after decoding we
+    /// check only the byte range of the version the reader actually
+    /// *chose*: if its last writer has no happens-before edge to us, the
+    /// dual-versioning discipline failed to protect this read.
+    ///
+    /// Two benign cases are filtered out:
+    /// * writes that landed *after* we issued the read (`t_issue`) — the
+    ///   in-flux window; our snapshot predates them and the shadow marks
+    ///   surface them through the `influx_windows` statistic instead;
+    /// * state-transfer applies (the service process rewrites whole slots
+    ///   on a lagger that a Phase-2-starved reader may still legitimately
+    ///   target; the reader's snapshot of committed versions stays valid —
+    ///   see DESIGN.md §10).
+    ///
+    /// Active-only mode is excluded wholesale: racing active replicas
+    /// write identical slot images remotely by design.
+    #[allow(clippy::too_many_arguments)]
+    fn audit_remote_slot_read(
+        &self,
+        target: &rdma_sim::Node,
+        oid: ObjectId,
+        addr: rdma_sim::Addr,
+        cap: usize,
+        versions: &crate::store::SlotVersions,
+        chosen_ts: Timestamp,
+        r_ts: Timestamp,
+        t_issue: u64,
+    ) {
+        let Some(det) = self.shared.cluster.detector.as_ref() else {
+            return;
+        };
+        if self.cfg().execution_mode != crate::ExecutionMode::ActiveOnly {
+            let one = (crate::store::VERSION_HDR + cap) as u64;
+            // On a timestamp tie `read_for` keeps version `a`.
+            let start = if chosen_ts == versions.a.0 {
+                addr
+            } else {
+                addr.offset(one)
+            };
+            let Some(conflict) = det.audit_remote_read(target, start, one as usize) else {
+                return;
+            };
+            if conflict.writer.time_ns > t_issue || conflict.writer.proc.starts_with("heron-svc-") {
+                return;
+            }
+            det.report_lint(
+                "remote read targeted the active version slot",
+                target,
+                format!("slot:{oid}"),
+                conflict.range,
+                Some(conflict.writer),
+                format!(
+                    "the version chosen by the remote reader (ts {} for request ts {}) \
+                     was written with no happens-before edge to the reader; on real \
+                     hardware the one-sided read could have returned torn bytes",
+                    chosen_ts.raw(),
+                    r_ts.raw(),
+                ),
+            );
         }
     }
 
@@ -639,8 +741,7 @@ impl Executor {
             });
             for q in 0..self.n() {
                 let target = shared.peer(h, q);
-                let Some(&(addr, cap)) = shared.object_map.lock().get(&(oid, target.id()))
-                else {
+                let Some(&(addr, cap)) = shared.object_map.lock().get(&(oid, target.id())) else {
                     continue; // unknown address: that replica will lag and state-transfer
                 };
                 let image = encode_slot_image(versions, &value, ts, cap);
@@ -758,9 +859,7 @@ impl Executor {
             // Zero the staging ring stamps so stale chunks are not
             // re-applied.
             for k in 1..=slots as u64 {
-                let slot = shared
-                    .layout
-                    .ring_slot(k, slots, self.cfg().transfer_chunk);
+                let slot = shared.layout.ring_slot(k, slots, self.cfg().transfer_chunk);
                 let _ = shared.node.local_write_word(slot, 0);
             }
             let _ = shared.node.local_write_word(shared.layout.applied, 0);
@@ -792,10 +891,7 @@ impl Executor {
                     break;
                 }
                 if abort() {
-                    let status = shared
-                        .node
-                        .local_read_word(my_sync.offset(8))
-                        .unwrap_or(0);
+                    let status = shared.node.local_read_word(my_sync.offset(8)).unwrap_or(0);
                     let untouched = {
                         let prog = shared.transfer.lock();
                         prog.stream_bound.is_none() && prog.bytes == 0
@@ -836,6 +932,13 @@ impl Executor {
             if !applied {
                 continue 'retry;
             }
+            // Race-detector edge: read the applied watermark — the service
+            // process's last instrumented write — so every chunk it applied
+            // happens-before our subsequent execution and coordination
+            // writes (and, transitively, before any remote reader that
+            // observes our next coordination entry). Free when the
+            // detector is off: a local read costs no virtual time.
+            let _ = shared.node.local_read_word(shared.layout.applied);
             // Line 6: adopt the responder's request id — but only if it
             // matches the stream we actually applied. A mismatch means two
             // responders raced (one was slow, the rotation fired) and we
@@ -886,10 +989,7 @@ impl Executor {
                 continue;
             }
             let from = shared.node.local_read_word(slot).unwrap_or(0);
-            let first_seen = *self
-                .seen_requests
-                .entry((p, from))
-                .or_insert_with(sim::now);
+            let first_seen = *self.seen_requests.entry((p, from)).or_insert_with(sim::now);
             // Deterministic rotation: requester+1 serves immediately, the
             // next waits one timeout, and so on (line 10 + lines 19–22).
             let my_rank = (shared.idx + n - p - 1) % n;
@@ -917,9 +1017,10 @@ impl Executor {
             _ => return, // claimed by someone else, completed, or crashed
         }
         // Snapshot at a request boundary.
-        shared
-            .node
-            .poll_until_timeout(|| !shared.in_write_phase.load(Ordering::SeqCst), cfg.transfer_timeout);
+        shared.node.poll_until_timeout(
+            || !shared.in_write_phase.load(Ordering::SeqCst),
+            cfg.transfer_timeout,
+        );
         let bound = shared.completed_req.load(Ordering::SeqCst);
         // Line 12: the update log bounds what must be synchronized.
         let oids: BTreeSet<ObjectId> = shared
@@ -948,15 +1049,41 @@ impl Executor {
             // requester's applied counter.
             if *stamp > cfg.transfer_slots as u64 {
                 let deadline = sim::now() + cfg.transfer_timeout;
-                loop {
+                let watermark = loop {
                     let Ok(applied) = qp.read_word(shared.layout.applied) else {
                         return false; // requester crashed
                     };
                     if *stamp <= applied + cfg.transfer_slots as u64 {
-                        break;
+                        break applied;
                     }
                     if sim::now() >= deadline {
                         return false; // no progress: abandon this serve
+                    }
+                };
+                // Protocol lint (regression guard): posting past the
+                // applied watermark would overwrite a staged chunk the
+                // requester's service has not consumed yet — it would land
+                // inside the requester's live read window. The wait above
+                // makes this unreachable; the lint keeps its own
+                // comparison so it trips immediately if a change ever
+                // breaks the flow-control condition.
+                if let Some(det) = shared.cluster.detector.as_ref() {
+                    if *stamp > watermark + cfg.transfer_slots as u64 {
+                        let slot = shared
+                            .layout
+                            .ring_slot(*stamp, cfg.transfer_slots, chunk_cap);
+                        det.report_lint(
+                            "state-transfer chunk overlaps a live read window",
+                            &target,
+                            "ring",
+                            (slot.0, slot.0 + (CHUNK_HDR + chunk_cap) as u64),
+                            None,
+                            format!(
+                                "chunk {} posted while the requester had only applied \
+                                 {} of a {}-slot staging ring",
+                                *stamp, watermark, cfg.transfer_slots
+                            ),
+                        );
                     }
                 }
             }

@@ -47,9 +47,7 @@ impl Service {
             self.apply_chunks();
             let node = shared.node.clone();
             let shared2 = Arc::clone(shared);
-            node.poll_until(move || {
-                shared2.node.pending_messages() > 0 || chunk_ready(&shared2)
-            });
+            node.poll_until(move || shared2.node.pending_messages() > 0 || chunk_ready(&shared2));
         }
     }
 

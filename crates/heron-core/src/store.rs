@@ -22,12 +22,12 @@ use crate::types::ObjectId;
 use amcast::Timestamp;
 use bytes::Bytes;
 use parking_lot::Mutex;
-use rdma_sim::{Addr, Node};
+use rdma_sim::{Addr, Node, RaceDetector, RegionKind};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Per-version header: timestamp word + length word.
-const VERSION_HDR: usize = 16;
+pub(crate) const VERSION_HDR: usize = 16;
 
 /// Extra slot capacity beyond the initial value size, allowing values to
 /// grow a little without relocation (remote address maps cache slot
@@ -120,6 +120,12 @@ struct StoreInner {
 pub struct VersionedStore {
     node: Node,
     inner: Mutex<StoreInner>,
+    /// When set, slots are annotated [`RegionKind::DualSlot`] as they are
+    /// allocated and [`VersionedStore::set`] lints the victim rule.
+    detector: Option<RaceDetector>,
+    /// Self-test switch: pick the *larger*-timestamp version as the
+    /// victim, violating the dual-versioning rule remote readers rely on.
+    break_victim_guard: bool,
 }
 
 impl fmt::Debug for VersionedStore {
@@ -138,6 +144,30 @@ impl VersionedStore {
             inner: Mutex::new(StoreInner {
                 slots: HashMap::new(),
             }),
+            detector: None,
+            break_victim_guard: false,
+        }
+    }
+
+    /// Attaches the race detector (and, for the detector's self-test, the
+    /// broken-victim-guard switch). Call before any slot is created so the
+    /// [`RegionKind::DualSlot`] annotations cover every slot; slots
+    /// allocated earlier stay unannotated (and would be checked as plain
+    /// data).
+    pub fn instrument(&mut self, detector: RaceDetector, break_victim_guard: bool) {
+        self.detector = Some(detector);
+        self.break_victim_guard = break_victim_guard;
+    }
+
+    fn annotate_slot(&self, oid: ObjectId, slot: Slot) {
+        if let Some(det) = &self.detector {
+            det.annotate(
+                &self.node,
+                slot.addr,
+                slot.size(),
+                RegionKind::DualSlot,
+                format!("slot:{oid}"),
+            );
         }
     }
 
@@ -177,6 +207,8 @@ impl VersionedStore {
             cap,
         };
         inner.slots.insert(oid, slot);
+        drop(inner);
+        self.annotate_slot(oid, slot);
         slot
     }
 
@@ -213,7 +245,44 @@ impl VersionedStore {
             "value for {oid} exceeds slot capacity"
         );
         let versions = self.read_slot(slot);
-        let victim = if versions.a.0 <= versions.b.0 { 0 } else { 1 };
+        let min_is_a = versions.a.0 <= versions.b.0;
+        // The dual-versioning guard (paper §III-A): overwrite the version
+        // with the SMALLER timestamp, so a concurrent remote reader
+        // working on an earlier request can still find the version it
+        // needs. `break_victim_guard` inverts the choice for the race
+        // detector's self-test.
+        let victim = if min_is_a != self.break_victim_guard {
+            0
+        } else {
+            1
+        };
+        if let Some(det) = &self.detector {
+            let (victim_ts, survivor_ts) = if victim == 0 {
+                (versions.a.0, versions.b.0)
+            } else {
+                (versions.b.0, versions.a.0)
+            };
+            if victim_ts > survivor_ts {
+                let one = VERSION_HDR + slot.cap;
+                let start = slot.addr.offset((victim * one) as u64);
+                det.report_lint(
+                    "dual-version victim guard violated",
+                    &self.node,
+                    format!("slot:{oid}"),
+                    (start.0, start.0 + one as u64),
+                    det.last_writer(&self.node, start, one),
+                    format!(
+                        "set({oid}, tmp={}) overwrote the ACTIVE version (ts {}) while \
+                         the older version (ts {}) survived; a concurrent remote reader \
+                         picking the largest version below its own timestamp now races \
+                         this write on the very bytes it targets",
+                        tmp.raw(),
+                        victim_ts.raw(),
+                        survivor_ts.raw(),
+                    ),
+                );
+            }
+        }
         self.write_version(slot, victim, tmp, value);
     }
 
@@ -261,14 +330,26 @@ impl VersionedStore {
     /// lagger). Allocates the slot if the object is new to this replica.
     pub fn apply_raw_slot(&self, oid: ObjectId, raw: &[u8]) {
         let cap = (raw.len() - 2 * VERSION_HDR) / 2;
-        let slot = {
+        let (slot, fresh) = {
             let mut inner = self.inner.lock();
-            *inner.slots.entry(oid).or_insert_with(|| Slot {
-                addr: self.node.alloc_bytes(raw.len()),
-                cap,
-            })
+            match inner.slots.entry(oid) {
+                std::collections::hash_map::Entry::Occupied(e) => (*e.get(), false),
+                std::collections::hash_map::Entry::Vacant(e) => (
+                    *e.insert(Slot {
+                        addr: self.node.alloc_bytes(raw.len()),
+                        cap,
+                    }),
+                    true,
+                ),
+            }
         };
-        assert_eq!(slot.cap, cap, "state-transfer slot shape mismatch for {oid}");
+        if fresh {
+            self.annotate_slot(oid, slot);
+        }
+        assert_eq!(
+            slot.cap, cap,
+            "state-transfer slot shape mismatch for {oid}"
+        );
         self.node
             .local_write(slot.addr, raw)
             .expect("slot within registered memory");

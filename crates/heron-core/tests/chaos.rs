@@ -160,8 +160,7 @@ impl SequentialSpec for BankSpec {
     fn apply(&self, state: &mut Vec<u64>, req: &[u8]) -> Bytes {
         match req[0] {
             OP_TRANSFER => {
-                let (from, to, amount) =
-                    (arg(req, 0) as usize, arg(req, 1) as usize, arg(req, 2));
+                let (from, to, amount) = (arg(req, 0) as usize, arg(req, 1) as usize, arg(req, 2));
                 let ok = state[from] >= amount;
                 if ok {
                     state[from] -= amount;
@@ -260,8 +259,14 @@ fn assert_consistent(checker: &Checker, cluster: &HeronCluster, accounts: u64) {
 fn leader_crash_mid_phase2() {
     let (checker, cluster) = run_chaos(101, 2, 3, 6, 1, 40, |_, cl| {
         FaultPlan::new(101)
-            .crash_at(cl.replica_node(PartitionId(0), 0).id(), Duration::from_micros(400))
-            .recover_at(cl.replica_node(PartitionId(0), 0).id(), Duration::from_millis(40))
+            .crash_at(
+                cl.replica_node(PartitionId(0), 0).id(),
+                Duration::from_micros(400),
+            )
+            .recover_at(
+                cl.replica_node(PartitionId(0), 0).id(),
+                Duration::from_millis(40),
+            )
     });
     assert_consistent(&checker, &cluster, 6);
 }
@@ -371,14 +376,23 @@ fn crash_on_nth_verb() {
 fn compound_crash_plus_pause_plus_jitter() {
     let (checker, cluster) = run_chaos(108, 2, 3, 6, 2, 30, |_, cl| {
         FaultPlan::new(108)
-            .crash_at(cl.replica_node(PartitionId(0), 1).id(), Duration::from_micros(500))
-            .recover_at(cl.replica_node(PartitionId(0), 1).id(), Duration::from_millis(20))
+            .crash_at(
+                cl.replica_node(PartitionId(0), 1).id(),
+                Duration::from_micros(500),
+            )
+            .recover_at(
+                cl.replica_node(PartitionId(0), 1).id(),
+                Duration::from_millis(20),
+            )
             .pause(
                 cl.replica_node(PartitionId(1), 2).id(),
                 Duration::from_micros(400),
                 Duration::from_millis(6),
             )
-            .jitter(cl.replica_node(PartitionId(0), 2).id(), Duration::from_micros(10))
+            .jitter(
+                cl.replica_node(PartitionId(0), 2).id(),
+                Duration::from_micros(10),
+            )
     });
     assert_consistent(&checker, &cluster, 6);
 }
@@ -390,8 +404,14 @@ fn compound_crash_plus_pause_plus_jitter() {
 fn faults_in_one_partition_do_not_leak() {
     let (checker, cluster) = run_chaos(109, 2, 3, 6, 1, 40, |_, cl| {
         let mut plan = FaultPlan::new(109)
-            .crash_at(cl.replica_node(PartitionId(1), 0).id(), Duration::from_micros(600))
-            .recover_at(cl.replica_node(PartitionId(1), 0).id(), Duration::from_millis(25));
+            .crash_at(
+                cl.replica_node(PartitionId(1), 0).id(),
+                Duration::from_micros(600),
+            )
+            .recover_at(
+                cl.replica_node(PartitionId(1), 0).id(),
+                Duration::from_millis(25),
+            );
         for i in 1..3 {
             plan = plan.jitter(
                 cl.replica_node(PartitionId(1), i).id(),
@@ -431,8 +451,14 @@ fn checker_catches_corrupted_applied_command() {
         .expect_err("corruption must be detected");
     assert_eq!(v.check, "store", "unexpected violation class: {v}");
     let msg = v.to_string();
-    assert!(msg.contains("seed 111"), "violation must name the seed: {msg}");
-    assert!(msg.contains("obj:0x0"), "violation must name the object: {msg}");
+    assert!(
+        msg.contains("seed 111"),
+        "violation must name the seed: {msg}"
+    );
+    assert!(
+        msg.contains("obj:0x0"),
+        "violation must name the object: {msg}"
+    );
 }
 
 /// Checker self-test, part 2: corrupting one recorded **response** in the

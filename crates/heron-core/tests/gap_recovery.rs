@@ -27,7 +27,9 @@ impl StateMachine for Counters {
     }
 
     fn read_set(&self, req: &[u8]) -> Vec<ObjectId> {
-        vec![ObjectId(u64::from_le_bytes(req.try_into().expect("8 bytes")))]
+        vec![ObjectId(u64::from_le_bytes(
+            req.try_into().expect("8 bytes"),
+        ))]
     }
 
     fn execute(
@@ -99,7 +101,10 @@ fn log_overrun_recovers_via_gap_and_state_transfer() {
     });
     simulation.run().unwrap();
     assert!(
-        metrics.transfers_started.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        metrics
+            .transfers_started
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
         "a log overrun must force the state-transfer protocol"
     );
 }

@@ -126,12 +126,7 @@ impl StateMachine for Bank {
     fn bootstrap(&self, partition: PartitionId) -> Vec<(ObjectId, Bytes)> {
         (0..self.accounts)
             .filter(|a| self.partition_of(*a) == partition)
-            .map(|a| {
-                (
-                    ObjectId(a),
-                    Bytes::copy_from_slice(&1000u64.to_le_bytes()),
-                )
-            })
+            .map(|a| (ObjectId(a), Bytes::copy_from_slice(&1000u64.to_le_bytes())))
             .collect()
     }
 }
@@ -245,7 +240,11 @@ fn batched_mode_preserves_invariants_and_convergence() {
             let total: u64 = (0..accounts)
                 .map(|a| u64::from_le_bytes(client.execute(&enc_read(a))[..8].try_into().unwrap()))
                 .sum();
-            assert_eq!(total, accounts * 1000, "money created or destroyed ({mode:?})");
+            assert_eq!(
+                total,
+                accounts * 1000,
+                "money created or destroyed ({mode:?})"
+            );
             sim::sleep(Duration::from_millis(2));
             for p in 0..2u16 {
                 for a in 0..accounts {
@@ -330,12 +329,11 @@ fn crashed_replica_recovers_via_state_transfer() {
                 eprintln!(
                     "p0 r{r}: last_req={} balances={:?}",
                     c2.last_req(PartitionId(0), r),
-                    [0u64, 2, 4]
-                        .map(|a| u64::from_le_bytes(
-                            c2.peek(PartitionId(0), r, ObjectId(a)).unwrap()[..8]
-                                .try_into()
-                                .unwrap()
-                        ))
+                    [0u64, 2, 4].map(|a| u64::from_le_bytes(
+                        c2.peek(PartitionId(0), r, ObjectId(a)).unwrap()[..8]
+                            .try_into()
+                            .unwrap()
+                    ))
                 );
             }
             eprintln!(

@@ -33,6 +33,7 @@
 //! });
 //! simulation.run().unwrap();
 //! ```
+#![forbid(unsafe_code)]
 
 use parking_lot::{Mutex, RwLock};
 use sim::Mailbox;

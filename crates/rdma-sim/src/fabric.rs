@@ -128,6 +128,10 @@ pub(crate) struct FabricInner {
     /// installed, keeping fault-free runs bit-identical and cheap.
     pub(crate) faults_on: AtomicBool,
     pub(crate) faults: Mutex<Option<crate::faults::FaultRuntime>>,
+    /// Set by [`Fabric::enable_race_detector`]; same pattern as
+    /// `faults_on` — detector-off memory accesses cost one relaxed load.
+    pub(crate) tsan_on: AtomicBool,
+    pub(crate) tsan: Mutex<Option<Arc<crate::tsan::TsanState>>>,
 }
 
 impl FabricInner {
@@ -162,6 +166,15 @@ impl FabricInner {
             },
         }
     }
+
+    /// The enabled race detector state, or `None`. One relaxed load when
+    /// the detector is off.
+    pub(crate) fn tsan(&self) -> Option<Arc<crate::tsan::TsanState>> {
+        if !self.tsan_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.tsan.lock().clone()
+    }
 }
 
 /// The shared-memory fabric: a set of nodes connected by RDMA.
@@ -190,8 +203,37 @@ impl Fabric {
                 link_clock: Mutex::new(std::collections::HashMap::new()),
                 faults_on: AtomicBool::new(false),
                 faults: Mutex::new(None),
+                tsan_on: AtomicBool::new(false),
+                tsan: Mutex::new(None),
             }),
         }
+    }
+
+    /// Turns on the Sim-TSan race detector for every node on this fabric
+    /// and returns a handle to its reports. Idempotent: repeated calls
+    /// return handles to the same state. See [`crate::tsan`] for the
+    /// memory model.
+    pub fn enable_race_detector(&self) -> crate::RaceDetector {
+        let state = {
+            let mut guard = self.inner.tsan.lock();
+            Arc::clone(guard.get_or_insert_with(|| Arc::new(crate::tsan::TsanState::new())))
+        };
+        self.inner.tsan_on.store(true, Ordering::SeqCst);
+        crate::RaceDetector { state }
+    }
+
+    /// The enabled race detector, if any.
+    pub fn race_detector(&self) -> Option<crate::RaceDetector> {
+        if !self.inner.tsan_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.inner
+            .tsan
+            .lock()
+            .as_ref()
+            .map(|state| crate::RaceDetector {
+                state: Arc::clone(state),
+            })
     }
 
     /// Registers a new node (endpoint) on the fabric.
@@ -346,10 +388,25 @@ impl Node {
 
     /// Reads bytes from this node's own registered memory.
     ///
+    /// For the race detector, a local read is an *acquire*: polling one's
+    /// own RDMA-visible memory is how Heron processes observe remote
+    /// writes, so the reader inherits the writers' clocks. Local reads are
+    /// never themselves race-checked.
+    ///
     /// # Errors
     ///
     /// [`RdmaError::OutOfBounds`] if the range is outside registered memory.
     pub fn local_read(&self, addr: Addr, len: usize) -> RdmaResult<Vec<u8>> {
+        let data = self.read_raw(addr, len)?;
+        if let Some(tsan) = self.fabric.tsan() {
+            tsan.on_local_read(self, addr, len);
+        }
+        Ok(data)
+    }
+
+    /// The uninstrumented read: used by remote (one-sided) reads, which
+    /// must *not* acquire — they are exactly the accesses being checked.
+    pub(crate) fn read_raw(&self, addr: Addr, len: usize) -> RdmaResult<Vec<u8>> {
         let mem = self.inner.mem.lock();
         self.inner.check_range(&mem, addr, len)?;
         let start = addr.0 as usize;
@@ -375,6 +432,30 @@ impl Node {
     ///
     /// [`RdmaError::OutOfBounds`] if the range is outside registered memory.
     pub fn local_write(&self, addr: Addr, data: &[u8]) -> RdmaResult<()> {
+        self.write_instrumented(addr, data, "local-write")
+    }
+
+    /// Write with an explicit operation label for race reports (signaled
+    /// RDMA writes land through here as `"rdma-write"`).
+    pub(crate) fn write_instrumented(
+        &self,
+        addr: Addr,
+        data: &[u8],
+        op: &'static str,
+    ) -> RdmaResult<()> {
+        self.write_raw(addr, data)?;
+        if let Some(tsan) = self.fabric.tsan() {
+            let ticket = crate::tsan::WriteTicket::capture(op);
+            let now_ns = sim::try_now().map(|t| t.as_nanos()).unwrap_or(0);
+            tsan.on_write(self, addr, data.len(), &ticket, now_ns);
+        }
+        Ok(())
+    }
+
+    /// The uninstrumented write. Event-context landings (unsignaled
+    /// writes, batches) use this and commit their captured ticket to the
+    /// shadow state themselves.
+    pub(crate) fn write_raw(&self, addr: Addr, data: &[u8]) -> RdmaResult<()> {
         {
             let mut mem = self.inner.mem.lock();
             self.inner.check_range(&mem, addr, data.len())?;
@@ -395,6 +476,24 @@ impl Node {
             return Err(RdmaError::Misaligned);
         }
         self.local_write(addr, &value.to_le_bytes())
+    }
+
+    /// Tells the race detector what protocol role the byte range plays
+    /// (see [`crate::RegionKind`]). Recorded even before
+    /// [`Fabric::enable_race_detector`] is called, so annotation order
+    /// does not matter; a no-op burden-wise when the detector never runs.
+    pub fn annotate_region(
+        &self,
+        addr: Addr,
+        len: usize,
+        kind: crate::RegionKind,
+        label: impl Into<String>,
+    ) {
+        let state = {
+            let mut guard = self.fabric.tsan.lock();
+            Arc::clone(guard.get_or_insert_with(|| Arc::new(crate::tsan::TsanState::new())))
+        };
+        state.annotate(self, addr, len, kind, label.into());
     }
 
     /// The condition notified whenever a remote write lands in this node's

@@ -327,10 +327,7 @@ mod tests {
             assert!(qp.write_word(addr, 1).is_ok());
             assert!(qp.read_word(addr).is_ok());
             // Third verb: the node dies issuing it.
-            assert_eq!(
-                qp.write_word(addr, 2).unwrap_err(),
-                RdmaError::LocalFailure
-            );
+            assert_eq!(qp.write_word(addr, 2).unwrap_err(), RdmaError::LocalFailure);
             assert!(!a.is_alive());
         });
         simulation.run().unwrap();

@@ -38,15 +38,20 @@
 //! });
 //! simulation.run().unwrap();
 //! ```
+#![forbid(unsafe_code)]
 
 mod error;
 mod fabric;
 mod faults;
 mod latency;
 mod qp;
+pub mod tsan;
 
 pub use error::{RdmaError, RdmaResult};
 pub use fabric::{Addr, Fabric, FabricStats, Message, Node, NodeId};
 pub use faults::FaultPlan;
 pub use latency::LatencyModel;
 pub use qp::{QueuePair, WriteBatch};
+pub use tsan::{
+    AccessSite, ConflictInfo, DetectorStats, RaceDetector, RaceKind, RaceReport, RegionKind,
+};

@@ -126,8 +126,13 @@ impl QueuePair {
             return Err(RdmaError::RemoteFailure);
         }
         // Snapshot at arrival time: per-word atomicity holds because all
-        // memory mutations happen at single virtual instants.
-        let data = self.remote.local_read(addr, len)?;
+        // memory mutations happen at single virtual instants. Deliberately
+        // the raw read: a one-sided read must not acquire — it is exactly
+        // the access the race detector checks.
+        let data = self.remote.read_raw(addr, len)?;
+        if let Some(tsan) = self.local.fabric.tsan() {
+            tsan.on_remote_read(&self.remote, addr, len, sim::now().as_nanos());
+        }
         sim::sleep_ns(lat.one_way(len) * gate.slow);
         let stats = &self.local.fabric.stats;
         stats.reads.fetch_add(1, Ordering::Relaxed);
@@ -186,7 +191,7 @@ impl QueuePair {
         if !self.remote.is_alive() {
             return Err(RdmaError::RemoteFailure);
         }
-        self.remote.local_write(addr, data)?;
+        self.remote.write_instrumented(addr, data, "rdma-write")?;
         sim::sleep_ns(lat.one_way(8) * gate.slow);
         let stats = &self.local.fabric.stats;
         stats.writes.fetch_add(1, Ordering::Relaxed);
@@ -224,28 +229,43 @@ impl QueuePair {
         self.check_local_alive()?;
         let gate = self.post_verb()?;
         let now = sim::now().as_nanos();
-        let delay = self
-            .local
-            .fabric
-            .fifo_arrival(self.local.id(), self.remote.id(), now, data.len())
-            - now;
+        let delay =
+            self.local
+                .fabric
+                .fifo_arrival(self.local.id(), self.remote.id(), now, data.len())
+                - now;
         let remote = self.remote.clone();
         let stats_bytes = data.len() as u64;
         {
             let stats = &self.local.fabric.stats;
             stats.posted_writes.fetch_add(1, Ordering::Relaxed);
             stats.doorbells.fetch_add(1, Ordering::Relaxed);
-            stats.bytes_written.fetch_add(stats_bytes, Ordering::Relaxed);
+            stats
+                .bytes_written
+                .fetch_add(stats_bytes, Ordering::Relaxed);
         }
         if gate.drop {
             // Lost in the fabric; unsignaled, so nobody is told.
             return Ok(());
         }
+        // Ticket the write for the race detector at post time: the NIC
+        // carries the poster's ordering context to the remote memory.
+        let ticket = self.local.fabric.tsan().map(|t| {
+            (
+                t,
+                crate::tsan::WriteTicket::capture("rdma-post-write"),
+                now + delay,
+            )
+        });
         sim::schedule_ns(delay, move || {
             if remote.is_alive() {
                 // Ignore landing errors: an unsignaled write has no
                 // completion to report them through.
-                let _ = remote.local_write(addr, &data);
+                if remote.write_raw(addr, &data).is_ok() {
+                    if let Some((tsan, ticket, arrival)) = &ticket {
+                        tsan.on_write(&remote, addr, data.len(), ticket, *arrival);
+                    }
+                }
             }
         });
         Ok(())
@@ -288,9 +308,7 @@ impl QueuePair {
             let mut mem = self.remote.inner.mem.lock();
             self.remote.inner.check_range(&mem, addr, 8)?;
             let start = addr.0 as usize;
-            let old = u64::from_le_bytes(
-                mem.bytes[start..start + 8].try_into().expect("8 bytes"),
-            );
+            let old = u64::from_le_bytes(mem.bytes[start..start + 8].try_into().expect("8 bytes"));
             if old == expected {
                 mem.bytes[start..start + 8].copy_from_slice(&new.to_le_bytes());
             }
@@ -298,6 +316,10 @@ impl QueuePair {
         };
         if old == expected {
             self.remote.inner.mem_cond.notify_all();
+        }
+        if let Some(tsan) = self.local.fabric.tsan() {
+            let ticket = crate::tsan::WriteTicket::capture("rdma-cas");
+            tsan.on_cas(&self.remote, addr, &ticket, sim::now().as_nanos());
         }
         sim::sleep_ns(lat.one_way(8) * gate.slow);
         let stats = &self.local.fabric.stats;
@@ -328,11 +350,11 @@ impl QueuePair {
         self.check_local_alive()?;
         let gate = self.post_verb()?;
         let now = sim::now().as_nanos();
-        let delay = self
-            .local
-            .fabric
-            .fifo_arrival(self.local.id(), self.remote.id(), now, payload.len())
-            - now;
+        let delay =
+            self.local
+                .fabric
+                .fifo_arrival(self.local.id(), self.remote.id(), now, payload.len())
+                - now;
         let remote = self.remote.clone();
         let from = self.local.id();
         let stats = &self.local.fabric.stats;
@@ -341,11 +363,18 @@ impl QueuePair {
         if gate.drop {
             return Ok(());
         }
+        // Carry the sender's happens-before clock with the message; the
+        // receiver joins it on delivery (a sync edge for the detector).
+        // Empty — and free — when no detector runs.
+        let clock = sim::vc_current();
         sim::schedule_ns(delay, move || {
             if remote.is_alive() {
                 // A send into a crashed receiver is silently lost; the
                 // mailbox refuses posts for a dead node anyway.
-                let _ = remote.inner.inbox.send(Message { from, payload });
+                let _ = remote
+                    .inner
+                    .inbox
+                    .send_with_clock(Message { from, payload }, clock);
             }
         });
         Ok(())
@@ -462,11 +491,24 @@ impl WriteBatch {
         }
         let remote = qp.remote.clone();
         let writes = self.writes;
+        // One ticket for the whole batch: a WQE chain carries the poster's
+        // ordering context once.
+        let ticket = qp.local.fabric.tsan().map(|t| {
+            (
+                t,
+                crate::tsan::WriteTicket::capture("rdma-batch-write"),
+                now + delay,
+            )
+        });
         sim::schedule_ns(delay, move || {
             if remote.is_alive() {
                 for (addr, data) in &writes {
                     // Ignore landing errors, as for any unsignaled write.
-                    let _ = remote.local_write(*addr, data);
+                    if remote.write_raw(*addr, data).is_ok() {
+                        if let Some((tsan, ticket, arrival)) = &ticket {
+                            tsan.on_write(&remote, *addr, data.len(), ticket, *arrival);
+                        }
+                    }
                 }
             }
         });
@@ -540,7 +582,10 @@ mod tests {
             let qp = a.connect(&b);
             fabric.crash(b_id);
             assert_eq!(qp.read(addr, 8).unwrap_err(), RdmaError::RemoteFailure);
-            assert_eq!(qp.write_word(addr, 1).unwrap_err(), RdmaError::RemoteFailure);
+            assert_eq!(
+                qp.write_word(addr, 1).unwrap_err(),
+                RdmaError::RemoteFailure
+            );
             fabric.recover(b_id);
             assert!(qp.read(addr, 8).is_ok());
         });
@@ -651,11 +696,10 @@ mod tests {
             let lat = LatencyModel::connectx4();
             let t0 = sim::now().as_nanos();
             qp.post_write(addr, vec![1u8; 32 * 1024]).unwrap();
-            qp.post_write(addr.offset(32 * 1024), vec![2u8; 32 * 1024]).unwrap();
+            qp.post_write(addr.offset(32 * 1024), vec![2u8; 32 * 1024])
+                .unwrap();
             // Wait for both to land.
-            b2.poll_until(|| {
-                b2.local_read(addr.offset(2 * 32 * 1024 - 1), 1).unwrap()[0] == 2
-            });
+            b2.poll_until(|| b2.local_read(addr.offset(2 * 32 * 1024 - 1), 1).unwrap()[0] == 2);
             let elapsed = sim::now().as_nanos() - t0;
             let ser = 32 * lat.ns_per_kib;
             // First post's doorbell, then both serializations back to
@@ -722,10 +766,7 @@ mod tests {
             // All writes land together after serialization of the
             // combined 64-byte payload plus propagation.
             b2.poll_until(|| b2.local_read_word(addr.offset(56)).unwrap() == 8);
-            assert_eq!(
-                sim::now().as_nanos() - t0,
-                lat.post_ns + lat.one_way(64)
-            );
+            assert_eq!(sim::now().as_nanos() - t0, lat.post_ns + lat.one_way(64));
             for i in 0..8u64 {
                 assert_eq!(b2.local_read_word(addr.offset(i * 8)).unwrap(), i + 1);
             }

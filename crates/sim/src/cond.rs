@@ -2,8 +2,10 @@
 
 use crate::kernel::{with_ctx, Kernel, Pid};
 use crate::time::SimTime;
+use crate::vclock::VectorClock;
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -30,6 +32,12 @@ pub(crate) enum WaitOutcome {
 #[derive(Clone, Default)]
 pub struct Cond {
     waiters: Arc<Mutex<Vec<Waiter>>>,
+    /// Join of the happens-before clocks of every notifier so far; woken
+    /// waiters acquire it (a sync edge for the race detector). Stays empty
+    /// unless a detector is ticking clocks; `sync_set` keeps the detector-off
+    /// wait path down to one relaxed load.
+    sync_vc: Arc<Mutex<VectorClock>>,
+    sync_set: Arc<AtomicBool>,
 }
 
 struct Waiter {
@@ -67,11 +75,12 @@ impl Cond {
             });
             kernel.yield_and_park(pid);
         });
+        self.acquire_sync();
     }
 
     /// Blocks until notified or until the virtual deadline passes.
     pub(crate) fn wait_deadline(&self, deadline: SimTime) -> WaitOutcome {
-        with_ctx(|kernel, pid| {
+        let outcome = with_ctx(|kernel, pid| {
             if SimTime::from_nanos(kernel.now_nanos()) >= deadline {
                 return WaitOutcome::TimedOut;
             }
@@ -88,7 +97,9 @@ impl Cond {
             } else {
                 WaitOutcome::Woken
             }
-        })
+        });
+        self.acquire_sync();
+        outcome
     }
 
     /// Blocks until `pred()` returns `false`.
@@ -120,12 +131,24 @@ impl Cond {
     ///
     /// Callable from process context *or* event context (timer closures).
     pub fn notify_all(&self) {
+        let vc = crate::vc_current();
+        if !vc.is_empty() {
+            self.sync_vc.lock().join(&vc);
+            self.sync_set.store(true, Ordering::Relaxed);
+        }
         let drained: Vec<Waiter> = {
             let mut w = self.waiters.lock();
             std::mem::take(&mut *w)
         };
         for waiter in drained {
             waiter.kernel.wake(waiter.pid, waiter.token);
+        }
+    }
+
+    /// Joins the accumulated notifier clocks into the calling process.
+    fn acquire_sync(&self) {
+        if self.sync_set.load(Ordering::Relaxed) {
+            crate::vc_acquire(&self.sync_vc.lock());
         }
     }
 }
@@ -179,7 +202,8 @@ mod tests {
         let result = Arc::new(Mutex::new(None));
         let r = result.clone();
         sim.spawn("waiter", move || {
-            let ok = c1.wait_while_timeout(|| !f1.load(Ordering::SeqCst), Duration::from_micros(10));
+            let ok =
+                c1.wait_while_timeout(|| !f1.load(Ordering::SeqCst), Duration::from_micros(10));
             *r.lock() = Some((ok, now().as_nanos()));
         });
         sim.spawn("notifier", move || {

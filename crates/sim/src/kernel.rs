@@ -4,6 +4,7 @@
 
 use crate::error::{SimError, SimResult};
 use crate::time::SimTime;
+use crate::vclock::VectorClock;
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -16,6 +17,14 @@ use std::sync::Arc;
 /// Identifier of a simulated process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Pid(pub(crate) u32);
+
+impl Pid {
+    /// The process's dense index (pids are assigned 0, 1, 2, … in spawn
+    /// order). Used by the race detector to index vector-clock entries.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
 
 impl fmt::Display for Pid {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -95,6 +104,9 @@ struct ProcInfo {
     killed: bool,
     finished: bool,
     rng: Option<SmallRng>,
+    /// Happens-before clock; stays empty (and free) unless a race detector
+    /// is ticking it. See [`crate::vclock`].
+    vc: VectorClock,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -136,6 +148,16 @@ pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Kernel>, Pid) -> R) -> R {
             .as_ref()
             .expect("sim API called outside a simulated process");
         f(kernel, *pid)
+    })
+}
+
+/// Like [`with_ctx`] but returns `None` when the current thread is not a
+/// simulated process (the host thread driving the simulation, or a timer
+/// closure running in event context).
+pub(crate) fn try_with_ctx<R>(f: impl FnOnce(&Arc<Kernel>, Pid) -> R) -> Option<R> {
+    CURRENT.with(|c| {
+        let borrow = c.borrow();
+        borrow.as_ref().map(|(kernel, pid)| f(kernel, *pid))
     })
 }
 
@@ -191,11 +213,7 @@ impl Kernel {
         Self::push_entry(&mut st, at, Wake::Timer(Box::new(f)));
     }
 
-    pub(crate) fn spawn(
-        self: &Arc<Self>,
-        name: String,
-        f: impl FnOnce() + Send + 'static,
-    ) -> Pid {
+    pub(crate) fn spawn(self: &Arc<Self>, name: String, f: impl FnOnce() + Send + 'static) -> Pid {
         let mut st = self.state.lock();
         let pid = Pid(st.procs.len() as u32);
         let parker = Parker::new();
@@ -222,8 +240,7 @@ impl Kernel {
                     }
                 }
                 CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&kernel), pid)));
-                let result =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
                 let panic_msg = match result {
                     Ok(()) => None,
                     Err(payload) => {
@@ -249,6 +266,7 @@ impl Kernel {
             killed: false,
             finished: false,
             rng: Some(rng),
+            vc: VectorClock::new(),
             join: Some(join),
         });
         st.unfinished += 1;
@@ -377,6 +395,29 @@ impl Kernel {
         let out = f(&mut rng);
         self.state.lock().procs[pid.0 as usize].rng = Some(rng);
         out
+    }
+
+    /// Snapshot of the process's happens-before clock. Empty (no
+    /// allocation) unless a race detector has been ticking it.
+    pub(crate) fn vc_snapshot(&self, pid: Pid) -> VectorClock {
+        self.state.lock().procs[pid.0 as usize].vc.clone()
+    }
+
+    /// Ticks the process's own clock entry (a release operation) and
+    /// returns the new value together with a snapshot of the full clock.
+    pub(crate) fn vc_tick(&self, pid: Pid) -> (u64, VectorClock) {
+        let mut st = self.state.lock();
+        let p = &mut st.procs[pid.0 as usize];
+        let clk = p.vc.tick(pid.0);
+        (clk, p.vc.clone())
+    }
+
+    /// Joins `other` into the process's clock (an acquire operation).
+    pub(crate) fn vc_join(&self, pid: Pid, other: &VectorClock) {
+        if other.is_empty() {
+            return;
+        }
+        self.state.lock().procs[pid.0 as usize].vc.join(other);
     }
 
     /// Runs the event loop. `deadline` bounds virtual time (inclusive);

@@ -39,20 +39,23 @@
 //! });
 //! sim.run().unwrap();
 //! ```
+#![forbid(unsafe_code)]
 
 mod cond;
 mod error;
 mod kernel;
 mod mailbox;
 mod time;
+pub mod vclock;
 
 pub use cond::Cond;
 pub use error::{SimError, SimResult};
 pub use kernel::{Pid, Simulation};
 pub use mailbox::{Mailbox, MailboxReceiver, MailboxSender, RecvTimeoutError, SendError};
 pub use time::SimTime;
+pub use vclock::VectorClock;
 
-use kernel::with_ctx;
+use kernel::{try_with_ctx, with_ctx};
 use rand::rngs::SmallRng;
 use std::time::Duration;
 
@@ -63,6 +66,12 @@ use std::time::Duration;
 /// Panics when called from outside a simulated process.
 pub fn now() -> SimTime {
     with_ctx(|k, _| SimTime::from_nanos(k.now_nanos()))
+}
+
+/// Returns the current virtual time, or `None` when called from outside a
+/// simulated process (host thread or event context).
+pub fn try_now() -> Option<SimTime> {
+    try_with_ctx(|k, _| SimTime::from_nanos(k.now_nanos()))
 }
 
 /// Suspends the calling process for `d` of virtual time.
@@ -157,6 +166,33 @@ pub fn with_rng<R>(f: impl FnOnce(&mut SmallRng) -> R) -> R {
 pub fn rand_u64() -> u64 {
     use rand::RngCore;
     with_rng(|r| r.next_u64())
+}
+
+/// Snapshot of the calling process's happens-before clock. Returns the
+/// empty clock outside process context (host thread or event context), and
+/// stays empty — at zero cost — unless a race detector is ticking clocks.
+pub fn vc_current() -> VectorClock {
+    try_with_ctx(|k, pid| k.vc_snapshot(pid)).unwrap_or_default()
+}
+
+/// Release operation for the race detector: ticks the calling process's own
+/// clock entry and returns `(pid, new clock value, full clock snapshot)`.
+/// Returns `None` outside process context (the caller should then treat the
+/// operation as happening at the sentinel epoch, ordered before everything).
+pub fn vc_release() -> Option<(Pid, u64, VectorClock)> {
+    try_with_ctx(|k, pid| {
+        let (clk, vc) = k.vc_tick(pid);
+        (pid, clk, vc)
+    })
+}
+
+/// Acquire operation for the race detector: joins `other` into the calling
+/// process's clock. No-op outside process context or when `other` is empty.
+pub fn vc_acquire(other: &VectorClock) {
+    if other.is_empty() {
+        return;
+    }
+    let _ = try_with_ctx(|k, pid| k.vc_join(pid, other));
 }
 
 #[cfg(test)]

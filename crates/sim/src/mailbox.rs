@@ -2,6 +2,7 @@
 
 use crate::cond::Cond;
 use crate::kernel::{with_ctx, Kernel, Pid};
+use crate::vclock::VectorClock;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
@@ -37,7 +38,11 @@ impl<T> fmt::Display for SendError<T> {
 impl<T: fmt::Debug> std::error::Error for SendError<T> {}
 
 struct Inner<T> {
-    queue: Mutex<VecDeque<T>>,
+    /// Each message carries a snapshot of the sender's happens-before
+    /// clock, joined into the receiver on delivery (a sync edge for the
+    /// race detector). The clock is empty — and free — unless a detector
+    /// is running.
+    queue: Mutex<VecDeque<(T, VectorClock)>>,
     cond: Cond,
     /// Every process that has blocked in [`Mailbox::recv`] /
     /// [`Mailbox::recv_timeout`]. Once non-empty, sends fail when all of
@@ -132,6 +137,18 @@ impl<T> Mailbox<T> {
     /// the queue forever while the sender waits on a reply that can never
     /// come, deadlocking the simulation.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.send_with_clock(value, crate::vc_current())
+    }
+
+    /// Like [`Mailbox::send`], but with an explicit happens-before clock
+    /// for the message. Used by event-context senders (e.g. a simulated
+    /// NIC delivering a message) that captured the clock of the process
+    /// that originally posted the operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] under the same conditions as [`Mailbox::send`].
+    pub fn send_with_clock(&self, value: T, clock: VectorClock) -> Result<(), SendError<T>> {
         {
             let mut owners = self.inner.owners.lock();
             if !owners.is_empty() {
@@ -141,14 +158,16 @@ impl<T> Mailbox<T> {
                 owners.retain(|(k, p)| !k.is_dead(*p));
             }
         }
-        self.inner.queue.lock().push_back(value);
+        self.inner.queue.lock().push_back((value, clock));
         self.inner.cond.notify_all();
         Ok(())
     }
 
     /// Pops the oldest message without blocking.
     pub fn try_recv(&self) -> Option<T> {
-        self.inner.queue.lock().pop_front()
+        let (value, clock) = self.inner.queue.lock().pop_front()?;
+        crate::vc_acquire(&clock);
+        Some(value)
     }
 
     /// Blocks the calling process until a message is available.

@@ -1,0 +1,197 @@
+//! Vector clocks: the happens-before substrate of the race detector.
+//!
+//! Every simulated process carries a [`VectorClock`]. Release operations
+//! (instrumented memory writes, verb posts) *tick* the owner's own entry;
+//! synchronization carriers — mailbox messages, [`crate::Cond`] notifies —
+//! piggyback a snapshot of the sender's clock which the receiver *joins*
+//! into its own. An event A happens-before an event B iff the clock value
+//! A's process held at A is ≤ B's process's view of that entry at B.
+//!
+//! The empty clock is the bottom element: joins with it are no-ops and
+//! clones of it do not allocate. When the race detector is off, nothing
+//! ever ticks, so every clock in the system stays empty and the plumbing
+//! through mailboxes and conditions costs a few branch instructions.
+
+use std::fmt;
+
+/// A vector clock over simulated processes, indexed by [`crate::Pid`].
+///
+/// Dense representation: entry `i` is the largest clock value of `pid#i`
+/// this clock has observed; entries beyond the vector's length are zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    slots: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The empty (bottom) clock.
+    pub const fn new() -> Self {
+        VectorClock { slots: Vec::new() }
+    }
+
+    /// The observed clock of process `pid` (zero if never observed).
+    pub fn get(&self, pid: u32) -> u64 {
+        self.slots.get(pid as usize).copied().unwrap_or(0)
+    }
+
+    /// Whether every entry is zero (the bottom element).
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|&c| c == 0)
+    }
+
+    /// Increments the entry of `pid` and returns its new value.
+    pub fn tick(&mut self, pid: u32) -> u64 {
+        let i = pid as usize;
+        if self.slots.len() <= i {
+            self.slots.resize(i + 1, 0);
+        }
+        self.slots[i] += 1;
+        self.slots[i]
+    }
+
+    /// Pointwise maximum: after the call, `self` dominates its old value
+    /// and `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (s, o) in self.slots.iter_mut().zip(&other.slots) {
+            if *o > *s {
+                *s = *o;
+            }
+        }
+    }
+
+    /// Whether `self ≤ other` pointwise — i.e. everything `self` has
+    /// observed, `other` has observed too (`self` happens-before-or-equals
+    /// `other`).
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c <= other.get(i as u32))
+    }
+
+    /// Whether the two clocks are incomparable — neither ≤ the other.
+    /// Events at incomparable clocks are concurrent.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut first = true;
+        for (i, &c) in self.slots.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{i}:{c}")?;
+            first = false;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_bottom() {
+        let empty = VectorClock::new();
+        let mut vc = VectorClock::new();
+        vc.tick(3);
+        assert!(empty.is_empty());
+        assert!(empty.leq(&vc));
+        assert!(empty.leq(&empty));
+        assert!(!vc.leq(&empty));
+        // Joining bottom changes nothing.
+        let before = vc.clone();
+        vc.join(&empty);
+        assert_eq!(vc, before);
+    }
+
+    #[test]
+    fn get_beyond_length_is_zero() {
+        let mut vc = VectorClock::new();
+        vc.tick(1);
+        assert_eq!(vc.get(0), 0);
+        assert_eq!(vc.get(1), 1);
+        assert_eq!(vc.get(1000), 0);
+    }
+
+    #[test]
+    fn tick_is_monotone_per_entry() {
+        let mut vc = VectorClock::new();
+        assert_eq!(vc.tick(5), 1);
+        assert_eq!(vc.tick(5), 2);
+        assert_eq!(vc.tick(0), 1);
+        assert_eq!(vc.get(5), 2);
+        assert_eq!(vc.get(0), 1);
+    }
+
+    #[test]
+    fn join_is_pointwise_max_and_idempotent() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        a.tick(2);
+        let mut b = VectorClock::new();
+        b.tick(0);
+        b.tick(4); // longer than a
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        assert_eq!(ab, ba, "join commutes");
+        assert_eq!(ab.get(0), 2);
+        assert_eq!(ab.get(2), 1);
+        assert_eq!(ab.get(4), 1);
+        let again = {
+            let mut x = ab.clone();
+            x.join(&b);
+            x
+        };
+        assert_eq!(again, ab, "join is idempotent");
+        assert!(a.leq(&ab) && b.leq(&ab), "join dominates both inputs");
+    }
+
+    #[test]
+    fn leq_compares_across_different_lengths() {
+        let mut short = VectorClock::new();
+        short.tick(0);
+        let mut long = VectorClock::new();
+        long.tick(0);
+        long.tick(7);
+        assert!(short.leq(&long));
+        assert!(!long.leq(&short));
+        // Trailing zeros don't matter.
+        let mut padded = VectorClock::new();
+        padded.tick(9);
+        padded.slots[9] = 0; // manually zero it back
+        assert!(padded.is_empty());
+        assert!(padded.leq(&VectorClock::new()));
+    }
+
+    #[test]
+    fn concurrent_clocks_are_incomparable() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        assert!(a.concurrent(&b));
+        assert!(b.concurrent(&a));
+        // After exchanging, no longer concurrent.
+        let mut merged = a.clone();
+        merged.join(&b);
+        assert!(!a.concurrent(&merged));
+        assert!(a.leq(&merged));
+        // A clock is never concurrent with itself.
+        assert!(!a.concurrent(&a));
+    }
+}

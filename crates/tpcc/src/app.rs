@@ -193,7 +193,10 @@ impl TpccApp {
                     dist_info,
                 };
                 native_rows += 1;
-                writes.push((ids::order_line(w, d, o_id, k as u8 + 1), Bytes::from(ol.to_bytes())));
+                writes.push((
+                    ids::order_line(w, d, o_id, k as u8 + 1),
+                    Bytes::from(ol.to_bytes()),
+                ));
             }
             let order = OrderRow {
                 w_id: w as u32,
@@ -348,12 +351,7 @@ impl TpccApp {
         }
     }
 
-    fn exec_delivery(
-        &self,
-        w: u16,
-        carrier: u8,
-        local: &dyn LocalReader,
-    ) -> Execution {
+    fn exec_delivery(&self, w: u16, carrier: u8, local: &dyn LocalReader) -> Execution {
         let mut writes: Vec<(ObjectId, Bytes)> = Vec::new();
         let mut delivered = 0u32;
         let mut serialized_rows = 0u32;
@@ -514,7 +512,9 @@ impl StateMachine for TpccApp {
                 rs.dedup();
                 rs
             }
-            Transaction::Payment { w, d, c_w, c_d, c, .. } => {
+            Transaction::Payment {
+                w, d, c_w, c_d, c, ..
+            } => {
                 vec![ids::district(w, d), ids::customer(c_w, c_d, c)]
             }
             Transaction::OrderStatus { w, d, c } => vec![ids::customer(w, d, c)],
@@ -548,7 +548,9 @@ impl StateMachine for TpccApp {
                     rs
                 }
             }
-            Transaction::Payment { w, d, c_w, c_d, c, .. } => {
+            Transaction::Payment {
+                w, d, c_w, c_d, c, ..
+            } => {
                 if my_w == w {
                     // Home reads the (possibly remote, serialized)
                     // customer row for the response.
@@ -628,8 +630,7 @@ impl StateMachine for TpccApp {
             rows.push((ids::stock(w, i), Bytes::from(row.to_bytes())));
         }
         for d in 1..=self.scale.districts {
-            let undelivered_from =
-                self.scale.initial_orders - self.scale.initial_undelivered() + 1;
+            let undelivered_from = self.scale.initial_orders - self.scale.initial_undelivered() + 1;
             let district = DistrictRow {
                 w_id: w as u32,
                 id: d as u32,
@@ -701,7 +702,10 @@ impl StateMachine for TpccApp {
                         delivery_ts: delivered as u64,
                         dist_info: [b's'; 24],
                     };
-                    rows.push((ids::order_line(w, d, o, k as u8), Bytes::from(line.to_bytes())));
+                    rows.push((
+                        ids::order_line(w, d, o, k as u8),
+                        Bytes::from(line.to_bytes()),
+                    ));
                 }
             }
         }

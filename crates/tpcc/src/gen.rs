@@ -208,8 +208,16 @@ mod tests {
             }
         }
         let pct = |c: usize| c as f64 / 200.0;
-        assert!((pct(counts[0]) - 45.0).abs() < 2.0, "NewOrder {}", pct(counts[0]));
-        assert!((pct(counts[1]) - 43.0).abs() < 2.0, "Payment {}", pct(counts[1]));
+        assert!(
+            (pct(counts[0]) - 45.0).abs() < 2.0,
+            "NewOrder {}",
+            pct(counts[0])
+        );
+        assert!(
+            (pct(counts[1]) - 43.0).abs() < 2.0,
+            "Payment {}",
+            pct(counts[1])
+        );
         for &c in &counts[2..] {
             assert!((pct(c) - 4.0).abs() < 1.0);
         }
@@ -222,7 +230,10 @@ mod tests {
             .filter(|_| g.new_order(1).is_multi_partition())
             .count();
         let pct = multi as f64 / 200.0;
-        assert!((5.0..18.0).contains(&pct), "multi-partition NewOrders: {pct}%");
+        assert!(
+            (5.0..18.0).contains(&pct),
+            "multi-partition NewOrders: {pct}%"
+        );
     }
 
     #[test]

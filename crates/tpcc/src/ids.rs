@@ -67,12 +67,7 @@ const KEY_MASK: u64 = (1 << 36) - 1;
 
 fn pack(table: Table, w: u16, d: u8, key: u64) -> ObjectId {
     debug_assert!(key <= KEY_MASK);
-    ObjectId(
-        (table.tag() << TAG_SHIFT)
-            | ((w as u64) << W_SHIFT)
-            | ((d as u64) << D_SHIFT)
-            | key,
-    )
+    ObjectId((table.tag() << TAG_SHIFT) | ((w as u64) << W_SHIFT) | ((d as u64) << D_SHIFT) | key)
 }
 
 /// The table of an object id.

@@ -24,6 +24,7 @@
 //! let bytes = txn.encode();
 //! assert_eq!(Transaction::decode(&bytes), Some(txn));
 //! ```
+#![forbid(unsafe_code)]
 
 mod app;
 mod gen;

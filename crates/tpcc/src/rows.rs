@@ -346,7 +346,10 @@ impl NewOrderRow {
     /// Serializes the row.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new(Self::SIZE);
-        w.u32(self.w_id).u32(self.d_id).u32(self.o_id).u32(self.delivered);
+        w.u32(self.w_id)
+            .u32(self.d_id)
+            .u32(self.o_id)
+            .u32(self.delivered);
         w.finish()
     }
 

@@ -22,7 +22,11 @@ fn build(
 }
 
 fn district_row(cluster: &HeronCluster, p: u16, r: usize, w: u16, d: u8) -> DistrictRow {
-    DistrictRow::from_bytes(&cluster.peek(PartitionId(p), r, ids::district(w, d)).unwrap())
+    DistrictRow::from_bytes(
+        &cluster
+            .peek(PartitionId(p), r, ids::district(w, d))
+            .unwrap(),
+    )
 }
 
 #[test]
@@ -73,15 +77,12 @@ fn remote_new_order_updates_remote_stock_on_all_replicas() {
                 },
             ],
         };
-        let before = StockRow::from_bytes(
-            &c2.peek(PartitionId(1), 0, ids::stock(2, 7)).unwrap(),
-        );
+        let before = StockRow::from_bytes(&c2.peek(PartitionId(1), 0, ids::stock(2, 7)).unwrap());
         client.execute(&txn.encode());
         sim::sleep(Duration::from_millis(2));
         for r in 0..3 {
-            let after = StockRow::from_bytes(
-                &c2.peek(PartitionId(1), r, ids::stock(2, 7)).unwrap(),
-            );
+            let after =
+                StockRow::from_bytes(&c2.peek(PartitionId(1), r, ids::stock(2, 7)).unwrap());
             assert_eq!(after.ytd, before.ytd + 4, "replica {r} stock ytd");
             assert_eq!(after.order_cnt, before.order_cnt + 1);
             assert_eq!(after.remote_cnt, before.remote_cnt + 1);

@@ -184,7 +184,9 @@ fn main() {
             // One linearizable multi-partition request sums every account
             // atomically, even while transfers are in flight.
             let total = u64::from_le_bytes(
-                auditor.execute(&enc_audit())[..8].try_into().expect("8 bytes"),
+                auditor.execute(&enc_audit())[..8]
+                    .try_into()
+                    .expect("8 bytes"),
             );
             audits += 1;
             println!(

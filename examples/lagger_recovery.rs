@@ -36,12 +36,13 @@ fn main() {
     let mut client = cluster.client("driver");
     simulation.spawn("driver", move || {
         let mut gen = app.generator(1);
-        let run = |client: &mut heron::core::HeronClient, gen: &mut heron::tpcc::TpccGen, n: u32| {
-            for i in 0..n {
-                let home = (i % WAREHOUSES as u32 + 1) as u16;
-                client.execute(&gen.next(home).encode());
-            }
-        };
+        let run =
+            |client: &mut heron::core::HeronClient, gen: &mut heron::tpcc::TpccGen, n: u32| {
+                for i in 0..n {
+                    let home = (i % WAREHOUSES as u32 + 1) as u16;
+                    client.execute(&gen.next(home).encode());
+                }
+            };
 
         println!("[{}] phase 1: healthy cluster, 50 transactions", sim::now());
         run(&mut client, &mut gen, 50);
@@ -62,22 +63,62 @@ fn main() {
         if std::env::var("HERON_DBG").is_ok() {
             for r in [0usize, 1, 2] {
                 let tr = c2.exec_trace(PartitionId(0), r);
-                let execed: Vec<u64> = tr.iter().filter(|(_, k)| *k == 'e').map(|(t, _)| *t).collect();
+                let execed: Vec<u64> = tr
+                    .iter()
+                    .filter(|(_, k)| *k == 'e')
+                    .map(|(t, _)| *t)
+                    .collect();
                 let skipped = tr.iter().filter(|(_, k)| *k == 's').count();
-                let transfers: Vec<u64> = tr.iter().filter(|(_, k)| *k == 't').map(|(t, _)| *t).collect();
-                println!("r{r}: {} executed, {skipped} skipped, transfers at {:?}", execed.len(), transfers);
+                let transfers: Vec<u64> = tr
+                    .iter()
+                    .filter(|(_, k)| *k == 't')
+                    .map(|(t, _)| *t)
+                    .collect();
+                println!(
+                    "r{r}: {} executed, {skipped} skipped, transfers at {:?}",
+                    execed.len(),
+                    transfers
+                );
             }
-            let t1: std::collections::HashSet<u64> = c2.exec_trace(PartitionId(0), 1).iter().filter(|(_, k)| *k == 'e').map(|(t, _)| *t).collect();
-            let t0x: std::collections::HashSet<u64> = c2.exec_trace(PartitionId(0), 0).iter().filter(|(_, k)| *k == 'e').map(|(t, _)| *t).collect();
+            let t1: std::collections::HashSet<u64> = c2
+                .exec_trace(PartitionId(0), 1)
+                .iter()
+                .filter(|(_, k)| *k == 'e')
+                .map(|(t, _)| *t)
+                .collect();
+            let t0x: std::collections::HashSet<u64> = c2
+                .exec_trace(PartitionId(0), 0)
+                .iter()
+                .filter(|(_, k)| *k == 'e')
+                .map(|(t, _)| *t)
+                .collect();
             let d01: Vec<_> = t1.difference(&t0x).collect();
             println!("r1 executed-but-not-r0: {} {:?}", d01.len(), d01);
-            let t0: std::collections::HashSet<u64> = c2.exec_trace(PartitionId(0), 0).iter().filter(|(_, k)| *k == 'e').map(|(t, _)| *t).collect();
-            let t2v: Vec<u64> = c2.exec_trace(PartitionId(0), 2).iter().filter(|(_, k)| *k == 'e').map(|(t, _)| *t).collect();
+            let t0: std::collections::HashSet<u64> = c2
+                .exec_trace(PartitionId(0), 0)
+                .iter()
+                .filter(|(_, k)| *k == 'e')
+                .map(|(t, _)| *t)
+                .collect();
+            let t2v: Vec<u64> = c2
+                .exec_trace(PartitionId(0), 2)
+                .iter()
+                .filter(|(_, k)| *k == 'e')
+                .map(|(t, _)| *t)
+                .collect();
             let t2: std::collections::HashSet<u64> = t2v.iter().copied().collect();
             let extra: Vec<_> = t2.difference(&t0).collect();
             let missing: Vec<_> = t0.difference(&t2).collect();
-            println!("r2 executed-but-not-r0: {} {:?}", extra.len(), extra.iter().take(5).collect::<Vec<_>>());
-            println!("r0 executed-but-not-r2: {} {:?}", missing.len(), missing.iter().take(5).collect::<Vec<_>>());
+            println!(
+                "r2 executed-but-not-r0: {} {:?}",
+                extra.len(),
+                extra.iter().take(5).collect::<Vec<_>>()
+            );
+            println!(
+                "r0 executed-but-not-r2: {} {:?}",
+                missing.len(),
+                missing.iter().take(5).collect::<Vec<_>>()
+            );
             // duplicates within r2?
             let mut seen = std::collections::HashSet::new();
             let dups: Vec<u64> = t2v.iter().filter(|t| !seen.insert(**t)).copied().collect();

@@ -90,9 +90,7 @@ fn main() {
                     Duration::from_nanos(e / n),
                 );
             } else {
-                println!(
-                    "{label:17}: ordering {o:?}  coordination {c:?}  execution {e:?}"
-                );
+                println!("{label:17}: ordering {o:?}  coordination {c:?}  execution {e:?}");
             }
         }
         sim::stop();

@@ -8,6 +8,11 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
+# Lint gate: formatting and clippy, warnings denied. Every crate root also
+# carries #![forbid(unsafe_code)], so unsafe cannot creep in silently.
+cargo fmt --check
+cargo clippy --all-targets --offline -- -D warnings
+
 # Chaos gate: seeded fault plans through the SMR consistency checker
 # (DESIGN.md §9). Fixed seed window so failures replay exactly; on a
 # non-linearizable history or a stall the suite exits non-zero and prints
@@ -22,4 +27,20 @@ fi
 # Checker self-test: corrupt one applied command and require the checker to
 # report the violation (proves the gate can actually fail).
 cargo run -q --release --offline -p heron-bench --bin chaos_suite -- \
+    --quick --selftest
+
+# Race gate: Sim-TSan happens-before audit over the fig4/fig5/chaos
+# schedule shapes at fixed seeds (DESIGN.md §10). Any race or protocol
+# lint — or a detector-induced schedule perturbation — exits non-zero
+# with the full report.
+if ! cargo run -q --release --offline -p heron-bench --bin race_audit -- \
+    --quick --seed 42; then
+  echo "tier1: race audit FAILED — replay with:" >&2
+  echo "  cargo run --release -p heron-bench --bin race_audit -- --quick --seed 42" >&2
+  exit 1
+fi
+
+# Detector self-test: disable the dual-versioning victim guard and require
+# the race detector to catch the resulting protocol violation.
+cargo run -q --release --offline -p heron-bench --bin race_audit -- \
     --quick --selftest

@@ -15,18 +15,24 @@ pub struct Bytes {
 impl Bytes {
     /// Empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     /// Buffer holding a copy of `data`. (Upstream borrows statics without
     /// copying; the copy here is semantically equivalent.)
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     /// Buffer holding a copy of `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -44,7 +50,9 @@ impl Bytes {
 
     /// Sub-range copy, `[begin, end)`.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes { data: Arc::from(&self.data[range]) }
+        Bytes {
+            data: Arc::from(&self.data[range]),
+        }
     }
 }
 
@@ -93,7 +101,9 @@ impl From<Box<[u8]>> for Bytes {
 
 impl From<&'static str> for Bytes {
     fn from(v: &'static str) -> Self {
-        Bytes { data: Arc::from(v.as_bytes()) }
+        Bytes {
+            data: Arc::from(v.as_bytes()),
+        }
     }
 }
 

@@ -23,9 +23,7 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // Substring filter: `cargo bench -- <filter>` (skip flags).
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
@@ -184,7 +182,10 @@ where
     let per_sample = c.measurement_time / c.sample_size as u32;
     // Warm-up: run samples until the warm-up budget is spent.
     let warm_deadline = Instant::now() + c.warm_up_time;
-    let mut b = Bencher { target_time: per_sample.max(Duration::from_micros(100)), sample_ns: 0.0 };
+    let mut b = Bencher {
+        target_time: per_sample.max(Duration::from_micros(100)),
+        sample_ns: 0.0,
+    };
     while Instant::now() < warm_deadline {
         f(&mut b);
     }

@@ -116,7 +116,9 @@ pub struct Any<T> {
 }
 
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 impl<T: Arbitrary> Strategy for Any<T> {
@@ -185,13 +187,19 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
     }
 }
 
@@ -202,7 +210,10 @@ pub mod prop {
         /// Strategy for `Vec`s whose elements come from `elem` and whose
         /// length is drawn from `size`.
         pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { elem, size: size.into() }
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
         }
 
         pub struct VecStrategy<S> {
@@ -224,8 +235,7 @@ pub mod prop {
 /// Common imports, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig,
-        Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
     };
 }
 

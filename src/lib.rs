@@ -48,6 +48,7 @@
 //! simulation.run().unwrap();
 //! assert_eq!(cluster.metrics().completed.load(std::sync::atomic::Ordering::Relaxed), 5);
 //! ```
+#![forbid(unsafe_code)]
 
 /// Heron core: the paper's contribution.
 pub use heron_core as core;
