@@ -94,6 +94,14 @@ impl McastClient {
             "payload exceeds McastConfig::max_payload"
         );
         let mask = dest_mask(dests);
+        // Correlated on the message uid: the same key tags the ordering
+        // layer's agreement/delivery instants and the executors' spans, so
+        // one request stitches across every partition that touches it.
+        let _span = sim::trace::span_args(
+            "mcast.submit",
+            u64::from(uid.0),
+            &[("groups", dests.len() as u64)],
+        );
         sim::sleep(self.inner.cfg.submit_cpu);
         for g in mask_groups(mask) {
             let leader_idx = self.believed_leader[g.0 as usize];

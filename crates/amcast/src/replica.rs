@@ -462,6 +462,7 @@ impl McastReplica {
             self.write_ctrl(st, qps, target, CtrlKind::FwdSub, uid, mask, 0, &payload);
             return;
         }
+        sim::trace::instant("mcast.ingest", u64::from(uid));
         self.charge_ordering(st);
         {
             let pend = st.pending.entry(uid).or_insert(Pending {
@@ -608,6 +609,9 @@ impl McastReplica {
         let ts = Timestamp::new(final_clock, MsgId(uid));
         st.max_ts_seen = st.max_ts_seen.max(final_clock);
         st.finalized.insert((ts.raw(), uid));
+        // Timestamp agreement reached: every destination group proposed and
+        // the final timestamp (max of proposals) is now fixed.
+        sim::trace::instant_args("mcast.final", u64::from(uid), &[("ts", ts.raw())]);
     }
 
     fn try_finalize(&self, st: &mut State, _qps: &mut HashMap<usize, QueuePair>, uid: u32) {
@@ -750,6 +754,7 @@ impl McastReplica {
                 st.next_seq += 1;
                 st.done.insert(*uid);
                 st.props.remove(uid);
+                sim::trace::instant_args("mcast.sequenced", u64::from(*uid), &[("seq", seq)]);
                 let entry = encode_log(seq, *uid, *mask, *ts_raw, st.epoch, payload);
                 let my_slot = self.inner.sizes.log_slot(self.layout, seq);
                 self.node
@@ -795,6 +800,7 @@ impl McastReplica {
         st.next_seq += 1;
         st.done.insert(uid);
         st.props.remove(&uid);
+        sim::trace::instant_args("mcast.sequenced", u64::from(uid), &[("seq", seq)]);
         let entry = encode_log(seq, uid, mask, ts_raw, st.epoch, payload);
         let my_slot = self.inner.sizes.log_slot(self.layout, seq);
         self.node
@@ -875,6 +881,11 @@ impl McastReplica {
         st.max_ts_seen = st
             .max_ts_seen
             .max(Timestamp::from_raw(entry.ts_raw).clock());
+        sim::trace::instant_args(
+            "mcast.deliver",
+            u64::from(entry.uid),
+            &[("ts", entry.ts_raw), ("seq", entry.seq)],
+        );
         // A dead consumer (its process was killed) cannot take deliveries;
         // dropping the event mirrors losing an upcall to a crashed replica.
         let _ = self.inner.deliveries[self.group.0 as usize][self.idx].send(

@@ -65,6 +65,9 @@ pub struct RunConfig {
     /// Enables the Sim-TSan race detector for the run (Heron only); the
     /// summary's `audit` field then carries the reports and counters.
     pub race_detector: bool,
+    /// Enables virtual-time tracing for the run (Heron only); the
+    /// summary's `tracer` field then carries the recorded spans.
+    pub tracing: bool,
     /// **Self-test only**: breaks the dual-versioning victim guard so the
     /// detector has a real protocol violation to catch (see
     /// [`HeronConfig::break_dual_version_guard`]).
@@ -95,6 +98,7 @@ impl RunConfig {
             max_batch: 1,
             requests: None,
             race_detector: false,
+            tracing: false,
             break_guard: false,
             crash: None,
         }
@@ -104,6 +108,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_race_detector(mut self, on: bool) -> Self {
         self.race_detector = on;
+        self
+    }
+
+    /// Enables (or disables) virtual-time tracing.
+    #[must_use]
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 
@@ -197,6 +208,17 @@ pub struct LoadSummary {
     /// Race-detector reports and counters (`None` when the detector was
     /// off, always `None` for the DynaStar baseline).
     pub audit: Option<RaceAuditSummary>,
+    /// Final virtual time of the run, nanoseconds — with `events`, the
+    /// schedule fingerprint determinism checks compare.
+    pub virtual_ns: u64,
+    /// The run's trace (`None` when tracing was off, always `None` for
+    /// the DynaStar baseline).
+    pub tracer: Option<sim::trace::Tracer>,
+    /// Metrics-registry histogram snapshots (empty unless tracing was on).
+    pub hists: Vec<(&'static str, heron_core::HistogramSnapshot)>,
+    /// Metrics-registry counters, e.g. the imported `fabric.*` verb
+    /// counts (empty unless tracing was on).
+    pub counters: Vec<(&'static str, u64)>,
 }
 
 fn percentile_of(sorted: &[u64], q: f64) -> Duration {
@@ -235,7 +257,8 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
     hcfg = hcfg
         .with_execution_mode(cfg.execution_mode)
         .with_max_batch(cfg.max_batch)
-        .with_race_detector(cfg.race_detector);
+        .with_race_detector(cfg.race_detector)
+        .with_tracing(cfg.tracing);
     if cfg.break_guard {
         hcfg = hcfg.with_broken_dual_version_guard();
     }
@@ -383,6 +406,17 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
             reports: d.reports(),
             stats: d.stats(),
         }),
+        virtual_ns: simulation.now().as_nanos(),
+        tracer: {
+            // Snapshot the fabric's verb counters into the registry so a
+            // traced run reads them from one place.
+            if cfg.tracing {
+                metrics.registry().import_fabric(fabric.stats());
+            }
+            cluster.tracer()
+        },
+        hists: metrics.registry().histogram_snapshots(),
+        counters: metrics.registry().counter_values(),
     }
 }
 
@@ -445,5 +479,9 @@ pub fn run_dynastar_tpcc(cfg: &RunConfig) -> LoadSummary {
         events: simulation.events_executed(),
         wall_ms: wall_start.elapsed().as_secs_f64() * 1_000.0,
         audit: None,
+        virtual_ns: simulation.now().as_nanos(),
+        tracer: None,
+        hists: vec![],
+        counters: vec![],
     }
 }

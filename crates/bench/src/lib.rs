@@ -14,6 +14,7 @@
 //! | `ablation_sweeps` | transfer chunk size (§V-E2), Phase-4 cut-off δ (§V-A), execution mode (§III-D2) |
 //! | `chaos_suite` | fault model of §IV — seeded fault plans through the consistency checker |
 //! | `race_audit` | Sim-TSan sweep — happens-before race & protocol-lint audit over the fig4/fig5/chaos schedules (DESIGN.md §10) |
+//! | `trace_explain` | virtual-time tracing — Perfetto export, top-k critical paths, Fig. 6 attribution cross-check (DESIGN.md §11) |
 //!
 //! Run them with `cargo run -p heron-bench --release --bin <name>`; pass
 //! `--quick` for a shorter, coarser run. Criterion microbenchmarks of the

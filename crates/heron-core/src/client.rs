@@ -100,9 +100,15 @@ impl HeronClient {
         self.seq += 1;
         let seq = self.seq;
         let t0 = sim::now();
+        // Root span of the request's trace: begins at the same instant as
+        // the latency measurement (t0); the message uid — the key every
+        // other layer correlates on — is attached once multicast returns.
+        let mut req_span =
+            sim::trace::span_args("client.request", 0, &[("client", self.id), ("seq", seq)]);
         let envelope = encode_envelope(self.id, seq, t0.as_nanos(), request);
         let groups: Vec<GroupId> = dests.iter().map(|p| p.group()).collect();
         let uid: MsgId = self.mcast.multicast(&groups, &envelope);
+        req_span.set_corr(u64::from(uid.0));
         // Wait for a response from one server in each involved partition.
         let retry = self.cluster.cfg.client_retry;
         loop {

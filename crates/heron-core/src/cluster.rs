@@ -107,6 +107,10 @@ pub(crate) struct ClusterInner {
     /// The Sim-TSan race detector, when [`HeronConfig::race_detector`] is
     /// set (protocol lints consult it on their slow paths).
     pub detector: Option<rdma_sim::RaceDetector>,
+    /// The trace handle, when [`HeronConfig::tracing`] is set. Populated at
+    /// [`HeronCluster::spawn`] time (tracing is enabled on the simulation,
+    /// which `build` never sees).
+    pub tracer: Mutex<Option<sim::trace::Tracer>>,
 }
 
 /// A Heron deployment: partitioned, replicated state machine on shared
@@ -153,6 +157,11 @@ impl HeronCluster {
             mcast.annotate_sync_regions(det);
         }
         let metrics = Arc::new(Metrics::new(cfg.partitions));
+        if cfg.tracing {
+            // The registry rides the same knob as tracing: histograms are
+            // populated only when the run asked for observability.
+            metrics.registry().enable();
+        }
         let inner = Arc::new(ClusterInner {
             cfg,
             fabric: fabric.clone(),
@@ -163,6 +172,7 @@ impl HeronCluster {
             clients: Mutex::new(HashMap::new()),
             client_counter: AtomicU64::new(1),
             detector,
+            tracer: Mutex::new(None),
         });
         let cfg = &inner.cfg;
         let n = cfg.replicas_per_partition;
@@ -241,6 +251,9 @@ impl HeronCluster {
     /// Spawns all protocol processes (ordering replicas, Heron executors,
     /// and service processes) into the simulation.
     pub fn spawn(&self, simulation: &sim::Simulation) {
+        if self.inner.cfg.tracing {
+            *self.inner.tracer.lock() = Some(simulation.enable_tracing());
+        }
         self.inner.mcast.spawn_replicas(simulation);
         for p in 0..self.inner.cfg.partitions {
             for i in 0..self.inner.cfg.replicas_per_partition {
@@ -270,6 +283,12 @@ impl HeronCluster {
     /// The race detector, when enabled via [`HeronConfig::race_detector`].
     pub fn race_detector(&self) -> Option<rdma_sim::RaceDetector> {
         self.inner.detector.clone()
+    }
+
+    /// The trace handle, when enabled via [`HeronConfig::tracing`] —
+    /// available once the cluster was [`HeronCluster::spawn`]ed.
+    pub fn tracer(&self) -> Option<sim::trace::Tracer> {
+        self.inner.tracer.lock().clone()
     }
 
     /// All race and protocol-lint reports recorded so far (empty when the

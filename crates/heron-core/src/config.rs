@@ -64,6 +64,12 @@ pub struct HeronConfig {
     /// default; when off the only cost on the verb hot path is one
     /// relaxed atomic load, and schedules are bit-identical either way.
     pub race_detector: bool,
+    /// Enables virtual-time tracing: causal spans across the client, the
+    /// ordering layer, the RDMA verbs and the executor phases, exportable
+    /// as Perfetto JSON (see `sim::trace`). Off by default; when off every
+    /// trace hook is one relaxed atomic load and — like the race detector —
+    /// schedules are bit-identical either way.
+    pub tracing: bool,
     /// **Self-test only.** Makes [`crate::VersionedStore::set`] overwrite
     /// the version with the *larger* timestamp — removing the
     /// dual-versioning guard that lets concurrent remote readers find the
@@ -98,6 +104,7 @@ impl HeronConfig {
             transfer_timeout: Duration::from_millis(5),
             execution_mode: ExecutionMode::default(),
             race_detector: false,
+            tracing: false,
             break_dual_version_guard: false,
             mcast,
         }
@@ -107,6 +114,14 @@ impl HeronConfig {
     #[must_use]
     pub fn with_race_detector(mut self, on: bool) -> Self {
         self.race_detector = on;
+        self
+    }
+
+    /// Enables (or disables) virtual-time tracing (see
+    /// [`HeronConfig::tracing`]).
+    #[must_use]
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 

@@ -87,6 +87,7 @@ pub mod checker;
 mod client;
 mod cluster;
 mod config;
+pub mod critical_path;
 mod layout;
 mod metrics;
 mod replica;
@@ -99,7 +100,10 @@ pub use checker::{CheckedClient, Checker, OpRecord, SequentialSpec, Violation};
 pub use client::HeronClient;
 pub use cluster::HeronCluster;
 pub use config::{ExecutionMode, HeronConfig};
-pub use metrics::{Breakdown, DelayCounters, Metrics, TransferRecord};
+pub use metrics::{
+    Breakdown, Counter, DelayCounters, Histogram, HistogramSnapshot, Metrics, MetricsRegistry,
+    TransferRecord,
+};
 pub use store::{Slot, SlotVersions, VersionedStore};
 pub use types::{ObjectId, PartitionId, Placement, StorageKind};
 

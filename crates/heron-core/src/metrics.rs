@@ -36,6 +36,13 @@ pub struct DelayCounters {
 
 impl DelayCounters {
     /// `(delayed fraction, average delay)` — Table I's two columns.
+    ///
+    /// The fraction is `delayed / total` (how many coordinated transactions
+    /// waited at all) and the average is `delay_sum / delayed` (mean extra
+    /// wait *of the delayed ones* — Table I reports the delay conditional
+    /// on being delayed, not amortized over all transactions). Both
+    /// denominators are guarded the same way: a zero count yields zero
+    /// rather than a division panic or NaN.
     pub fn summary(&self) -> (f64, Duration) {
         let total = self.total.load(Ordering::Relaxed);
         let delayed = self.delayed.load(Ordering::Relaxed);
@@ -44,11 +51,239 @@ impl DelayCounters {
             0 => 0.0,
             t => delayed as f64 / t as f64,
         };
-        let avg = sum
-            .checked_div(delayed)
-            .map(Duration::from_nanos)
-            .unwrap_or(Duration::ZERO);
+        let avg = match delayed {
+            0 => Duration::ZERO,
+            d => Duration::from_nanos(sum / d),
+        };
         (frac, avg)
+    }
+}
+
+/// A log-bucketed histogram (HDR-style): 16 linear sub-buckets per power of
+/// two, giving ≤ 1/16 (≈ 6%) relative quantile error over the full `u64`
+/// range with a fixed 976-bucket footprint and lock-free recording.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Buckets: values below 16 map 1:1; above, the top 4 bits after the
+/// leading one select a linear sub-bucket within the value's power of two.
+const HIST_BUCKETS: usize = 976;
+
+fn hist_index(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // ≥ 4
+    let sub = ((v >> (msb - 4)) & 0xF) as usize;
+    ((msb - 3) << 4) + sub
+}
+
+fn hist_value(index: usize) -> u64 {
+    if index < 16 {
+        return index as u64;
+    }
+    let msb = (index >> 4) + 3;
+    (1u64 << msb) + (((index & 0xF) as u64) << (msb - 4))
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("p50", &self.quantile(0.5))
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[hist_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        match self.count() {
+            0 => 0,
+            n => self.sum.load(Ordering::Relaxed) / n,
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0.0–1.0, clamped), resolved to the lower bound of
+    /// its log bucket; 0 when empty. `quantile(0.5)`, `(0.99)`, `(0.999)`
+    /// are the p50/p99/p999 the registry reports.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((n as f64 * q).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return hist_value(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// `(count, mean, p50, p99, p999, max)` in one call.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            mean: self.mean(),
+            p50: self.quantile(0.5),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            max: self.max(),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean value.
+    pub mean: u64,
+    /// Median (log-bucket resolution).
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+/// A named monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value (used when importing an external atomic).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named [`Histogram`]s and [`Counter`]s: the uniform surface
+/// over what used to be ad-hoc atomics scattered across the stack. Gated
+/// behind the same knob as tracing ([`crate::HeronConfig::tracing`]); the
+/// only hot-path cost when disabled is one relaxed load
+/// ([`MetricsRegistry::is_enabled`]).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    enabled: std::sync::atomic::AtomicBool,
+    hists: Mutex<std::collections::BTreeMap<&'static str, std::sync::Arc<Histogram>>>,
+    counters: Mutex<std::collections::BTreeMap<&'static str, std::sync::Arc<Counter>>>,
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.is_enabled())
+            .field("histograms", &self.hists.lock().len())
+            .field("counters", &self.counters.lock().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Turns recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// One relaxed load: the gate every hot-path recording site checks.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> std::sync::Arc<Histogram> {
+        std::sync::Arc::clone(self.hists.lock().entry(name).or_default())
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> std::sync::Arc<Counter> {
+        std::sync::Arc::clone(self.counters.lock().entry(name).or_default())
+    }
+
+    /// Snapshot of every histogram, sorted by name.
+    pub fn histogram_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        self.hists
+            .lock()
+            .iter()
+            .map(|(name, h)| (*name, h.snapshot()))
+            .collect()
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(name, c)| (*name, c.get()))
+            .collect()
+    }
+
+    /// Imports the fabric's verb counters under `fabric.*` names, giving
+    /// benches one uniform read path instead of poking the raw atomics.
+    pub fn import_fabric(&self, stats: &rdma_sim::FabricStats) {
+        for (name, value) in [
+            ("fabric.reads", &stats.reads),
+            ("fabric.writes", &stats.writes),
+            ("fabric.posted_writes", &stats.posted_writes),
+            ("fabric.cas_ops", &stats.cas_ops),
+            ("fabric.sends", &stats.sends),
+            ("fabric.doorbells", &stats.doorbells),
+            ("fabric.bytes_read", &stats.bytes_read),
+            ("fabric.bytes_written", &stats.bytes_written),
+        ] {
+            self.counter(name).set(value.load(Ordering::Relaxed));
+        }
     }
 }
 
@@ -82,6 +317,9 @@ pub struct Metrics {
     pub skipped_requests: AtomicU64,
     /// State transfers initiated (by laggers).
     pub transfers_started: AtomicU64,
+    /// Named histograms and counters; disabled (one relaxed load per
+    /// recording site) unless [`crate::HeronConfig::tracing`] is on.
+    registry: MetricsRegistry,
 }
 
 impl fmt::Debug for Metrics {
@@ -102,14 +340,30 @@ impl Metrics {
         }
     }
 
+    /// The cluster's named-metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
     /// Records a client-observed latency.
     pub fn record_latency(&self, d: Duration) {
-        self.latencies.lock().push(d.as_nanos() as u64);
+        let ns = d.as_nanos() as u64;
+        self.latencies.lock().push(ns);
         self.completed.fetch_add(1, Ordering::Relaxed);
+        if self.registry.is_enabled() {
+            self.registry.histogram("client.latency_ns").record(ns);
+        }
     }
 
     /// Records a replica-side breakdown sample.
     pub fn record_breakdown(&self, b: Breakdown) {
+        if self.registry.is_enabled() {
+            let r = &self.registry;
+            r.histogram("exec.ordering_ns").record(b.ordering_ns);
+            r.histogram("exec.coordination_ns")
+                .record(b.coordination_ns);
+            r.histogram("exec.execution_ns").record(b.execution_ns);
+        }
         self.breakdowns.lock().push(b);
     }
 
@@ -203,6 +457,109 @@ mod tests {
         let (frac, avg) = c.summary();
         assert!((frac - 0.08).abs() < 1e-9);
         assert_eq!(avg, Duration::from_nanos(4_000));
+    }
+
+    #[test]
+    fn delay_counters_zero_total_is_all_zero() {
+        let c = DelayCounters::default();
+        let (frac, avg) = c.summary();
+        assert_eq!(frac, 0.0);
+        assert_eq!(avg, Duration::ZERO);
+    }
+
+    #[test]
+    fn delay_counters_zero_delayed_has_zero_average() {
+        // Transactions coordinated, none delayed: the fraction is 0 and the
+        // conditional average must be 0, not a division by zero.
+        let c = DelayCounters::default();
+        c.total.store(50, Ordering::Relaxed);
+        let (frac, avg) = c.summary();
+        assert_eq!(frac, 0.0);
+        assert_eq!(avg, Duration::ZERO);
+    }
+
+    #[test]
+    fn delay_counters_all_delayed() {
+        let c = DelayCounters::default();
+        c.total.store(10, Ordering::Relaxed);
+        c.delayed.store(10, Ordering::Relaxed);
+        c.delay_sum_ns.store(10 * 1_500, Ordering::Relaxed);
+        let (frac, avg) = c.summary();
+        assert!((frac - 1.0).abs() < 1e-9);
+        assert_eq!(avg, Duration::from_nanos(1_500));
+    }
+
+    #[test]
+    fn histogram_buckets_are_contiguous_and_monotone() {
+        // Every value maps to a bucket whose representative is ≤ the value
+        // and within 1/16 of it; indices are monotone in the value.
+        let mut prev = 0;
+        for v in (0..2_000u64).chain([1 << 20, (1 << 20) + 12_345, u64::MAX]) {
+            let i = hist_index(v);
+            assert!(i < HIST_BUCKETS);
+            assert!(i >= prev, "index not monotone at {v}");
+            prev = i;
+            let lo = hist_value(i);
+            assert!(lo <= v);
+            assert!(v - lo <= (v >> 4).max(1), "bucket too wide at {v}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in 1..=1000u64 {
+            h.record(v * 1_000); // 1µs .. 1ms
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        let p999 = h.quantile(0.999);
+        // Log-bucket resolution: within 1/16 of the exact answer.
+        assert!((469_000..=500_000).contains(&p50), "p50={p50}");
+        assert!((928_000..=990_000).contains(&p99), "p99={p99}");
+        assert!(p999 >= p99 && p999 <= 1_000_000, "p999={p999}");
+        let p100 = h.quantile(1.0);
+        assert!(p100 >= p999 && p100 <= h.max());
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.mean(), 500_500);
+    }
+
+    #[test]
+    fn registry_is_gated_and_deterministic() {
+        let m = Metrics::new(1);
+        // Disabled: record paths don't populate the registry.
+        m.record_latency(Duration::from_micros(10));
+        assert_eq!(m.registry().histogram_snapshots().len(), 0);
+        // Enabled: they do, and names come back sorted.
+        m.registry().enable();
+        m.record_latency(Duration::from_micros(10));
+        m.record_breakdown(Breakdown {
+            ordering_ns: 5,
+            coordination_ns: 7,
+            execution_ns: 9,
+            partitions: 2,
+            at_partition: 0,
+        });
+        let names: Vec<&str> = m
+            .registry()
+            .histogram_snapshots()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "client.latency_ns",
+                "exec.coordination_ns",
+                "exec.execution_ns",
+                "exec.ordering_ns"
+            ]
+        );
+        assert_eq!(m.registry().histogram("client.latency_ns").count(), 1);
+        m.registry().counter("fabric.reads").add(3);
+        assert_eq!(m.registry().counter_values(), vec![("fabric.reads", 3)]);
     }
 
     #[test]

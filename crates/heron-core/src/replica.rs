@@ -155,10 +155,27 @@ impl Executor {
             .map(PartitionId::from)
             .collect();
         let ordering_ns = sim::now().as_nanos().saturating_sub(submit_ns);
+        // Whole-request span on this executor, correlated on the message
+        // uid so one request stitches across partitions. The phase child
+        // spans below open and close at the very instants the Breakdown
+        // counters sample, so trace-derived attribution matches them
+        // exactly (the Fig. 6 view over spans).
+        let uid = u64::from(d.id.0);
+        let _req_span = sim::trace::span_args(
+            "exec.request",
+            uid,
+            &[
+                ("ts", ts.raw()),
+                ("partition", u64::from(shared.partition.0)),
+                ("partitions", dests.len() as u64),
+                ("ordering_ns", ordering_ns),
+            ],
+        );
 
         // Lines 5–7: single-partition fast path — classic SMR.
         if dests.len() == 1 {
             let t0 = sim::now();
+            let exec_span = sim::trace::span("exec.execute", uid);
             let reads = match self.read_objects(&payload, ts, &dests, &[]) {
                 Ok(r) => r,
                 Err(Lagging) => {
@@ -169,8 +186,10 @@ impl Executor {
             };
             let exec = self.execute_and_write(&payload, ts, &reads);
             let exec_ns = (sim::now() - t0).as_nanos() as u64;
+            drop(exec_span);
             shared.completed_req.store(ts.raw(), Ordering::SeqCst);
             self.reply(client_id, seq, &exec.response);
+            sim::trace::instant("exec.reply", uid);
             shared.cluster.metrics.record_breakdown(Breakdown {
                 ordering_ns,
                 coordination_ns: 0,
@@ -187,6 +206,7 @@ impl Executor {
         // long ago): recover through state transfer instead of waiting
         // forever.
         let t_p2 = sim::now();
+        let p2_span = sim::trace::span("exec.phase2", uid);
         self.write_coord(&dests, ts, 1);
         loop {
             if self.wait_coord_timeout(&dests, ts, 1, self.cfg().transfer_timeout) {
@@ -207,6 +227,7 @@ impl Executor {
             }
         }
         let p2_ns = (sim::now() - t_p2).as_nanos() as u64;
+        drop(p2_span);
 
         // Lines 11–13: execution (reading phase, compute, writing phase).
         // If we have lagged behind the fast majority, state-transfer; a
@@ -214,6 +235,7 @@ impl Executor {
         // (it will be skipped via last_req), otherwise we caught up to a
         // point *before* this request and must still execute it.
         let t_exec = sim::now();
+        let exec_span = sim::trace::span("exec.execute", uid);
         let mut pending_writes = PendingWrites::new();
         let active_only = self.cfg().execution_mode == crate::ExecutionMode::ActiveOnly;
         let active = shared
@@ -257,11 +279,13 @@ impl Executor {
             exec.response
         };
         let exec_ns = (sim::now() - t_exec).as_nanos() as u64;
+        drop(exec_span);
 
         // Lines 14–16: Phase 4 — same barrier, with the optional
         // wait-for-all delay (paper §V-E1). Queued active-only write-backs
         // ride the same doorbells.
         let t_p4 = sim::now();
+        let p4_span = sim::trace::span("exec.phase4", uid);
         // Protocol lint (regression guard): the Phase-4 entry — which in
         // batched active-only mode carries the remote object write-backs —
         // must never be posted before the Phase-2 quorum was observed.
@@ -289,10 +313,12 @@ impl Executor {
         self.write_coord_with(&dests, ts, 2, pending_writes);
         self.wait_coord(&dests, ts, 2, self.cfg().wait_for_all);
         let p4_ns = (sim::now() - t_p4).as_nanos() as u64;
+        drop(p4_span);
 
         shared.completed_req.store(ts.raw(), Ordering::SeqCst);
         // Line 17: reply.
         self.reply(client_id, seq, &response);
+        sim::trace::instant("exec.reply", uid);
         shared.cluster.metrics.record_breakdown(Breakdown {
             ordering_ns,
             coordination_ns: p2_ns + p4_ns,

@@ -114,6 +114,9 @@ impl QueuePair {
     /// range; [`RdmaError::LocalFailure`] if this node is crashed.
     pub fn read(&self, addr: Addr, len: usize) -> RdmaResult<Vec<u8>> {
         self.check_local_alive()?;
+        // Post → request on the wire → response: one synchronous span on
+        // the issuing process covers the whole round trip.
+        let _span = sim::trace::span_args("rdma.read", 0, &self.verb_args(addr, len));
         let gate = self.post_verb()?;
         let lat = self.local.fabric.latency;
         self.sleep_until_arrival(8);
@@ -180,6 +183,7 @@ impl QueuePair {
     /// [`RdmaError::LocalFailure`].
     pub fn write(&self, addr: Addr, data: &[u8]) -> RdmaResult<()> {
         self.check_local_alive()?;
+        let _span = sim::trace::span_args("rdma.write", 0, &self.verb_args(addr, data.len()));
         let gate = self.post_verb()?;
         let lat = self.local.fabric.latency;
         self.sleep_until_arrival(data.len());
@@ -227,6 +231,10 @@ impl QueuePair {
     /// [`RdmaError::LocalFailure`] if this node is crashed.
     pub fn post_write(&self, addr: Addr, data: Vec<u8>) -> RdmaResult<()> {
         self.check_local_alive()?;
+        // The posting charge is a synchronous span; the in-flight payload
+        // (doorbell → landing) becomes a flight span ended by the landing
+        // closure, captured exactly like the race detector's write ticket.
+        let _post = sim::trace::span_args("rdma.post", 0, &self.verb_args(addr, data.len()));
         let gate = self.post_verb()?;
         let now = sim::now().as_nanos();
         let delay =
@@ -257,7 +265,11 @@ impl QueuePair {
                 now + delay,
             )
         });
+        let flight = sim::trace::flight_begin("rdma.write.flight", 0, &self.verb_args(addr, 0));
         sim::schedule_ns(delay, move || {
+            if let Some(flight) = flight {
+                flight.end_at(now + delay);
+            }
             if remote.is_alive() {
                 // Ignore landing errors: an unsignaled write has no
                 // completion to report them through.
@@ -295,6 +307,7 @@ impl QueuePair {
             return Err(RdmaError::Misaligned);
         }
         self.check_local_alive()?;
+        let _span = sim::trace::span_args("rdma.cas", 0, &self.verb_args(addr, 8));
         let gate = self.post_verb()?;
         let lat = self.local.fabric.latency;
         self.sleep_until_arrival(16);
@@ -328,6 +341,16 @@ impl QueuePair {
         Ok(old)
     }
 
+    /// Trace-arg triple identifying the verb's target: the remote node (the
+    /// QP), the target address (identifying the region), and payload bytes.
+    fn verb_args(&self, addr: Addr, len: usize) -> [(&'static str, u64); 3] {
+        [
+            ("dst", u64::from(self.remote.id().0)),
+            ("addr", addr.0),
+            ("len", len as u64),
+        ]
+    }
+
     /// Opens a doorbell batch towards this queue pair's remote end: up to
     /// N unsignaled writes posted with a single doorbell ring. See
     /// [`WriteBatch`].
@@ -348,6 +371,7 @@ impl QueuePair {
     /// [`RdmaError::LocalFailure`] if this node is crashed.
     pub fn send(&self, payload: Vec<u8>) -> RdmaResult<()> {
         self.check_local_alive()?;
+        let _post = sim::trace::span_args("rdma.send", 0, &self.verb_args(Addr(0), payload.len()));
         let gate = self.post_verb()?;
         let now = sim::now().as_nanos();
         let delay =
@@ -367,7 +391,11 @@ impl QueuePair {
         // receiver joins it on delivery (a sync edge for the detector).
         // Empty — and free — when no detector runs.
         let clock = sim::vc_current();
+        let flight = sim::trace::flight_begin("rdma.send.flight", 0, &self.verb_args(Addr(0), 0));
         sim::schedule_ns(delay, move || {
+            if let Some(flight) = flight {
+                flight.end_at(now + delay);
+            }
             if remote.is_alive() {
                 // A send into a crashed receiver is silently lost; the
                 // mailbox refuses posts for a dead node anyway.
@@ -467,6 +495,15 @@ impl WriteBatch {
         }
         let qp = &self.qp;
         qp.check_local_alive()?;
+        let _post = sim::trace::span_args(
+            "rdma.batch",
+            0,
+            &[
+                ("dst", u64::from(qp.remote.id().0)),
+                ("n", self.writes.len() as u64),
+                ("len", self.bytes as u64),
+            ],
+        );
         // One doorbell ⇒ the whole batch counts as one verb for the fault
         // plan; dropping it loses every queued write, like a lost WQE chain.
         let gate = qp.post_verb()?;
@@ -500,7 +537,18 @@ impl WriteBatch {
                 now + delay,
             )
         });
+        let flight = sim::trace::flight_begin(
+            "rdma.write.flight",
+            0,
+            &[
+                ("dst", u64::from(qp.remote.id().0)),
+                ("n", writes.len() as u64),
+            ],
+        );
         sim::schedule_ns(delay, move || {
+            if let Some(flight) = flight {
+                flight.end_at(now + delay);
+            }
             if remote.is_alive() {
                 for (addr, data) in &writes {
                     // Ignore landing errors, as for any unsignaled write.

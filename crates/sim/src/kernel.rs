@@ -4,6 +4,7 @@
 
 use crate::error::{SimError, SimResult};
 use crate::time::SimTime;
+use crate::trace::TraceState;
 use crate::vclock::VectorClock;
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
@@ -12,6 +13,7 @@ use std::cell::RefCell;
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Identifier of a simulated process.
@@ -130,6 +132,11 @@ pub(crate) struct Kernel {
     state: Mutex<KState>,
     sched_cv: Condvar,
     seed: u64,
+    /// Tracing gate: one relaxed load decides every trace hook, mirroring
+    /// the race detector's fabric flag, so the off path costs nothing and
+    /// schedules stay bit-identical either way (see [`crate::trace`]).
+    trace_on: AtomicBool,
+    trace: Mutex<Option<Arc<TraceState>>>,
 }
 
 thread_local! {
@@ -190,7 +197,38 @@ impl Kernel {
             }),
             sched_cv: Condvar::new(),
             seed,
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(None),
         })
+    }
+
+    /// The trace recording state, or `None` when tracing is off (the common
+    /// case: one relaxed load, no state lock).
+    pub(crate) fn trace_state(&self) -> Option<Arc<TraceState>> {
+        if !self.trace_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.trace.lock().clone()
+    }
+
+    /// Enables tracing (idempotent) and returns the shared recording state.
+    pub(crate) fn enable_trace(&self) -> Arc<TraceState> {
+        let state = {
+            let mut guard = self.trace.lock();
+            Arc::clone(guard.get_or_insert_with(|| Arc::new(TraceState::new())))
+        };
+        self.trace_on.store(true, Ordering::Relaxed);
+        state
+    }
+
+    /// Names of all spawned processes, in pid order.
+    pub(crate) fn proc_names(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .procs
+            .iter()
+            .map(|p| p.name.clone())
+            .collect()
     }
 
     pub(crate) fn now_nanos(&self) -> u64 {
@@ -564,6 +602,15 @@ impl Simulation {
     /// Re-raises any panic from a simulated process.
     pub fn run_until(&self, deadline: SimTime) -> SimResult<()> {
         self.kernel.run_loop(Some(deadline.as_nanos()), false)
+    }
+
+    /// Enables virtual-time tracing (idempotent) and returns a
+    /// [`crate::trace::Tracer`] handle over the recorded events. Tracing
+    /// never perturbs the schedule: runs are bit-identical with it on or
+    /// off (see [`crate::trace`]).
+    pub fn enable_tracing(&self) -> crate::trace::Tracer {
+        let state = self.kernel.enable_trace();
+        crate::trace::Tracer::new(state, Arc::clone(&self.kernel))
     }
 
     /// Runs for `d` more virtual time from the current instant.

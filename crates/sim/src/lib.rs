@@ -46,6 +46,7 @@ mod error;
 mod kernel;
 mod mailbox;
 mod time;
+pub mod trace;
 pub mod vclock;
 
 pub use cond::Cond;

@@ -44,3 +44,14 @@ fi
 # the race detector to catch the resulting protocol violation.
 cargo run -q --release --offline -p heron-bench --bin race_audit -- \
     --quick --selftest
+
+# Trace gate: virtual-time tracing explainer (DESIGN.md §11). Exports the
+# Perfetto trace, checks the critical-path analyzer's Fig. 6 attribution
+# against the legacy breakdown counters (≤ 1 % divergence), and verifies
+# the tracing on/off schedules are bit-identical.
+if ! cargo run -q --release --offline -p heron-bench --bin trace_explain -- \
+    --quick --seed 42; then
+  echo "tier1: trace explain FAILED — replay with:" >&2
+  echo "  cargo run --release -p heron-bench --bin trace_explain -- --quick --seed 42" >&2
+  exit 1
+fi
