@@ -4,120 +4,34 @@
 //! one such event, so this rate bounds the virtual-time throughput of
 //! every experiment in this crate — it is the denominator behind the
 //! `events` / `wall_ms` columns the figure binaries report.
+//!
+//! The workloads themselves live in [`heron_bench::sched_workloads`],
+//! shared with the `sched_bench` binary that emits and gates
+//! `bench_results/BENCH_scheduler.json`. Each workload is benchmarked on
+//! the default engine (timer wheel + direct handoff); run `sched_bench`
+//! for the side-by-side comparison against the reference heap engine.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use heron_bench::sched_workloads;
 use std::time::Duration;
 
 const EVENTS: u64 = 10_000;
 
-/// Pure timer events: one process sleeps `EVENTS` times, so the scheduler
-/// pops `EVENTS` heap entries, each with a full park/unpark handshake.
-fn bench_timer_events(c: &mut Criterion) {
+fn bench_workloads(c: &mut Criterion) {
     let mut g = c.benchmark_group("scheduler");
     g.throughput(Throughput::Elements(EVENTS));
-    g.bench_function("timer_events_10k", |b| {
-        b.iter_batched(
-            || {
-                let simulation = sim::Simulation::new(1);
-                simulation.spawn("ticker", || {
-                    for _ in 0..EVENTS {
-                        sim::sleep_ns(100);
-                    }
-                });
-                simulation
-            },
-            |simulation| {
-                simulation.run().unwrap();
-                assert!(simulation.events_executed() >= EVENTS);
-            },
-            BatchSize::PerIteration,
-        )
-    });
-    g.finish();
-}
-
-/// Cross-process switches: two processes ping-pong through a `Cond`, so
-/// every event is a notify → park → unpark chain between distinct OS
-/// threads — the cost profile of a simulated RDMA write landing and
-/// waking its poller.
-fn bench_pingpong_switches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scheduler");
-    g.throughput(Throughput::Elements(EVENTS));
-    g.bench_function("pingpong_switches_10k", |b| {
-        b.iter_batched(
-            || {
-                let simulation = sim::Simulation::new(2);
-                let turn = Arc::new(AtomicU64::new(0));
-                let cond = sim::Cond::new();
-                for side in 0..2u64 {
-                    let turn = turn.clone();
-                    let cond = cond.clone();
-                    simulation.spawn(format!("pinger-{side}"), move || {
-                        for _ in 0..EVENTS / 2 {
-                            cond.wait_while(|| turn.load(Ordering::Relaxed) % 2 != side);
-                            turn.fetch_add(1, Ordering::Relaxed);
-                            // Waking the peer costs simulated time, as a
-                            // remote write landing would.
-                            sim::sleep_ns(50);
-                            cond.notify_all();
-                        }
-                    });
-                }
-                simulation
-            },
-            |simulation| {
-                simulation.run().unwrap();
-                assert!(simulation.events_executed() >= EVENTS);
-            },
-            BatchSize::PerIteration,
-        )
-    });
-    g.finish();
-}
-
-/// Fan-out wakes: one producer repeatedly wakes 8 parked consumers — the
-/// shape of a doorbell batch landing on a node several pollers watch.
-fn bench_fanout_wakes(c: &mut Criterion) {
-    const WAITERS: u64 = 8;
-    const ROUNDS: u64 = EVENTS / WAITERS;
-    let mut g = c.benchmark_group("scheduler");
-    g.throughput(Throughput::Elements(EVENTS));
-    g.bench_function("fanout_wakes_8x1250", |b| {
-        b.iter_batched(
-            || {
-                let simulation = sim::Simulation::new(3);
-                let round = Arc::new(AtomicU64::new(0));
-                let cond = sim::Cond::new();
-                for w in 0..WAITERS {
-                    let round = round.clone();
-                    let cond = cond.clone();
-                    simulation.spawn(format!("waiter-{w}"), move || {
-                        let mut seen = 0;
-                        while seen < ROUNDS {
-                            cond.wait_while(|| round.load(Ordering::Relaxed) <= seen);
-                            seen = round.load(Ordering::Relaxed);
-                        }
-                    });
-                }
-                let cond2 = cond.clone();
-                simulation.spawn("producer", move || {
-                    for _ in 0..ROUNDS {
-                        sim::sleep_ns(200);
-                        round.fetch_add(1, Ordering::Relaxed);
-                        cond2.notify_all();
-                    }
-                });
-                simulation
-            },
-            |simulation| {
-                simulation.run().unwrap();
-                assert!(simulation.events_executed() >= EVENTS);
-            },
-            BatchSize::PerIteration,
-        )
-    });
+    for w in sched_workloads::all() {
+        g.bench_function(&format!("{}_10k", w.name), |b| {
+            b.iter_batched(
+                || (w.build)(EVENTS, sim::EngineConfig::default()),
+                |simulation| {
+                    simulation.run().unwrap();
+                    assert!(simulation.events_executed() >= EVENTS / 2);
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
     g.finish();
 }
 
@@ -131,6 +45,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_timer_events, bench_pingpong_switches, bench_fanout_wakes
+    targets = bench_workloads
 }
 criterion_main!(benches);

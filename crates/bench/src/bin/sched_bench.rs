@@ -1,0 +1,174 @@
+//! Scheduler raw-speed benchmark and regression gate (DESIGN.md §12).
+//!
+//! Runs every workload in [`heron_bench::sched_workloads`] twice — once on
+//! the **reference engine** (binary-heap event queue, every wakeup routed
+//! through the host scheduler thread) and once on the **fast engine**
+//! (hierarchical timer wheel, direct process-to-process handoff) — and
+//! reports events per wall-clock second for both, plus the speedup. The two
+//! runs must produce bit-identical schedules (same event-order hash, event
+//! count, and final virtual time); the binary fails otherwise, so every
+//! perf run doubles as a determinism check.
+//!
+//! Modes:
+//!
+//! * default — measure and write `bench_results/BENCH_scheduler.json`.
+//! * `--gate` — measure, then compare the geometric-mean speedup against
+//!   the `min_geomean_speedup` recorded in the committed
+//!   `bench_results/BENCH_scheduler.json` (0.8 × the baseline speedup,
+//!   i.e. a >20 % regression fails). Exits non-zero on regression. The
+//!   committed file is not rewritten. Gating on the *speedup ratio* rather
+//!   than absolute events/sec keeps the gate meaningful across machines of
+//!   different raw speed.
+//! * `--quick` — fewer events and repeats, for CI smoke runs.
+
+use heron_bench::{banner, quick_mode, sched_workloads, write_results, Json};
+use std::time::Instant;
+
+/// Best-of-`repeats` wall-clock run; returns (events executed, seconds,
+/// schedule hash, final virtual nanos).
+fn measure(
+    w: &sched_workloads::SchedWorkload,
+    events: u64,
+    engine: sim::EngineConfig,
+    repeats: u32,
+) -> (u64, f64, u64, u64) {
+    let mut best: Option<(u64, f64, u64, u64)> = None;
+    for _ in 0..repeats {
+        let simulation = (w.build)(events, engine);
+        let start = Instant::now();
+        simulation.run().unwrap();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let sample = (
+            simulation.events_executed(),
+            secs,
+            simulation.schedule_hash(),
+            simulation.now().as_nanos(),
+        );
+        match &best {
+            Some(b) if b.1 <= sample.1 => {}
+            _ => best = Some(sample),
+        }
+    }
+    best.expect("repeats >= 1")
+}
+
+/// Pulls the committed gate threshold out of the baseline JSON. The file
+/// is written by this binary, so a simple string scan is enough — no JSON
+/// parser lives in this offline workspace.
+fn baseline_min_speedup(text: &str) -> Option<f64> {
+    let key = "\"min_geomean_speedup\":";
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let gate = std::env::args().any(|a| a == "--gate");
+    let quick = quick_mode();
+    let (events, repeats) = if quick { (20_000, 3) } else { (100_000, 5) };
+
+    banner(
+        "sched_bench — scheduler raw speed: timer wheel + direct handoff vs heap + host wakeups",
+        "DESIGN.md sec. 12 (raw-speed engine)",
+    );
+    println!(
+        "mode: {}  events/workload: {events}  repeats: {repeats} (best kept)\n",
+        if gate { "gate" } else { "measure" }
+    );
+
+    let reference = sim::EngineConfig {
+        queue: sim::QueueKind::Heap,
+        direct_handoff: false,
+    };
+    let fast = sim::EngineConfig::default();
+
+    println!(
+        "{:<20} {:>12} {:>14} {:>14} {:>9}",
+        "workload", "events", "before eps", "after eps", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut log_sum = 0.0f64;
+    for w in sched_workloads::all() {
+        let (ev_b, secs_b, hash_b, now_b) = measure(w, events, reference, repeats);
+        let (ev_a, secs_a, hash_a, now_a) = measure(w, events, fast, repeats);
+        if (ev_b, hash_b, now_b) != (ev_a, hash_a, now_a) {
+            eprintln!(
+                "FAIL: workload {} diverged between engines: \
+                 heap (events {ev_b}, hash {hash_b:#x}, now {now_b}) vs \
+                 wheel (events {ev_a}, hash {hash_a:#x}, now {now_a})",
+                w.name
+            );
+            std::process::exit(1);
+        }
+        let before_eps = ev_b as f64 / secs_b;
+        let after_eps = ev_a as f64 / secs_a;
+        let speedup = after_eps / before_eps;
+        log_sum += speedup.ln();
+        println!(
+            "{:<20} {:>12} {:>14.0} {:>14.0} {:>8.2}x",
+            w.name, ev_b, before_eps, after_eps, speedup
+        );
+        let mut row = Json::obj();
+        row.set("name", w.name)
+            .set("what", w.what)
+            .set("events", ev_b)
+            .set("before_events_per_sec", before_eps)
+            .set("after_events_per_sec", after_eps)
+            .set("speedup", speedup)
+            .set("schedule_hash", format!("{hash_a:#018x}"))
+            .set("virtual_ns", now_a);
+        rows.push(row);
+    }
+    let geomean = (log_sum / rows.len() as f64).exp();
+    println!("\ngeomean speedup: {geomean:.2}x  (schedules bit-identical across engines)");
+
+    if gate {
+        let path = "bench_results/BENCH_scheduler.json";
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL: cannot read committed baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let Some(min) = baseline_min_speedup(&text) else {
+            eprintln!("FAIL: no min_geomean_speedup field in {path}");
+            std::process::exit(1);
+        };
+        println!("gate: measured geomean {geomean:.2}x vs committed floor {min:.2}x");
+        if geomean < min {
+            eprintln!(
+                "FAIL: scheduler speedup regressed more than 20% \
+                 ({geomean:.2}x < {min:.2}x floor)"
+            );
+            std::process::exit(1);
+        }
+        println!("gate: PASS");
+    } else {
+        let mut out = Json::obj();
+        out.set("figure", "scheduler")
+            .set("quick", quick)
+            .set("events_per_workload", events)
+            .set("repeats", repeats as u64)
+            .set(
+                "before_engine",
+                "binary heap event queue, host-mediated wakeups",
+            )
+            .set(
+                "after_engine",
+                "hierarchical timer wheel, direct handoff (default)",
+            )
+            .set("workloads", Json::Arr(rows))
+            .set("geomean_speedup", geomean);
+        let mut gate_obj = Json::obj();
+        gate_obj.set("min_geomean_speedup", geomean * 0.8).set(
+            "rule",
+            "sched_bench --gate fails if measured geomean speedup drops below this",
+        );
+        out.set("gate", gate_obj);
+        write_results("BENCH_scheduler.json", &out).expect("write BENCH_scheduler.json");
+    }
+}

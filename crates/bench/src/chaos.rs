@@ -413,7 +413,14 @@ fn build_plan(sc: &Scenario, cluster: &HeronCluster) -> FaultPlan {
 /// Runs one scenario to completion and checks it. Deterministic: the same
 /// scenario always yields the same result.
 pub fn run(sc: &Scenario) -> RunResult {
-    let simulation = sim::Simulation::new(sc.seed);
+    run_with_engine(sc, sim::EngineConfig::default()).0
+}
+
+/// Like [`run`], but on an explicit scheduler engine, also returning the
+/// run's schedule hash. The determinism regression test uses this to prove
+/// every engine executes the same schedule and reaches the same verdict.
+pub fn run_with_engine(sc: &Scenario, engine: sim::EngineConfig) -> (RunResult, u64) {
+    let simulation = sim::Simulation::with_engine(sc.seed, engine);
     let fabric = Fabric::new(LatencyModel::connectx4());
     let bank = Arc::new(Bank {
         partitions: sc.partitions as u16,
@@ -452,23 +459,28 @@ pub fn run(sc: &Scenario) -> RunResult {
     if simulation.run_until(SimTime::from_secs(30)).is_err() {
         // A deadlock counts as a stall: the workload cannot finish.
         let pending = checker.history().iter().filter(|o| !o.completed()).count();
-        return RunResult::Stalled {
-            pending: pending.max(1),
-        };
+        return (
+            RunResult::Stalled {
+                pending: pending.max(1),
+            },
+            simulation.schedule_hash(),
+        );
     }
 
+    let hash = simulation.schedule_hash();
     let history = checker.history();
     let pending = history.iter().filter(|o| !o.completed()).count();
     if pending > 0 {
-        return RunResult::Stalled { pending };
+        return (RunResult::Stalled { pending }, hash);
     }
     if let Some((p, r, oid)) = sc.corrupt {
         cluster.corrupt_value(PartitionId(p), r, ObjectId(oid));
     }
-    match checker.check(&cluster, &BankSpec { accounts }) {
+    let verdict = match checker.check(&cluster, &BankSpec { accounts }) {
         Ok(()) => RunResult::Pass { ops: history.len() },
         Err(v) => RunResult::Failed(v),
-    }
+    };
+    (verdict, hash)
 }
 
 /// Shrinks a failing scenario to a minimal reproduction: greedily removes

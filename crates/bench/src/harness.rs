@@ -76,6 +76,10 @@ pub struct RunConfig {
     /// the first virtual time and recover it at the second, exercising
     /// crash handling and state transfer under load.
     pub crash: Option<(Duration, Duration)>,
+    /// Scheduler engine. All engines execute bit-identical schedules; the
+    /// non-default ones exist for determinism cross-checks and the
+    /// scheduler benchmark.
+    pub engine: sim::EngineConfig,
 }
 
 impl RunConfig {
@@ -101,7 +105,15 @@ impl RunConfig {
             tracing: false,
             break_guard: false,
             crash: None,
+            engine: sim::EngineConfig::default(),
         }
+    }
+
+    /// Selects the scheduler engine (determinism cross-checks only).
+    #[must_use]
+    pub fn with_engine(mut self, engine: sim::EngineConfig) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Enables (or disables) the Sim-TSan race detector.
@@ -211,6 +223,10 @@ pub struct LoadSummary {
     /// Final virtual time of the run, nanoseconds — with `events`, the
     /// schedule fingerprint determinism checks compare.
     pub virtual_ns: u64,
+    /// Order-sensitive FNV fold over every scheduler pop (see
+    /// [`sim::Simulation::schedule_hash`]): equal hashes mean the exact
+    /// same event schedule, the regression signal for engine changes.
+    pub schedule_hash: u64,
     /// The run's trace (`None` when tracing was off, always `None` for
     /// the DynaStar baseline).
     pub tracer: Option<sim::trace::Tracer>,
@@ -242,7 +258,7 @@ pub fn quantile(sorted_us: &[f64], q: f64) -> f64 {
 /// clients; returns the measured summary.
 pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
     let wall_start = std::time::Instant::now();
-    let simulation = sim::Simulation::new(cfg.seed);
+    let simulation = sim::Simulation::with_engine(cfg.seed, cfg.engine);
     let fabric = Fabric::new(LatencyModel::connectx4());
     let app: Arc<dyn StateMachine> = match cfg.workload {
         Workload::Tpcc | Workload::TpccLocal => {
@@ -407,6 +423,7 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
             stats: d.stats(),
         }),
         virtual_ns: simulation.now().as_nanos(),
+        schedule_hash: simulation.schedule_hash(),
         tracer: {
             // Snapshot the fabric's verb counters into the registry so a
             // traced run reads them from one place.
@@ -423,7 +440,7 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
 /// Drives the DynaStar baseline with the TPC-C mix; returns the summary.
 pub fn run_dynastar_tpcc(cfg: &RunConfig) -> LoadSummary {
     let wall_start = std::time::Instant::now();
-    let simulation = sim::Simulation::new(cfg.seed);
+    let simulation = sim::Simulation::with_engine(cfg.seed, cfg.engine);
     let app = Arc::new(TpccApp::new(cfg.scale, cfg.partitions as u16));
     let ds = DynaStar::build(
         DynaStarConfig::new(cfg.partitions, cfg.replicas),
@@ -480,6 +497,7 @@ pub fn run_dynastar_tpcc(cfg: &RunConfig) -> LoadSummary {
         wall_ms: wall_start.elapsed().as_secs_f64() * 1_000.0,
         audit: None,
         virtual_ns: simulation.now().as_nanos(),
+        schedule_hash: simulation.schedule_hash(),
         tracer: None,
         hists: vec![],
         counters: vec![],

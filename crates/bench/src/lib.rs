@@ -25,6 +25,7 @@ pub mod chaos;
 pub mod harness;
 pub mod null;
 pub mod report;
+pub mod sched_workloads;
 pub mod syncapp;
 
 pub use harness::{

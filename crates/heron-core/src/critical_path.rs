@@ -70,7 +70,7 @@ pub fn spans(events: &[TraceEvent]) -> Vec<Span> {
                     t0: e.t_ns,
                     t1: e.t_ns,
                     corr: e.corr,
-                    args: e.args.clone(),
+                    args: e.args.to_vec(),
                 });
             }
             EventKind::End | EventKind::FlightEnd => {
@@ -303,7 +303,7 @@ mod tests {
             kind,
             name,
             corr,
-            args: args.to_vec(),
+            args: sim::trace::SpanArgs::from_slice(args),
         }
     }
 

@@ -37,7 +37,6 @@
 
 use parking_lot::{Mutex, RwLock};
 use sim::Mailbox;
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -96,6 +95,34 @@ impl Default for NetLatency {
     }
 }
 
+/// Busy-until times of every directed link, stored as a dense `n x n`
+/// matrix indexed by endpoint ids: per-send lookup is a multiply and an
+/// add instead of a hash. Grows (with re-indexing) the first time an id
+/// beyond the current bound appears.
+#[derive(Default)]
+struct LinkClocks {
+    n: usize,
+    clocks: Vec<u64>,
+}
+
+impl LinkClocks {
+    /// Mutable busy-until slot for the `src -> dst` link.
+    fn slot(&mut self, src: EndpointId, dst: EndpointId) -> &mut u64 {
+        let need = (src.0.max(dst.0) as usize) + 1;
+        if need > self.n {
+            let new_n = need.next_power_of_two().max(4);
+            let mut grown = vec![0u64; new_n * new_n];
+            for s in 0..self.n {
+                grown[s * new_n..s * new_n + self.n]
+                    .copy_from_slice(&self.clocks[s * self.n..(s + 1) * self.n]);
+            }
+            self.n = new_n;
+            self.clocks = grown;
+        }
+        &mut self.clocks[src.0 as usize * self.n + dst.0 as usize]
+    }
+}
+
 struct EndpointInner<M> {
     id: EndpointId,
     name: String,
@@ -108,7 +135,7 @@ struct NetworkInner<M> {
     endpoints: RwLock<Vec<Arc<EndpointInner<M>>>>,
     /// Per directed link: virtual time of the last scheduled delivery,
     /// enforcing FIFO (TCP-like) ordering.
-    link_clock: Mutex<HashMap<(EndpointId, EndpointId), u64>>,
+    link_clock: Mutex<LinkClocks>,
     messages_sent: AtomicU64,
     bytes_sent: AtomicU64,
 }
@@ -142,7 +169,7 @@ impl<M: Send + 'static> Network<M> {
             inner: Arc::new(NetworkInner {
                 latency,
                 endpoints: RwLock::new(Vec::new()),
-                link_clock: Mutex::new(HashMap::new()),
+                link_clock: Mutex::new(LinkClocks::default()),
                 messages_sent: AtomicU64::new(0),
                 bytes_sent: AtomicU64::new(0),
             }),
@@ -270,7 +297,7 @@ impl<M: Send + 'static> Endpoint<M> {
             let now = sim::now().as_nanos();
             let ser = (wire_bytes as u64 * lat.ns_per_kib) / 1024;
             let mut clocks = self.net.link_clock.lock();
-            let link_free = clocks.entry((self.inner.id, dst)).or_insert(0);
+            let link_free = clocks.slot(self.inner.id, dst);
             let send_end = now.max(*link_free) + ser;
             *link_free = send_end;
             send_end + lat.one_way_ns - now

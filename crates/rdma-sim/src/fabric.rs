@@ -46,8 +46,10 @@ impl fmt::Display for Addr {
 pub struct Message {
     /// The sending node.
     pub from: NodeId,
-    /// Message payload.
-    pub payload: Vec<u8>,
+    /// Message payload. `Bytes` wraps the sender's buffer without copying
+    /// and recycles it through the shim's pool on last drop, so sends do
+    /// not hit the global allocator (deref to `&[u8]` to read).
+    pub payload: bytes::Bytes,
 }
 
 /// Counters of fabric activity, readable at any time.
@@ -121,8 +123,10 @@ pub(crate) struct FabricInner {
     pub(crate) nodes: RwLock<Vec<Arc<NodeInner>>>,
     pub(crate) stats: FabricStats,
     /// Per directed (src, dst) pair: virtual arrival time of the last
-    /// operation, enforcing the in-order delivery of RC transport.
-    pub(crate) link_clock: Mutex<std::collections::HashMap<(NodeId, NodeId), u64>>,
+    /// operation, enforcing the in-order delivery of RC transport. Dense
+    /// matrix (grown on demand) so the per-verb lookup is two index
+    /// multiplies instead of a hash.
+    pub(crate) link_clock: Mutex<LinkClocks>,
     /// Set once a [`crate::FaultPlan`] with verb-level faults is armed;
     /// lets the verb hot path skip the fault lock entirely when no plan is
     /// installed, keeping fault-free runs bit-identical and cheap.
@@ -134,6 +138,34 @@ pub(crate) struct FabricInner {
     pub(crate) tsan: Mutex<Option<Arc<crate::tsan::TsanState>>>,
 }
 
+/// Busy-until times of every directed link, stored as a dense `n × n`
+/// matrix indexed by node ids. The matrix grows (with re-indexing) the
+/// first time a node id beyond the current bound appears; after that,
+/// every lookup is a multiply and an add.
+#[derive(Default)]
+pub(crate) struct LinkClocks {
+    n: usize,
+    clocks: Vec<u64>,
+}
+
+impl LinkClocks {
+    /// Mutable busy-until slot for the `src → dst` link.
+    fn slot(&mut self, src: NodeId, dst: NodeId) -> &mut u64 {
+        let need = (src.0.max(dst.0) as usize) + 1;
+        if need > self.n {
+            let new_n = need.next_power_of_two().max(4);
+            let mut grown = vec![0u64; new_n * new_n];
+            for s in 0..self.n {
+                grown[s * new_n..s * new_n + self.n]
+                    .copy_from_slice(&self.clocks[s * self.n..(s + 1) * self.n]);
+            }
+            self.n = new_n;
+            self.clocks = grown;
+        }
+        &mut self.clocks[src.0 as usize * self.n + dst.0 as usize]
+    }
+}
+
 impl FabricInner {
     /// Arrival time of a `bytes`-sized op posted now on the `src → dst`
     /// link. Models store-and-forward serialization: the link transmits
@@ -143,7 +175,7 @@ impl FabricInner {
     pub(crate) fn fifo_arrival(&self, src: NodeId, dst: NodeId, now: u64, bytes: usize) -> u64 {
         let ser = (bytes as u64 * self.latency.ns_per_kib) / 1024;
         let mut clocks = self.link_clock.lock();
-        let link_free = clocks.entry((src, dst)).or_insert(0);
+        let link_free = clocks.slot(src, dst);
         let send_end = now.max(*link_free) + ser;
         *link_free = send_end;
         send_end + self.latency.one_way_ns
@@ -200,7 +232,7 @@ impl Fabric {
                 latency,
                 nodes: RwLock::new(Vec::new()),
                 stats: FabricStats::default(),
-                link_clock: Mutex::new(std::collections::HashMap::new()),
+                link_clock: Mutex::new(LinkClocks::default()),
                 faults_on: AtomicBool::new(false),
                 faults: Mutex::new(None),
                 tsan_on: AtomicBool::new(false),
@@ -410,7 +442,11 @@ impl Node {
         let mem = self.inner.mem.lock();
         self.inner.check_range(&mem, addr, len)?;
         let start = addr.0 as usize;
-        Ok(mem.bytes[start..start + len].to_vec())
+        // Reuse a pooled buffer (message payloads recycle through the
+        // same pool) instead of allocating per read.
+        let mut out = bytes::take_buf();
+        out.extend_from_slice(&mem.bytes[start..start + len]);
+        Ok(out)
     }
 
     /// Reads one 8-byte word from this node's own memory.

@@ -392,6 +392,9 @@ impl QueuePair {
         // Empty — and free — when no detector runs.
         let clock = sim::vc_current();
         let flight = sim::trace::flight_begin("rdma.send.flight", 0, &self.verb_args(Addr(0), 0));
+        // Zero-copy wrap: the vector becomes the message payload as-is
+        // and its allocation recycles through the bytes pool on drop.
+        let payload = bytes::Bytes::from(payload);
         sim::schedule_ns(delay, move || {
             if let Some(flight) = flight {
                 flight.end_at(now + delay);

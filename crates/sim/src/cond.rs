@@ -136,12 +136,21 @@ impl Cond {
             self.sync_vc.lock().join(&vc);
             self.sync_set.store(true, Ordering::Relaxed);
         }
-        let drained: Vec<Waiter> = {
+        let mut drained: Vec<Waiter> = {
             let mut w = self.waiters.lock();
+            if w.is_empty() {
+                return;
+            }
             std::mem::take(&mut *w)
         };
-        for waiter in drained {
+        for waiter in drained.drain(..) {
             waiter.kernel.wake(waiter.pid, waiter.token);
+        }
+        // Hand the (now empty) buffer back so steady-state wait/notify
+        // cycles reuse its capacity instead of reallocating every round.
+        let mut w = self.waiters.lock();
+        if w.is_empty() {
+            std::mem::swap(&mut *w, &mut drained);
         }
     }
 

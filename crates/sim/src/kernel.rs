@@ -1,8 +1,33 @@
 //! The simulation kernel: virtual clock, deterministic scheduler, and the
 //! cooperative handshake that ensures exactly one simulated process runs at
 //! a time.
+//!
+//! # Scheduling fast paths
+//!
+//! The classic engine parks the blocking process, wakes the host thread,
+//! and has the host pop the next event and unpark its target — two full
+//! park/unpark handshakes per context switch. With
+//! [`EngineConfig::direct_handoff`] on (the default), a blocking process
+//! pops the next event itself:
+//!
+//! * **self-resume** — the popped event wakes the blocking process itself
+//!   (a `yield_now`, a sleep, a send that resolved at the current instant):
+//!   zero handshakes, the thread just keeps running;
+//! * **direct handoff** — the event wakes another process: one handshake
+//!   (peer unparked, self parked), the host stays asleep;
+//! * **timer inline** — the event is a timer closure: it runs on the
+//!   blocking thread in event context (the process's identity is masked for
+//!   the closure's duration so clock/trace attribution is identical to a
+//!   host-run timer), and popping continues;
+//! * anything else (queue empty, deadline reached, stop, panic) falls back
+//!   to the host loop.
+//!
+//! Pop order, event counts, and the schedule hash are identical with the
+//! fast paths on or off — both paths drain the same queue through the same
+//! accounting, only on different OS threads.
 
 use crate::error::{SimError, SimResult};
+use crate::queue::{Entry, EventQueue, Popped, QueueKind, Wake};
 use crate::time::SimTime;
 use crate::trace::TraceState;
 use crate::vclock::VectorClock;
@@ -10,8 +35,6 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::cell::RefCell;
-use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -34,65 +57,110 @@ impl fmt::Display for Pid {
     }
 }
 
+/// Scheduler engine selection. The default — wheel plus direct handoff —
+/// is the fast path; the alternatives exist so determinism tests can prove
+/// the fast engine reproduces the reference engine's schedules exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Event-queue implementation.
+    pub queue: QueueKind,
+    /// Let a blocking process pop and dispatch the next event itself
+    /// (self-resume / direct handoff / inline timers) instead of always
+    /// round-tripping through the host thread.
+    pub direct_handoff: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            queue: QueueKind::Wheel,
+            direct_handoff: true,
+        }
+    }
+}
+
 /// Panic payload used to unwind a killed process. Never observed by user
 /// code.
 pub(crate) struct KilledToken;
 
-enum Wake {
-    Proc { pid: Pid, token: u64 },
-    Timer(Box<dyn FnOnce() + Send>),
-}
-
-struct Entry {
-    time: u64,
-    seq: u64,
-    wake: Wake,
-}
-
-// Min-heap ordering on (time, seq).
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> CmpOrdering {
-        // Reversed so that BinaryHeap (a max-heap) pops the smallest.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
-struct Parker {
-    lock: Mutex<bool>, // "run" flag
-    cv: Condvar,
+/// Park/unpark for simulated process threads. Two implementations, picked
+/// by the engine (the wake path is part of what
+/// [`EngineConfig::direct_handoff`] selects, so the classic engine stays a
+/// faithful before-baseline for `sched_bench`):
+///
+/// * **Classic** — a mutex-guarded run flag plus a condvar, the original
+///   handshake.
+/// * **Token** — an atomic run token plus `std::thread::park`. The token
+///   is consumed with a swap — an RMW always observes the latest store, so
+///   a wake posted before the owner blocks is never lost — and the owner's
+///   `Thread` handle is published under a tiny mutex so an unpark racing
+///   with the very first park is ordered. One handshake costs two atomics
+///   and at most one futex round-trip each way, versus the
+///   mutex-plus-condvar dance.
+enum Parker {
+    Classic {
+        lock: Mutex<bool>, // "run" flag
+        cv: Condvar,
+    },
+    Token {
+        token: AtomicBool,
+        thread: Mutex<Option<std::thread::Thread>>,
+    },
 }
 
 impl Parker {
-    fn new() -> Arc<Self> {
-        Arc::new(Parker {
-            lock: Mutex::new(false),
-            cv: Condvar::new(),
+    fn new(fast: bool) -> Arc<Self> {
+        Arc::new(if fast {
+            Parker::Token {
+                token: AtomicBool::new(false),
+                thread: Mutex::new(None),
+            }
+        } else {
+            Parker::Classic {
+                lock: Mutex::new(false),
+                cv: Condvar::new(),
+            }
         })
     }
 
     fn unpark(&self) {
-        let mut run = self.lock.lock();
-        *run = true;
-        self.cv.notify_one();
+        match self {
+            Parker::Classic { lock, cv } => {
+                let mut run = lock.lock();
+                *run = true;
+                cv.notify_one();
+            }
+            Parker::Token { token, thread } => {
+                token.store(true, Ordering::SeqCst);
+                if let Some(t) = thread.lock().as_ref() {
+                    t.unpark();
+                }
+            }
+        }
     }
 
+    /// Only ever called by the owning thread.
     fn park(&self) {
-        let mut run = self.lock.lock();
-        while !*run {
-            self.cv.wait(&mut run);
+        match self {
+            Parker::Classic { lock, cv } => {
+                let mut run = lock.lock();
+                while !*run {
+                    cv.wait(&mut run);
+                }
+                *run = false;
+            }
+            Parker::Token { token, thread } => {
+                {
+                    let mut t = thread.lock();
+                    if t.is_none() {
+                        *t = Some(std::thread::current());
+                    }
+                }
+                while !token.swap(false, Ordering::SeqCst) {
+                    std::thread::park();
+                }
+            }
         }
-        *run = false;
     }
 }
 
@@ -105,6 +173,9 @@ struct ProcInfo {
     parked: bool,
     killed: bool,
     finished: bool,
+    /// Mirrors `killed || finished` for lock-free liveness checks on the
+    /// mailbox send path (see [`Kernel::dead_flag`]).
+    dead: Arc<AtomicBool>,
     rng: Option<SmallRng>,
     /// Happens-before clock; stays empty (and free) unless a race detector
     /// is ticking it. See [`crate::vclock`].
@@ -115,40 +186,72 @@ struct ProcInfo {
 struct KState {
     now: u64,
     seq: u64,
-    /// Events popped off the heap since the simulation started (timers and
+    /// Events popped off the queue since the simulation started (timers and
     /// process wakes, stale wakes included) — the scheduler's unit of real
-    /// work, since every pop costs a host park/unpark handshake.
+    /// work.
     events: u64,
-    heap: BinaryHeap<Entry>,
+    /// Order-sensitive fingerprint of every `(time, seq)` popped, folded
+    /// FNV-1a style. Two runs with equal hashes (and equal event counts)
+    /// executed the exact same schedule.
+    sched_hash: u64,
+    queue: EventQueue,
     procs: Vec<ProcInfo>,
     /// The process currently executing user code, if any.
     running: Option<Pid>,
+    /// The active run's virtual-time bound, mirrored from `run_loop` so the
+    /// direct-handoff path stops at the same instant the host would.
+    limit: Option<u64>,
     stop: bool,
     panic: Option<String>,
     unfinished: usize,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a fold step of the schedule hash: absorbs a popped
+/// `(time, seq)` pair.
+fn fold_hash(h: u64, time: u64, seq: u64) -> u64 {
+    let h = (h ^ time).wrapping_mul(FNV_PRIME);
+    (h ^ seq).wrapping_mul(FNV_PRIME)
 }
 
 pub(crate) struct Kernel {
     state: Mutex<KState>,
     sched_cv: Condvar,
     seed: u64,
+    handoff: bool,
     /// Tracing gate: one relaxed load decides every trace hook, mirroring
     /// the race detector's fabric flag, so the off path costs nothing and
     /// schedules stay bit-identical either way (see [`crate::trace`]).
     trace_on: AtomicBool,
     trace: Mutex<Option<Arc<TraceState>>>,
+    /// Set on the first vector-clock tick. While unset (no race detector
+    /// running), clock snapshots return the empty clock after one relaxed
+    /// load, without taking the state lock — the mailbox/Cond send paths
+    /// stay allocation- and lock-free.
+    vc_on: AtomicBool,
 }
 
 thread_local! {
     static CURRENT: RefCell<Option<(Arc<Kernel>, Pid)>> = const { RefCell::new(None) };
+    /// True while a timer closure runs inline on a process thread (direct
+    /// handoff): masks the thread's process identity so the closure sees
+    /// event context, exactly as if it ran on the host thread.
+    static EVENT_CTX: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 /// Runs `f` with the calling process's kernel and pid.
 ///
 /// # Panics
 ///
-/// Panics when the current thread is not a simulated process.
+/// Panics when the current thread is not a simulated process (including a
+/// timer closure running in event context).
 pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Kernel>, Pid) -> R) -> R {
+    assert!(
+        !EVENT_CTX.with(|e| e.get()),
+        "sim API called outside a simulated process"
+    );
     CURRENT.with(|c| {
         let borrow = c.borrow();
         let (kernel, pid) = borrow
@@ -162,6 +265,9 @@ pub(crate) fn with_ctx<R>(f: impl FnOnce(&Arc<Kernel>, Pid) -> R) -> R {
 /// simulated process (the host thread driving the simulation, or a timer
 /// closure running in event context).
 pub(crate) fn try_with_ctx<R>(f: impl FnOnce(&Arc<Kernel>, Pid) -> R) -> Option<R> {
+    if EVENT_CTX.with(|e| e.get()) {
+        return None;
+    }
     CURRENT.with(|c| {
         let borrow = c.borrow();
         borrow.as_ref().map(|(kernel, pid)| f(kernel, *pid))
@@ -181,24 +287,68 @@ fn install_kill_quiet_hook() {
     });
 }
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "process panicked".to_string()
+    }
+}
+
+type TimerFn = Box<dyn FnOnce() + Send>;
+
+/// Up to this many consecutive same-instant timers are drained under one
+/// state-lock acquisition and run back to back.
+const TIMER_BATCH: usize = 128;
+
+/// What a blocking process decided to do after consulting the queue.
+enum Block {
+    /// Popped its own wake: keep running, no handshake at all.
+    SelfResume { killed: bool },
+    /// Popped another process's wake: unpark it, park self.
+    Handoff {
+        next: Arc<Parker>,
+        mine: Arc<Parker>,
+    },
+    /// Run a batch of same-instant timer closures inline (event context),
+    /// then look again. Bookkeeping (event count, schedule hash) is
+    /// committed after the batch runs — `base_hash` is the schedule hash
+    /// as of the first pop, and nothing else can pop in between because
+    /// the popping process is the only runnable thread.
+    Timers {
+        time: u64,
+        base_hash: u64,
+        first: (u64, TimerFn),
+        rest: Vec<(u64, TimerFn)>,
+    },
+    /// Hand control back to the host loop and park.
+    Host(Arc<Parker>),
+}
+
 impl Kernel {
-    fn new(seed: u64) -> Arc<Self> {
+    fn new(seed: u64, engine: EngineConfig) -> Arc<Self> {
         Arc::new(Kernel {
             state: Mutex::new(KState {
                 now: 0,
                 seq: 0,
                 events: 0,
-                heap: BinaryHeap::new(),
+                sched_hash: FNV_OFFSET,
+                queue: EventQueue::new(engine.queue),
                 procs: Vec::new(),
                 running: None,
+                limit: None,
                 stop: false,
                 panic: None,
                 unfinished: 0,
             }),
             sched_cv: Condvar::new(),
             seed,
+            handoff: engine.direct_handoff,
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(None),
+            vc_on: AtomicBool::new(false),
         })
     }
 
@@ -239,10 +389,25 @@ impl Kernel {
         self.state.lock().events
     }
 
+    pub(crate) fn sched_hash(&self) -> u64 {
+        self.state.lock().sched_hash
+    }
+
     fn push_entry(st: &mut KState, time: u64, wake: Wake) {
         let seq = st.seq;
         st.seq += 1;
-        st.heap.push(Entry { time, seq, wake });
+        st.queue.push(time, seq, wake);
+    }
+
+    /// Books a popped entry: event count, schedule hash, clock advance.
+    /// Every pop — host loop or handoff path, stale or live — goes through
+    /// here exactly once (timer batches fold the same hash sequence and
+    /// commit it wholesale), which is what keeps the fast paths'
+    /// accounting bit-identical to the classic engine's.
+    fn book_pop(st: &mut KState, time: u64, seq: u64) {
+        st.events += 1;
+        st.sched_hash = fold_hash(st.sched_hash, time, seq);
+        st.now = st.now.max(time);
     }
 
     pub(crate) fn schedule(&self, delay: u64, f: impl FnOnce() + Send + 'static) {
@@ -254,7 +419,7 @@ impl Kernel {
     pub(crate) fn spawn(self: &Arc<Self>, name: String, f: impl FnOnce() + Send + 'static) -> Pid {
         let mut st = self.state.lock();
         let pid = Pid(st.procs.len() as u32);
-        let parker = Parker::new();
+        let parker = Parker::new(self.handoff);
         let rng = SmallRng::seed_from_u64(
             self.seed
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -284,12 +449,8 @@ impl Kernel {
                     Err(payload) => {
                         if payload.downcast_ref::<KilledToken>().is_some() {
                             None
-                        } else if let Some(s) = payload.downcast_ref::<&str>() {
-                            Some((*s).to_string())
-                        } else if let Some(s) = payload.downcast_ref::<String>() {
-                            Some(s.clone())
                         } else {
-                            Some("process panicked".to_string())
+                            Some(panic_message(payload.as_ref()))
                         }
                     }
                 };
@@ -303,6 +464,7 @@ impl Kernel {
             parked: true,
             killed: false,
             finished: false,
+            dead: Arc::new(AtomicBool::new(false)),
             rng: Some(rng),
             vc: VectorClock::new(),
             join: Some(join),
@@ -319,6 +481,7 @@ impl Kernel {
         let p = &mut st.procs[pid.0 as usize];
         p.finished = true;
         p.parked = false;
+        p.dead.store(true, Ordering::Relaxed);
         st.unfinished -= 1;
         if let Some(msg) = panic_msg {
             let name = st.procs[pid.0 as usize].name.clone();
@@ -347,31 +510,162 @@ impl Kernel {
         Self::push_entry(&mut st, at, Wake::Proc { pid, token });
     }
 
+    /// Releases the processor to the host loop: the caller must park after
+    /// dropping the state lock.
+    fn release_to_host(&self, st: &mut KState, pid: Pid) -> Block {
+        st.running = None;
+        self.sched_cv.notify_one();
+        Block::Host(Arc::clone(&st.procs[pid.0 as usize].parker))
+    }
+
     /// Second half of blocking: yield to the scheduler and park until woken.
+    ///
+    /// With direct handoff enabled this pops and dispatches queue entries
+    /// itself (see the module docs); otherwise it always wakes the host.
     ///
     /// # Panics
     ///
     /// Unwinds with [`KilledToken`] if the process was killed while parked.
     pub(crate) fn yield_and_park(&self, pid: Pid) {
-        let parker = {
+        let block = {
             let mut st = self.state.lock();
-            debug_assert_eq!(st.running, Some(pid), "blocking from a non-running process");
-            st.running = None;
-            self.sched_cv.notify_one();
-            Arc::clone(&st.procs[pid.0 as usize].parker)
+            self.next_block(&mut st, pid)
         };
-        parker.park();
+        self.finish_block(pid, block);
+    }
+
+    /// Dispatches a [`Block`] decision and keeps consuming events until the
+    /// processor is actually given up (or the process resumes itself).
+    fn finish_block(&self, pid: Pid, first: Block) {
+        let mut block = first;
+        loop {
+            match block {
+                Block::SelfResume { killed } => {
+                    if killed {
+                        std::panic::panic_any(KilledToken);
+                    }
+                    return;
+                }
+                Block::Timers {
+                    time,
+                    base_hash,
+                    first,
+                    rest,
+                } => {
+                    run_timer_batch(self, time, base_hash, first, rest);
+                    block = {
+                        let mut st = self.state.lock();
+                        self.next_block(&mut st, pid)
+                    };
+                    continue;
+                }
+                Block::Handoff { next, mine } => {
+                    next.unpark();
+                    mine.park();
+                    break;
+                }
+                Block::Host(mine) => {
+                    mine.park();
+                    break;
+                }
+            }
+        }
         let killed = self.state.lock().procs[pid.0 as usize].killed;
         if killed {
             std::panic::panic_any(KilledToken);
         }
     }
 
+    /// Decides how the blocking process `pid` leaves the processor.
+    fn next_block(&self, st: &mut KState, pid: Pid) -> Block {
+        debug_assert_eq!(st.running, Some(pid), "blocking from a non-running process");
+        if !self.handoff {
+            return self.release_to_host(st, pid);
+        }
+        loop {
+            if st.stop || st.panic.is_some() {
+                return self.release_to_host(st, pid);
+            }
+            let limit = st.limit;
+            match st.queue.pop_due(limit) {
+                Popped::Empty | Popped::Beyond => return self.release_to_host(st, pid),
+                Popped::Event(Entry {
+                    time,
+                    seq,
+                    wake: Wake::Timer(f),
+                }) => {
+                    // Booking is deferred to after the batch runs; advance
+                    // the clock now so the closures observe the served
+                    // instant (wakes and schedules they issue land at it).
+                    st.now = st.now.max(time);
+                    let base_hash = st.sched_hash;
+                    let mut rest = Vec::new();
+                    while rest.len() + 1 < TIMER_BATCH {
+                        match st.queue.pop_timer_at(time) {
+                            Some(next) => rest.push(next),
+                            None => break,
+                        }
+                    }
+                    return Block::Timers {
+                        time,
+                        base_hash,
+                        first: (seq, f),
+                        rest,
+                    };
+                }
+                Popped::Event(Entry {
+                    time,
+                    seq,
+                    wake: Wake::Proc { pid: next, token },
+                }) => {
+                    Self::book_pop(st, time, seq);
+                    let p = &mut st.procs[next.0 as usize];
+                    if p.finished || !p.parked || p.token != token {
+                        continue; // stale wake
+                    }
+                    p.parked = false;
+                    if next == pid {
+                        return Block::SelfResume { killed: p.killed };
+                    }
+                    let next_parker = Arc::clone(&p.parker);
+                    st.running = Some(next);
+                    return Block::Handoff {
+                        next: next_parker,
+                        mine: Arc::clone(&st.procs[pid.0 as usize].parker),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Blocks `pid` until `nanos` of virtual time pass. With the fast
+    /// engine, the whole begin-block / enqueue-wake / pick-next-event
+    /// sequence runs under a single state-lock acquisition — it is the
+    /// hottest blocking path (every `sleep`, `yield_now`, and
+    /// simulated-latency charge), and merging the locks is
+    /// semantics-preserving because nothing else can run between them
+    /// while this process holds the processor. The classic engine keeps
+    /// the original multi-acquisition sequence so it stays a faithful
+    /// before-baseline for `sched_bench`.
     pub(crate) fn sleep(&self, pid: Pid, nanos: u64) {
-        let token = self.begin_block(pid);
-        let at = self.state.lock().now.saturating_add(nanos);
-        self.enqueue_wake_at(at, pid, token);
-        self.yield_and_park(pid);
+        if !self.handoff {
+            let token = self.begin_block(pid);
+            let at = self.state.lock().now.saturating_add(nanos);
+            self.enqueue_wake_at(at, pid, token);
+            self.yield_and_park(pid);
+            return;
+        }
+        let block = {
+            let mut st = self.state.lock();
+            let p = &mut st.procs[pid.0 as usize];
+            p.token += 1;
+            p.parked = true;
+            let token = p.token;
+            let at = st.now.saturating_add(nanos);
+            Self::push_entry(&mut st, at, Wake::Proc { pid, token });
+            self.next_block(&mut st, pid)
+        };
+        self.finish_block(pid, block);
     }
 
     /// Wakes a parked process if `token` still matches its current block.
@@ -387,13 +681,12 @@ impl Kernel {
         }
     }
 
-    /// Whether the process was killed or has finished — i.e. will never
-    /// again run user code. Used by [`crate::Mailbox`] to fail sends whose
-    /// every receiver is gone instead of queueing them forever.
-    pub(crate) fn is_dead(&self, pid: Pid) -> bool {
-        let st = self.state.lock();
-        let p = &st.procs[pid.0 as usize];
-        p.killed || p.finished
+    /// A shared flag that turns true once the process is killed or
+    /// finished — i.e. will never again run user code. Used by
+    /// [`crate::Mailbox`] to fail sends whose every receiver is gone with
+    /// one relaxed load per owner instead of taking the kernel state lock.
+    pub(crate) fn dead_flag(&self, pid: Pid) -> Arc<AtomicBool> {
+        Arc::clone(&self.state.lock().procs[pid.0 as usize].dead)
     }
 
     pub(crate) fn kill(&self, pid: Pid) {
@@ -404,6 +697,7 @@ impl Kernel {
             return;
         }
         p.killed = true;
+        p.dead.store(true, Ordering::Relaxed);
         if p.parked {
             let token = p.token;
             Self::push_entry(&mut st, now, Wake::Proc { pid, token });
@@ -436,14 +730,19 @@ impl Kernel {
     }
 
     /// Snapshot of the process's happens-before clock. Empty (no
-    /// allocation) unless a race detector has been ticking it.
+    /// allocation, no state lock) unless a race detector has ticked a
+    /// clock somewhere in this simulation.
     pub(crate) fn vc_snapshot(&self, pid: Pid) -> VectorClock {
+        if !self.vc_on.load(Ordering::Relaxed) {
+            return VectorClock::new();
+        }
         self.state.lock().procs[pid.0 as usize].vc.clone()
     }
 
     /// Ticks the process's own clock entry (a release operation) and
     /// returns the new value together with a snapshot of the full clock.
     pub(crate) fn vc_tick(&self, pid: Pid) -> (u64, VectorClock) {
+        self.vc_on.store(true, Ordering::Relaxed);
         let mut st = self.state.lock();
         let p = &mut st.procs[pid.0 as usize];
         let clk = p.vc.tick(pid.0);
@@ -462,6 +761,7 @@ impl Kernel {
     /// `strict` turns an empty run queue with still-blocked processes into a
     /// [`SimError::Deadlock`].
     fn run_loop(&self, deadline: Option<u64>, strict: bool) -> SimResult<()> {
+        self.state.lock().limit = deadline;
         loop {
             let action = {
                 let mut st = self.state.lock();
@@ -472,8 +772,8 @@ impl Kernel {
                 if st.stop {
                     return Ok(());
                 }
-                match st.heap.peek() {
-                    None => {
+                match st.queue.pop_due(deadline) {
+                    Popped::Empty => {
                         if strict && st.unfinished > 0 {
                             let blocked = st
                                 .procs
@@ -488,28 +788,24 @@ impl Kernel {
                         }
                         return Ok(());
                     }
-                    Some(top) => {
-                        if let Some(d) = deadline {
-                            if top.time > d {
-                                st.now = d;
-                                return Ok(());
-                            }
-                        }
+                    Popped::Beyond => {
+                        st.now = deadline.expect("bounded pop without a deadline");
+                        return Ok(());
                     }
-                }
-                let entry = st.heap.pop().expect("peeked entry vanished");
-                st.events += 1;
-                st.now = st.now.max(entry.time);
-                match entry.wake {
-                    Wake::Timer(f) => Some(Err(f)),
-                    Wake::Proc { pid, token } => {
-                        let p = &mut st.procs[pid.0 as usize];
-                        if p.finished || !p.parked || p.token != token {
-                            None // stale wake
-                        } else {
-                            p.parked = false;
-                            st.running = Some(pid);
-                            Some(Ok(Arc::clone(&st.procs[pid.0 as usize].parker)))
+                    Popped::Event(Entry { time, seq, wake }) => {
+                        Self::book_pop(&mut st, time, seq);
+                        match wake {
+                            Wake::Timer(f) => Some(Err(f)),
+                            Wake::Proc { pid, token } => {
+                                let p = &mut st.procs[pid.0 as usize];
+                                if p.finished || !p.parked || p.token != token {
+                                    None // stale wake
+                                } else {
+                                    p.parked = false;
+                                    st.running = Some(pid);
+                                    Some(Ok(Arc::clone(&st.procs[pid.0 as usize].parker)))
+                                }
+                            }
                         }
                     }
                 }
@@ -526,6 +822,55 @@ impl Kernel {
                 }
             }
         }
+    }
+}
+
+/// Runs a batch of same-instant timer closures on a process thread in
+/// *event* context: the thread's process identity is masked for the
+/// batch's duration, so `try_with_ctx`-based attribution (vector clocks,
+/// trace spans) behaves exactly as if the closures ran on the host.
+///
+/// Bookkeeping is folded locally and committed under one lock acquisition
+/// afterwards, which is observably identical to booking each pop
+/// individually because the popping process is the only runnable thread.
+/// A panicking timer is recorded and re-raised from the host loop, like a
+/// process panic; closures it would have cut off are restored to the
+/// queue unbooked, exactly as if they had never been popped.
+fn run_timer_batch(
+    kernel: &Kernel,
+    time: u64,
+    base_hash: u64,
+    first: (u64, TimerFn),
+    rest: Vec<(u64, TimerFn)>,
+) {
+    let mut hash = base_hash;
+    let mut ran = 0u64;
+    let mut panic_msg = None;
+    let mut pending = std::iter::once(first).chain(rest);
+    EVENT_CTX.with(|e| e.set(true));
+    for (seq, f) in pending.by_ref() {
+        hash = fold_hash(hash, time, seq);
+        ran += 1;
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            panic_msg = Some(panic_message(payload.as_ref()));
+            break;
+        }
+    }
+    EVENT_CTX.with(|e| e.set(false));
+    let leftover: Vec<(u64, TimerFn)> = pending.collect();
+    let mut st = kernel.state.lock();
+    st.sched_hash = hash;
+    st.events += ran;
+    st.now = st.now.max(time);
+    for (seq, f) in leftover.into_iter().rev() {
+        st.queue.unpop(Entry {
+            time,
+            seq,
+            wake: Wake::Timer(f),
+        });
+    }
+    if let Some(msg) = panic_msg {
+        st.panic = Some(format!("timer event panicked: {msg}"));
     }
 }
 
@@ -548,11 +893,19 @@ impl fmt::Debug for Simulation {
 }
 
 impl Simulation {
-    /// Creates a new simulation whose randomness derives from `seed`.
+    /// Creates a new simulation whose randomness derives from `seed`,
+    /// using the default engine (timer wheel, direct handoff).
     pub fn new(seed: u64) -> Self {
+        Self::with_engine(seed, EngineConfig::default())
+    }
+
+    /// Creates a simulation with an explicit scheduler engine. All engines
+    /// execute bit-identical schedules; the non-default ones exist for
+    /// determinism cross-checks and benchmarking.
+    pub fn with_engine(seed: u64, engine: EngineConfig) -> Self {
         install_kill_quiet_hook();
         Simulation {
-            kernel: Kernel::new(seed),
+            kernel: Kernel::new(seed, engine),
         }
     }
 
@@ -562,11 +915,20 @@ impl Simulation {
     }
 
     /// Number of scheduler events executed so far (timer firings and
-    /// process wake-ups). Each event costs a real park/unpark handshake on
-    /// the host, so this is the simulator's wall-clock work metric: fewer
-    /// events for the same virtual-time run means a faster simulation.
+    /// process wake-ups). This is the simulator's wall-clock work metric:
+    /// fewer events for the same virtual-time run means a faster
+    /// simulation.
     pub fn events_executed(&self) -> u64 {
         self.kernel.events()
+    }
+
+    /// Order-sensitive fingerprint of the schedule executed so far: an
+    /// FNV-1a fold over every popped `(time, seq)` pair. Two runs that
+    /// report the same hash (and the same [`Simulation::events_executed`])
+    /// popped the exact same events in the exact same order — the
+    /// regression signal for scheduler-engine changes.
+    pub fn schedule_hash(&self) -> u64 {
+        self.kernel.sched_hash()
     }
 
     /// Spawns a simulated process, scheduled to start at the current virtual
@@ -633,6 +995,7 @@ impl Drop for Simulation {
             for p in st.procs.iter_mut() {
                 if !p.finished {
                     p.killed = true;
+                    p.dead.store(true, Ordering::Relaxed);
                     p.parker.unpark();
                 }
                 if let Some(j) = p.join.take() {

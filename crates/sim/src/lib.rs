@@ -45,14 +45,16 @@ mod cond;
 mod error;
 mod kernel;
 mod mailbox;
+mod queue;
 mod time;
 pub mod trace;
 pub mod vclock;
 
 pub use cond::Cond;
 pub use error::{SimError, SimResult};
-pub use kernel::{Pid, Simulation};
+pub use kernel::{EngineConfig, Pid, Simulation};
 pub use mailbox::{Mailbox, MailboxReceiver, MailboxSender, RecvTimeoutError, SendError};
+pub use queue::QueueKind;
 pub use time::SimTime;
 pub use vclock::VectorClock;
 

@@ -1,11 +1,12 @@
 //! Unbounded FIFO channels between simulated processes.
 
 use crate::cond::Cond;
-use crate::kernel::{with_ctx, Kernel, Pid};
+use crate::kernel::{with_ctx, Pid};
 use crate::vclock::VectorClock;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -45,9 +46,12 @@ struct Inner<T> {
     queue: Mutex<VecDeque<(T, VectorClock)>>,
     cond: Cond,
     /// Every process that has blocked in [`Mailbox::recv`] /
-    /// [`Mailbox::recv_timeout`]. Once non-empty, sends fail when all of
-    /// them are dead; dead entries are pruned while a live one remains.
-    owners: Mutex<Vec<(Arc<Kernel>, Pid)>>,
+    /// [`Mailbox::recv_timeout`], with its kernel-shared dead flag. Once
+    /// non-empty, sends fail when all of them are dead; dead entries are
+    /// pruned while a live one remains. The flags make the per-send
+    /// liveness check a couple of relaxed loads instead of a kernel state
+    /// lock per owner.
+    owners: Mutex<Vec<(Arc<AtomicBool>, Pid)>>,
 }
 
 /// An unbounded FIFO mailbox. The simulation's equivalent of an mpsc
@@ -114,7 +118,7 @@ impl<T> Mailbox<T> {
         with_ctx(|kernel, pid| {
             let mut owners = self.inner.owners.lock();
             if !owners.iter().any(|(_, p)| *p == pid) {
-                owners.push((Arc::clone(kernel), pid));
+                owners.push((kernel.dead_flag(pid), pid));
             }
         });
     }
@@ -152,10 +156,10 @@ impl<T> Mailbox<T> {
         {
             let mut owners = self.inner.owners.lock();
             if !owners.is_empty() {
-                if owners.iter().all(|(k, p)| k.is_dead(*p)) {
+                if owners.iter().all(|(dead, _)| dead.load(Ordering::Relaxed)) {
                     return Err(SendError(value));
                 }
-                owners.retain(|(k, p)| !k.is_dead(*p));
+                owners.retain(|(dead, _)| !dead.load(Ordering::Relaxed));
             }
         }
         self.inner.queue.lock().push_back((value, clock));

@@ -1,0 +1,546 @@
+//! Event queues for the kernel: the hierarchical timer wheel (default) and
+//! the original binary heap (kept as a cross-check engine).
+//!
+//! Both queues serve entries in strictly increasing `(time, seq)` order —
+//! the wheel's pop order is bit-identical to the heap's, which is what the
+//! schedule-hash regression test in `heron-bench` pins down. The wheel wins
+//! on constant-factor cost: pushes are O(1), pops are amortized O(levels),
+//! and same-instant bursts are served out of a pre-sorted batch without
+//! touching the heap's comparison machinery.
+//!
+//! # Wheel geometry
+//!
+//! `LEVELS` levels of `SLOTS` slots each; a level-`k` slot spans
+//! `SLOTS^k` ns, so the wheel covers `SLOTS^LEVELS` ns (≈ 68.7 s at 6×64)
+//! of lookahead from the current instant. Deadlines beyond that go to a
+//! sorted overflow map keyed by exact deadline; deadlines at the instant
+//! currently being served go straight to the serving batch. Each level
+//! keeps a `u64` occupancy bitmap so "first non-empty slot at or after the
+//! cursor" is one rotate + trailing-zeros.
+//!
+//! Level-`k ≥ 1` slot starts are *lower bounds*: the wheel never serves an
+//! entry out of an upper level. When the minimum candidate is an upper
+//! slot's start, that slot *cascades* — its entries are re-filed, each
+//! landing at a strictly lower level — and the search repeats. Entries are
+//! only ever served from exact sources (the level-0 slot, the overflow
+//! bucket, or the batch), merged and ordered by sequence number.
+
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use crate::kernel::Pid;
+
+/// What a scheduler entry does when it fires.
+pub(crate) enum Wake {
+    /// Unpark process `pid` if its block token still matches.
+    Proc { pid: Pid, token: u64 },
+    /// Run a closure in event context (timer).
+    Timer(Box<dyn FnOnce() + Send>),
+}
+
+/// One scheduled event: fires at virtual `time`, tie-broken by `seq` (the
+/// global push order), carrying `wake`.
+pub(crate) struct Entry {
+    pub(crate) time: u64,
+    pub(crate) seq: u64,
+    pub(crate) wake: Wake,
+}
+
+// Min-heap ordering on (time, seq).
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so that BinaryHeap (a max-heap) pops the smallest.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Outcome of asking the queue for the next due entry.
+pub(crate) enum Popped {
+    /// The minimum entry; it was at or before the limit (if any).
+    Event(Entry),
+    /// The queue is non-empty but its minimum lies strictly after the
+    /// limit. The queue is left untouched.
+    Beyond,
+    /// No entries at all.
+    Empty,
+}
+
+/// Which event-queue implementation a simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Hierarchical timer wheel (default).
+    #[default]
+    Wheel,
+    /// The original binary heap, kept as the reference engine for
+    /// determinism cross-checks.
+    Heap,
+}
+
+pub(crate) enum EventQueue {
+    Wheel(TimerWheel),
+    Heap(HeapQueue),
+}
+
+impl EventQueue {
+    pub(crate) fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Wheel => EventQueue::Wheel(TimerWheel::new()),
+            QueueKind::Heap => EventQueue::Heap(HeapQueue::default()),
+        }
+    }
+
+    pub(crate) fn push(&mut self, time: u64, seq: u64, wake: Wake) {
+        match self {
+            EventQueue::Wheel(w) => w.push(time, seq, wake),
+            EventQueue::Heap(h) => h.heap.push(Entry { time, seq, wake }),
+        }
+    }
+
+    /// Pops the global minimum `(time, seq)` entry if it is at or before
+    /// `limit` (no limit: always). Both engines return the exact same
+    /// sequence of entries for the same pushes.
+    pub(crate) fn pop_due(&mut self, limit: Option<u64>) -> Popped {
+        match self {
+            EventQueue::Wheel(w) => w.pop_due(limit),
+            EventQueue::Heap(h) => match h.heap.peek() {
+                None => Popped::Empty,
+                Some(top) => {
+                    if limit.is_some_and(|d| top.time > d) {
+                        Popped::Beyond
+                    } else {
+                        Popped::Event(h.heap.pop().expect("peeked entry vanished"))
+                    }
+                }
+            },
+        }
+    }
+
+    /// Pops the next entry only if it is a timer at exactly `time` (the
+    /// instant currently being served). Used by the direct-handoff path to
+    /// drain a same-instant timer burst under one lock acquisition; pop
+    /// order is the same as repeated [`EventQueue::pop_due`] calls.
+    pub(crate) fn pop_timer_at(&mut self, time: u64) -> Option<(u64, Box<dyn FnOnce() + Send>)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_timer_at(time),
+            EventQueue::Heap(h) => {
+                match h.heap.peek() {
+                    Some(Entry {
+                        time: t,
+                        wake: Wake::Timer(_),
+                        ..
+                    }) if *t == time => {}
+                    _ => return None,
+                }
+                let Entry { seq, wake, .. } = h.heap.pop().expect("peeked entry vanished");
+                match wake {
+                    Wake::Timer(f) => Some((seq, f)),
+                    Wake::Proc { .. } => unreachable!("peeked a timer"),
+                }
+            }
+        }
+    }
+
+    /// Puts back entries returned by [`EventQueue::pop_due`] /
+    /// [`EventQueue::pop_timer_at`], restoring the queue to its pre-pop
+    /// state. Multiple entries must be put back in reverse pop order.
+    pub(crate) fn unpop(&mut self, entry: Entry) {
+        match self {
+            EventQueue::Wheel(w) => w.unpop(entry),
+            EventQueue::Heap(h) => h.heap.push(entry),
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct HeapQueue {
+    heap: BinaryHeap<Entry>,
+}
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+const LEVELS: usize = 6;
+/// Deadlines at `cur + MAX_SPAN` or later go to the overflow map.
+const MAX_SPAN: u64 = 1 << (SLOT_BITS * LEVELS as u32); // 2^36 ns ≈ 68.7 s
+
+pub(crate) struct TimerWheel {
+    /// The wheel's cursor: no entry below `cur` remains filed in the slots
+    /// (they have been served or sit in `past`). Advances to each served
+    /// instant; may run ahead of the kernel clock between pops, never
+    /// behind it.
+    cur: u64,
+    /// Total queued entries across slots, overflow, batch, and past.
+    len: usize,
+    /// Per-level slot occupancy bitmaps.
+    occ: [u64; LEVELS],
+    /// `LEVELS × SLOTS` buckets of `(time, seq, wake)`.
+    slots: Vec<Vec<(u64, u64, Wake)>>,
+    /// Far-future entries (`time − cur ≥ MAX_SPAN`), keyed by exact time.
+    overflow: BTreeMap<u64, Vec<(u64, Wake)>>,
+    /// Entries at the instant currently being served, ordered by seq.
+    /// Same-instant pushes append here directly (their seqs are globally
+    /// larger than anything already queued), so bursts at one instant cost
+    /// one sort at materialization and O(1) per push afterwards.
+    batch: VecDeque<(u64, Wake)>,
+    batch_time: u64,
+    /// Safety valve for pushes below `cur` (cannot happen through the
+    /// kernel API today, which never schedules before the virtual clock,
+    /// but kept so the wheel stays correct if that ever changes).
+    past: Vec<(u64, u64, Wake)>,
+}
+
+impl TimerWheel {
+    fn new() -> Self {
+        TimerWheel {
+            cur: 0,
+            len: 0,
+            occ: [0; LEVELS],
+            slots: std::iter::repeat_with(Vec::new)
+                .take(LEVELS * SLOTS)
+                .collect(),
+            overflow: BTreeMap::new(),
+            batch: VecDeque::new(),
+            batch_time: 0,
+            past: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, time: u64, seq: u64, wake: Wake) {
+        self.len += 1;
+        if !self.batch.is_empty() && time == self.batch_time {
+            // The instant being served: seqs only grow, so appending keeps
+            // the batch sorted.
+            self.batch.push_back((seq, wake));
+            return;
+        }
+        if time < self.cur {
+            self.past.push((time, seq, wake));
+            return;
+        }
+        self.file(time, seq, wake);
+    }
+
+    /// Files an entry (`time ≥ cur`) into a slot or the overflow map.
+    fn file(&mut self, time: u64, seq: u64, wake: Wake) {
+        let delta = time - self.cur;
+        if delta >= MAX_SPAN {
+            self.overflow.entry(time).or_default().push((seq, wake));
+            return;
+        }
+        // Level from the delta's magnitude: 64^k ≤ delta < 64^(k+1).
+        let mut k = if delta == 0 {
+            0
+        } else {
+            (63 - delta.leading_zeros()) as usize / SLOT_BITS as usize
+        };
+        // A slot index may collide with the cursor's slot while belonging
+        // to the *next* lap of this level; bump such entries one level up
+        // so every slot decodes to a single window. (At the bumped level
+        // the tick difference is ≤ 1, which cannot collide again.)
+        let tick_t = time >> (SLOT_BITS * k as u32);
+        let tick_c = self.cur >> (SLOT_BITS * k as u32);
+        if tick_t != tick_c && (tick_t & 63) == (tick_c & 63) {
+            k += 1;
+            if k == LEVELS {
+                self.overflow.entry(time).or_default().push((seq, wake));
+                return;
+            }
+        }
+        let slot = ((time >> (SLOT_BITS * k as u32)) & 63) as usize;
+        self.occ[k] |= 1 << slot;
+        self.slots[k * SLOTS + slot].push((time, seq, wake));
+    }
+
+    /// The first occupied slot of level `k` at or after the cursor, as
+    /// `(slot, start)`. `start` is exact for level 0 and a lower bound for
+    /// upper levels; for the cursor's own slot it is clamped to `cur`.
+    fn level_front(&self, k: usize) -> Option<(usize, u64)> {
+        let occ = self.occ[k];
+        if occ == 0 {
+            return None;
+        }
+        let shift = SLOT_BITS * k as u32;
+        let tick = self.cur >> shift;
+        let cs = (tick & 63) as u32;
+        let off = occ.rotate_right(cs).trailing_zeros();
+        let slot = ((cs + off) & 63) as usize;
+        let start = if off == 0 {
+            self.cur
+        } else {
+            (tick + u64::from(off)) << shift
+        };
+        Some((slot, start))
+    }
+
+    fn pop_due(&mut self, limit: Option<u64>) -> Popped {
+        if self.len == 0 {
+            return Popped::Empty;
+        }
+        loop {
+            // Exact-time candidates.
+            let mut min: Option<u64> = None;
+            let mut fold = |t: u64| match min {
+                Some(m) if m <= t => {}
+                _ => min = Some(t),
+            };
+            if !self.batch.is_empty() {
+                fold(self.batch_time);
+            }
+            if let Some(&(t, _, _)) = self.past.iter().min_by_key(|&&(t, s, _)| (t, s)) {
+                fold(t);
+            }
+            if let Some((&t, _)) = self.overflow.iter().next() {
+                fold(t);
+            }
+            fold(u64::MAX); // keep the closure used even with no exact source
+            let mut min = min.expect("folded at least once");
+            // Level candidates (lower bounds above level 0).
+            let mut cascade: Option<(usize, usize)> = None;
+            for k in 0..LEVELS {
+                if let Some((slot, start)) = self.level_front(k) {
+                    if start < min || (start == min && k >= 1 && cascade.is_none()) {
+                        if start < min {
+                            cascade = None;
+                        }
+                        min = start;
+                        if k >= 1 {
+                            cascade = Some((k, slot));
+                        }
+                    }
+                }
+            }
+            if min == u64::MAX {
+                debug_assert_eq!(self.len, 0);
+                return Popped::Empty;
+            }
+            if limit.is_some_and(|d| min > d) {
+                return Popped::Beyond;
+            }
+            if let Some((k, slot)) = cascade {
+                // The winner is an upper-level lower bound: re-file that
+                // slot's entries (each lands strictly below level k) and
+                // search again.
+                self.cur = min;
+                self.occ[k] &= !(1 << slot);
+                let moved = std::mem::take(&mut self.slots[k * SLOTS + slot]);
+                for (t, s, w) in moved {
+                    self.file(t, s, w);
+                }
+                continue;
+            }
+            // Serve at `min`: every remaining entry is at `min` exactly or
+            // strictly later.
+            self.cur = min;
+            if self.batch.is_empty() {
+                self.materialize(min);
+            }
+            debug_assert_eq!(self.batch_time, min);
+            let (seq, wake) = self.batch.pop_front().expect("served instant has entries");
+            self.len -= 1;
+            return Popped::Event(Entry {
+                time: min,
+                seq,
+                wake,
+            });
+        }
+    }
+
+    /// Collects every entry at exactly `t` (level-0 slot, overflow bucket,
+    /// past list) into the batch, ordered by seq.
+    fn materialize(&mut self, t: u64) {
+        let mut gathered: Vec<(u64, Wake)> = Vec::new();
+        let slot = (t & 63) as usize;
+        if self.occ[0] & (1 << slot) != 0 {
+            // A level-0 slot holds exactly one instant (width 1 ns).
+            self.occ[0] &= !(1 << slot);
+            for (time, seq, wake) in self.slots[slot].drain(..) {
+                debug_assert_eq!(time, t);
+                gathered.push((seq, wake));
+            }
+        }
+        if let Some(bucket) = self.overflow.remove(&t) {
+            gathered.extend(bucket);
+        }
+        if !self.past.is_empty() {
+            let mut i = 0;
+            while i < self.past.len() {
+                if self.past[i].0 == t {
+                    let (_, seq, wake) = self.past.swap_remove(i);
+                    gathered.push((seq, wake));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        gathered.sort_unstable_by_key(|&(seq, _)| seq);
+        self.batch_time = t;
+        self.batch.extend(gathered);
+    }
+
+    /// Pops the batch front if it is a timer at `time`. While an instant is
+    /// being served, every remaining entry at that instant sits in the
+    /// batch in seq order (pushes at the served instant append, with
+    /// globally larger seqs), so the front is the global minimum.
+    fn pop_timer_at(&mut self, time: u64) -> Option<(u64, Box<dyn FnOnce() + Send>)> {
+        if self.batch_time != time || !matches!(self.batch.front(), Some((_, Wake::Timer(_)))) {
+            return None;
+        }
+        let (seq, wake) = self.batch.pop_front().expect("front just matched");
+        self.len -= 1;
+        match wake {
+            Wake::Timer(f) => Some((seq, f)),
+            Wake::Proc { .. } => unreachable!("front just matched a timer"),
+        }
+    }
+
+    /// Restores the entry just returned by [`TimerWheel::pop_due`].
+    fn unpop(&mut self, entry: Entry) {
+        debug_assert!(self.batch.is_empty() || self.batch_time == entry.time);
+        self.batch_time = entry.time;
+        self.batch.push_front((entry.seq, entry.wake));
+        self.len += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn wake() -> Wake {
+        Wake::Timer(Box::new(|| {}))
+    }
+
+    /// Drains `q` fully, returning the popped (time, seq) stream.
+    fn drain(q: &mut EventQueue, limit: Option<u64>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        loop {
+            match q.pop_due(limit) {
+                Popped::Event(e) => out.push((e.time, e.seq)),
+                Popped::Beyond | Popped::Empty => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_random_streams() {
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut wheel = EventQueue::new(QueueKind::Wheel);
+            let mut heap = EventQueue::new(QueueKind::Heap);
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            let mut got_w = Vec::new();
+            let mut got_h = Vec::new();
+            for _round in 0..200 {
+                // A burst of pushes relative to the current virtual time:
+                // same-instant ties, near deadlines, skewed far deadlines,
+                // and overflow-range deadlines.
+                for _ in 0..rng.gen_range(0..8) {
+                    let delta = match rng.gen_range(0..10) {
+                        0..=3 => 0,
+                        4..=6 => rng.gen_range(0..200),
+                        7 => rng.gen_range(0..1 << 20),
+                        8 => rng.gen_range(0..MAX_SPAN),
+                        _ => MAX_SPAN + rng.gen_range(0..1 << 20),
+                    };
+                    wheel.push(now + delta, seq, wake());
+                    heap.push(now + delta, seq, wake());
+                    seq += 1;
+                }
+                // Pop a few; both must agree exactly and advance time.
+                for _ in 0..rng.gen_range(0..6) {
+                    let w = match wheel.pop_due(None) {
+                        Popped::Event(e) => Some((e.time, e.seq)),
+                        _ => None,
+                    };
+                    let h = match heap.pop_due(None) {
+                        Popped::Event(e) => Some((e.time, e.seq)),
+                        _ => None,
+                    };
+                    assert_eq!(w, h, "seed {seed}");
+                    if let Some((t, _)) = w {
+                        now = now.max(t);
+                    }
+                }
+            }
+            got_w.extend(drain(&mut wheel, None));
+            got_h.extend(drain(&mut heap, None));
+            assert_eq!(got_w, got_h, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pop_respects_limit_and_leaves_queue_intact() {
+        let mut q = EventQueue::new(QueueKind::Wheel);
+        q.push(100, 0, wake());
+        q.push(500, 1, wake());
+        assert!(matches!(q.pop_due(Some(50)), Popped::Beyond));
+        let Popped::Event(e) = q.pop_due(Some(100)) else {
+            panic!("expected the 100 ns entry");
+        };
+        assert_eq!((e.time, e.seq), (100, 0));
+        assert!(matches!(q.pop_due(Some(499)), Popped::Beyond));
+        let Popped::Event(e) = q.pop_due(None) else {
+            panic!("expected the 500 ns entry");
+        };
+        assert_eq!((e.time, e.seq), (500, 1));
+        assert!(matches!(q.pop_due(None), Popped::Empty));
+    }
+
+    #[test]
+    fn unpop_restores_pop_order() {
+        for kind in [QueueKind::Wheel, QueueKind::Heap] {
+            let mut q = EventQueue::new(kind);
+            q.push(10, 0, wake());
+            q.push(10, 1, wake());
+            q.push(20, 2, wake());
+            let Popped::Event(e) = q.pop_due(None) else {
+                panic!("expected an entry");
+            };
+            assert_eq!((e.time, e.seq), (10, 0));
+            q.unpop(e);
+            let order: Vec<_> = drain(&mut q, None);
+            assert_eq!(order, vec![(10, 0), (10, 1), (20, 2)], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn same_instant_burst_pops_in_seq_order() {
+        let mut q = EventQueue::new(QueueKind::Wheel);
+        for seq in 0..100 {
+            q.push(7, seq, wake());
+        }
+        // Push more at the same instant while serving it.
+        let Popped::Event(e) = q.pop_due(None) else {
+            panic!("expected an entry");
+        };
+        assert_eq!(e.seq, 0);
+        q.push(7, 100, wake());
+        let rest: Vec<_> = drain(&mut q, None).iter().map(|&(_, s)| s).collect();
+        assert_eq!(rest, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn far_future_entries_round_trip_through_overflow() {
+        let mut q = EventQueue::new(QueueKind::Wheel);
+        q.push(MAX_SPAN * 3 + 17, 0, wake());
+        q.push(5, 1, wake());
+        q.push(MAX_SPAN * 3 + 17, 2, wake());
+        let order = drain(&mut q, None);
+        assert_eq!(
+            order,
+            vec![(5, 1), (MAX_SPAN * 3 + 17, 0), (MAX_SPAN * 3 + 17, 2)]
+        );
+    }
+}

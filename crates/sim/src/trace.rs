@@ -71,7 +71,76 @@ pub struct TraceEvent {
     /// Correlation key stitching one request across tracks (0 = none).
     pub corr: u64,
     /// Small numeric payload (`("len", 64)`, …).
-    pub args: Vec<(&'static str, u64)>,
+    pub args: SpanArgs,
+}
+
+/// Inline argument list for trace events.
+///
+/// Every recording site passes at most a few small numeric args, so a
+/// fixed-capacity inline array keeps the hot record path free of heap
+/// allocation (the old representation boxed a `Vec` per event). Args
+/// beyond [`SpanArgs::CAP`] are dropped.
+#[derive(Clone, Copy)]
+pub struct SpanArgs {
+    len: u8,
+    items: [(&'static str, u64); SpanArgs::CAP],
+}
+
+impl SpanArgs {
+    /// Maximum number of args an event can carry.
+    pub const CAP: usize = 4;
+
+    /// Builds from a slice, keeping the first [`SpanArgs::CAP`] entries.
+    pub fn from_slice(args: &[(&'static str, u64)]) -> Self {
+        debug_assert!(args.len() <= Self::CAP, "trace args beyond CAP are dropped");
+        let mut out = SpanArgs::default();
+        for &a in args.iter().take(Self::CAP) {
+            out.items[out.len as usize] = a;
+            out.len += 1;
+        }
+        out
+    }
+
+    /// The recorded args as a slice.
+    pub fn as_slice(&self) -> &[(&'static str, u64)] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl Default for SpanArgs {
+    fn default() -> Self {
+        SpanArgs {
+            len: 0,
+            items: [("", 0); Self::CAP],
+        }
+    }
+}
+
+impl std::ops::Deref for SpanArgs {
+    type Target = [(&'static str, u64)];
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for SpanArgs {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SpanArgs {}
+
+impl PartialEq<Vec<(&'static str, u64)>> for SpanArgs {
+    fn eq(&self, other: &Vec<(&'static str, u64)>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for SpanArgs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
 }
 
 struct TraceBuf {
@@ -105,7 +174,7 @@ impl TraceState {
         track: u32,
         name: &'static str,
         corr: u64,
-        args: Vec<(&'static str, u64)>,
+        args: SpanArgs,
         sync: bool,
     ) -> u64 {
         let mut buf = self.buf.lock();
@@ -164,18 +233,11 @@ impl TraceState {
             },
             name,
             corr,
-            args: Vec::new(),
+            args: SpanArgs::default(),
         });
     }
 
-    fn instant(
-        &self,
-        t_ns: u64,
-        track: u32,
-        name: &'static str,
-        corr: u64,
-        args: Vec<(&'static str, u64)>,
-    ) {
+    fn instant(&self, t_ns: u64, track: u32, name: &'static str, corr: u64, args: SpanArgs) {
         let mut buf = self.buf.lock();
         let parent = if track != EXTERN_TRACK {
             buf.stacks
@@ -220,7 +282,7 @@ pub fn span(name: &'static str, corr: u64) -> SpanGuard {
 /// [`span`] with numeric arguments attached to the begin event.
 pub fn span_args(name: &'static str, corr: u64, args: &[(&'static str, u64)]) -> SpanGuard {
     let inner = with_trace(|st, track, now| {
-        let span = st.begin(now, track, name, corr, args.to_vec(), true);
+        let span = st.begin(now, track, name, corr, SpanArgs::from_slice(args), true);
         SpanInner {
             state: Arc::clone(st),
             kernel: current_kernel(),
@@ -240,7 +302,7 @@ pub fn instant(name: &'static str, corr: u64) {
 
 /// [`instant`] with numeric arguments.
 pub fn instant_args(name: &'static str, corr: u64, args: &[(&'static str, u64)]) {
-    with_trace(|st, track, now| st.instant(now, track, name, corr, args.to_vec()));
+    with_trace(|st, track, now| st.instant(now, track, name, corr, SpanArgs::from_slice(args)));
 }
 
 /// Opens an asynchronous span: begun now on the calling process's track,
@@ -254,7 +316,7 @@ pub fn flight_begin(
     args: &[(&'static str, u64)],
 ) -> Option<FlightSpan> {
     with_trace(|st, track, now| {
-        let span = st.begin(now, track, name, corr, args.to_vec(), false);
+        let span = st.begin(now, track, name, corr, SpanArgs::from_slice(args), false);
         FlightSpan {
             state: Arc::clone(st),
             track,

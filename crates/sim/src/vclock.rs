@@ -18,9 +18,54 @@ use std::fmt;
 ///
 /// Dense representation: entry `i` is the largest clock value of `pid#i`
 /// this clock has observed; entries beyond the vector's length are zero.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Clocks are cloned on every message send and dropped on every delivery
+/// while the race detector runs, so the slot vectors are recycled through
+/// a thread-local pool: `Clone` pulls a spare buffer instead of
+/// allocating, `Drop` returns it.
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct VectorClock {
     slots: Vec<u64>,
+}
+
+/// Spare slot buffers, recycled across clone/drop cycles. Thread-local so
+/// no lock is needed; capped so a burst cannot pin memory forever.
+const POOL_CAP: usize = 64;
+thread_local! {
+    static SLOT_POOL: std::cell::RefCell<Vec<Vec<u64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl Clone for VectorClock {
+    fn clone(&self) -> Self {
+        if self.slots.is_empty() {
+            return VectorClock::new();
+        }
+        let mut slots = SLOT_POOL
+            .try_with(|p| p.borrow_mut().pop())
+            .ok()
+            .flatten()
+            .unwrap_or_default();
+        slots.clear();
+        slots.extend_from_slice(&self.slots);
+        VectorClock { slots }
+    }
+}
+
+impl Drop for VectorClock {
+    fn drop(&mut self) {
+        if self.slots.capacity() == 0 {
+            return;
+        }
+        let slots = std::mem::take(&mut self.slots);
+        // try_with: drops during thread teardown just free the buffer.
+        let _ = SLOT_POOL.try_with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < POOL_CAP {
+                pool.push(slots);
+            }
+        });
+    }
 }
 
 impl VectorClock {
@@ -176,6 +221,29 @@ mod tests {
         padded.slots[9] = 0; // manually zero it back
         assert!(padded.is_empty());
         assert!(padded.leq(&VectorClock::new()));
+    }
+
+    #[test]
+    fn pooled_clone_is_exact_and_recycles_buffers() {
+        let mut vc = VectorClock::new();
+        vc.tick(3);
+        let c1 = vc.clone();
+        assert_eq!(c1, vc);
+        let buf = c1.slots.as_ptr();
+        drop(c1);
+        // The dropped buffer goes back to this thread's pool; the next
+        // clone reuses it instead of allocating.
+        let c2 = vc.clone();
+        assert_eq!(c2.slots.as_ptr(), buf, "clone must reuse the pooled buffer");
+        assert_eq!(c2, vc);
+        // A recycled buffer must not leak stale length: cloning a shorter
+        // clock into it yields the exact slot vector.
+        drop(c2);
+        let mut short = VectorClock::new();
+        short.tick(0);
+        let c3 = short.clone();
+        assert_eq!(c3.slots.len(), 1);
+        assert_eq!(c3, short);
     }
 
     #[test]

@@ -55,3 +55,17 @@ if ! cargo run -q --release --offline -p heron-bench --bin trace_explain -- \
   echo "  cargo run --release -p heron-bench --bin trace_explain -- --quick --seed 42" >&2
   exit 1
 fi
+
+# Perf gate: a short fixed-work scheduler run (DESIGN.md §12). Fails if the
+# fast engine's measured speedup over the reference engine (heap queue,
+# host-mediated wakeups) drops below the floor committed in
+# bench_results/BENCH_scheduler.json — i.e. a >20 % events/sec regression
+# against the recorded baseline. Gating on the speedup ratio, not absolute
+# events/sec, keeps the gate stable across machines. Every gate run also
+# re-proves the engines execute bit-identical schedules.
+if ! cargo run -q --release --offline -p heron-bench --bin sched_bench -- \
+    --gate --quick; then
+  echo "tier1: scheduler perf gate FAILED — remeasure with:" >&2
+  echo "  cargo run --release -p heron-bench --bin sched_bench -- --quick" >&2
+  exit 1
+fi
