@@ -16,7 +16,7 @@
 //! history, store divergence, or stall). A failure is shrunk to a minimal
 //! reproduction and the failing seed is printed for replay.
 
-use heron_bench::chaos::{run, scenario_for_seed, shrink, RunResult};
+use heron_bench::chaos::{parallel_scenario_for_seed, run, scenario_for_seed, shrink, RunResult};
 use heron_bench::{banner, quick_mode};
 
 fn arg_value(name: &str) -> Option<u64> {
@@ -42,31 +42,38 @@ fn main() {
     }
 
     let mut failures = Vec::new();
-    for k in 0..schedules {
-        let seed = base_seed + k;
-        let sc = scenario_for_seed(seed, quick);
+    // Serial scenarios, then the same seeds through a width-4 executor
+    // pool (crash mid-batch / state transfer with workers in flight).
+    let scenarios = (0..schedules)
+        .map(|k| scenario_for_seed(base_seed + k, quick))
+        .chain((0..schedules).map(|k| parallel_scenario_for_seed(base_seed + k, quick)));
+    for sc in scenarios {
+        let seed = sc.seed;
+        let width = sc.width;
         let result = run(&sc);
         match &result {
             RunResult::Pass { ops } => {
                 println!(
-                    "seed {seed}: PASS — {ops} ops, {} fault clauses {:?}",
+                    "seed {seed} (width {width}): PASS — {ops} ops, {} fault clauses {:?}",
                     sc.clauses.len(),
                     sc.clauses
                 );
             }
             RunResult::Stalled { pending } => {
-                println!("seed {seed}: STALL — {pending} operations never completed");
+                println!(
+                    "seed {seed} (width {width}): STALL — {pending} operations never completed"
+                );
                 failures.push((sc, result));
             }
             RunResult::Failed(v) => {
-                println!("seed {seed}: FAIL — {v}");
+                println!("seed {seed} (width {width}): FAIL — {v}");
                 failures.push((sc, result));
             }
         }
     }
 
     if failures.is_empty() {
-        println!("chaos suite: all {schedules} schedules passed");
+        println!("chaos suite: all {schedules} schedules passed (serial + width-4 pool)");
         return;
     }
 

@@ -1,0 +1,128 @@
+//! **P-SMR scaling** — TPC-C fixed-work throughput as the per-replica
+//! executor pool widens, at several conflict levels.
+//!
+//! Each partition hosts `wpp` warehouses; the conflict-key dispatcher can
+//! only overlap commands whose key sets are disjoint, so `wpp` is the
+//! conflict knob: 1 warehouse per partition keeps the paper's deployment
+//! (high conflict — every NewOrder shares the warehouse's coarse stock
+//! token), 8 warehouses per partition gives the pool 8 disjoint stock
+//! classes and 80 district classes to exploit (low conflict).
+//!
+//! ```text
+//! cargo run -p heron-bench --release --bin psmr_scaling [-- OPTIONS]
+//!   --quick   smaller fixed workload
+//!   --gate    exit nonzero unless width-8 low-conflict speedup ≥ 2.5× and
+//!             the geomean width-8 speedup across conflict levels ≥ 1.5×
+//! ```
+//!
+//! Results land in `bench_results/BENCH_psmr.json`.
+
+use heron_bench::{banner, quick_mode, run_heron, write_results, Json, RunConfig, Workload};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+const WPPS: [u16; 3] = [1, 2, 8];
+
+fn main() {
+    let wall_start = std::time::Instant::now();
+    let quick = quick_mode();
+    let gate = std::env::args().any(|a| a == "--gate");
+    banner(
+        "P-SMR scaling: executor-pool width x conflict rate on TPC-C",
+        "dependency-aware dispatch; fixed work per cell",
+    );
+    let requests: u64 = if quick { 30 } else { 120 };
+    println!(
+        "{:<22} {:>8} {:>12} {:>10} {:>10}",
+        "conflict level", "width", "tps", "speedup", "mean lat"
+    );
+
+    let mut out = Json::obj();
+    out.set("figure", "psmr");
+    out.set("quick", quick);
+    out.set(
+        "widths",
+        WIDTHS.iter().map(|&w| w as u64).collect::<Vec<_>>(),
+    );
+    let mut sweeps = Vec::new();
+    // speedup at width 8 per conflict level, low conflict last.
+    let mut top_speedups = Vec::new();
+    for &wpp in &WPPS {
+        let label = match wpp {
+            1 => "high (1 wh/part)",
+            2 => "medium (2 wh/part)",
+            _ => "low (8 wh/part)",
+        };
+        let mut tps = Vec::new();
+        let mut speedups = Vec::new();
+        let mut base = 0.0f64;
+        for &width in &WIDTHS {
+            // Batched ordering (PR 1) lifts the delivery ceiling well above
+            // the serial executor's capacity — unbatched, the amcast groups
+            // saturate near 100k/s each and every width ≥ 2 measures the
+            // same ordering-bound plateau instead of execution scaling.
+            let mut cfg = RunConfig::new(2, 3, Workload::Tpcc)
+                .with_warehouses_per_partition(wpp)
+                .with_width(width)
+                .with_max_batch(8)
+                .with_requests(requests);
+            // The pool needs enough outstanding requests to fill its
+            // workers; closed-loop clients carry one request each, and the
+            // serial baseline must be queue-bound (not client-bound) for
+            // the width sweep to measure execution capacity.
+            cfg.clients = 96;
+            let s = run_heron(&cfg);
+            if width == 1 {
+                base = s.tps;
+            }
+            let speedup = s.tps / base;
+            println!(
+                "{:<22} {:>8} {:>12.0} {:>9.2}x {:>10.2?}",
+                label, width, s.tps, speedup, s.mean
+            );
+            tps.push(s.tps);
+            speedups.push(speedup);
+        }
+        top_speedups.push(*speedups.last().expect("width sweep nonempty"));
+        let mut sweep = Json::obj();
+        sweep.set("conflict", label);
+        sweep.set("warehouses_per_partition", wpp as u64);
+        sweep.set("tps", tps);
+        sweep.set("speedup", speedups);
+        sweeps.push(sweep);
+    }
+    let low_conflict_speedup = *top_speedups.last().expect("conflict sweep nonempty");
+    let geomean =
+        (top_speedups.iter().map(|s| s.ln()).sum::<f64>() / top_speedups.len() as f64).exp();
+    println!(
+        "\nwidth-8 speedup: low conflict {low_conflict_speedup:.2}x, \
+         geomean across conflict levels {geomean:.2}x"
+    );
+
+    out.set("requests_per_client", requests);
+    out.set("sweeps", Json::Arr(sweeps));
+    out.set("width8_low_conflict_speedup", low_conflict_speedup);
+    out.set("width8_geomean_speedup", geomean);
+    out.set("wall_clock_s", wall_start.elapsed().as_secs_f64());
+    write_results("BENCH_psmr.json", &out).expect("write bench_results/BENCH_psmr.json");
+
+    if gate {
+        // Quick mode shrinks the fixed workload, so startup (bootstrap,
+        // cold caches) weighs more; relax the floor accordingly.
+        let (need_low, need_geo) = if quick { (2.0, 1.2) } else { (2.5, 1.5) };
+        let mut failed = false;
+        if low_conflict_speedup < need_low {
+            println!(
+                "GATE FAIL: width-8 low-conflict speedup {low_conflict_speedup:.2}x < {need_low}x"
+            );
+            failed = true;
+        }
+        if geomean < need_geo {
+            println!("GATE FAIL: width-8 geomean speedup {geomean:.2}x < {need_geo}x");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("gate: OK (low-conflict ≥ {need_low}x, geomean ≥ {need_geo}x)");
+    }
+}

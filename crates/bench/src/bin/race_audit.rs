@@ -53,6 +53,29 @@ fn schedules(base_seed: u64, quick: bool) -> Vec<(&'static str, RunConfig)> {
             "chaos-tpcc-2p",
             shape(4, 2, Workload::Tpcc).with_crash(down, up),
         ),
+        // P-SMR: fig5-shaped parallel execution — pool workers share the
+        // dual-version store and write disjoint coordination lanes; the
+        // detector must see no races at any width, including under a
+        // crash/recovery with workers in flight.
+        (
+            "psmr-tpcc-2p-w2",
+            shape(5, 2, Workload::Tpcc)
+                .with_warehouses_per_partition(8)
+                .with_width(2),
+        ),
+        (
+            "psmr-tpcc-2p-w4",
+            shape(6, 2, Workload::Tpcc)
+                .with_warehouses_per_partition(8)
+                .with_width(4),
+        ),
+        (
+            "psmr-tpcc-2p-w8",
+            shape(7, 2, Workload::Tpcc)
+                .with_warehouses_per_partition(8)
+                .with_width(8)
+                .with_crash(down, up),
+        ),
     ]
 }
 
@@ -102,21 +125,25 @@ fn main() {
 
     // Determinism cross-check: the detector must not perturb the schedule.
     // Same seed with the detector off must execute the exact same number
-    // of simulator events and complete the same work.
-    let mut on = schedules(base_seed, quick).swap_remove(2).1;
-    let mut off = on.clone();
-    off.race_detector = false;
-    on.seed = base_seed + 100;
-    off.seed = base_seed + 100;
-    let (son, soff) = (run_heron(&on), run_heron(&off));
-    println!(
-        "determinism: detector on {} events / {:.0} tps, off {} events / {:.0} tps \
-         (wall {:.0} ms vs {:.0} ms)",
-        son.events, son.tps, soff.events, soff.tps, son.wall_ms, soff.wall_ms
-    );
-    if son.events != soff.events || son.tps != soff.tps {
-        println!("FAIL: enabling the detector changed the schedule");
-        failed = true;
+    // of simulator events and complete the same work. Checked on the
+    // serial fig4 shape and on a width-4 pool shape — the pool adds
+    // instrumented regions (lanes, progress words) that must stay free.
+    for (which, idx) in [("serial", 2usize), ("psmr-w4", 6usize)] {
+        let mut on = schedules(base_seed, quick).swap_remove(idx).1;
+        let mut off = on.clone();
+        off.race_detector = false;
+        on.seed = base_seed + 100;
+        off.seed = base_seed + 100;
+        let (son, soff) = (run_heron(&on), run_heron(&off));
+        println!(
+            "determinism [{which}]: detector on {} events / {:.0} tps, off {} events / {:.0} tps \
+             (wall {:.0} ms vs {:.0} ms)",
+            son.events, son.tps, soff.events, soff.tps, son.wall_ms, soff.wall_ms
+        );
+        if son.events != soff.events || son.tps != soff.tps {
+            println!("FAIL: enabling the detector changed the {which} schedule");
+            failed = true;
+        }
     }
 
     if failed {

@@ -97,6 +97,16 @@ impl StateMachine for Bank {
         }
     }
 
+    fn conflict_keys(&self, req: &[u8]) -> Vec<u64> {
+        // One conflict class per account: transfers on disjoint account
+        // pairs commute, so a parallel executor pool may run them
+        // concurrently — exactly what the checker then has to vet.
+        match req[0] {
+            OP_TRANSFER => vec![arg(req, 0), arg(req, 1)],
+            _ => vec![arg(req, 0)],
+        }
+    }
+
     fn execute(
         &self,
         partition: PartitionId,
@@ -231,6 +241,9 @@ pub struct Scenario {
     pub requests: u64,
     /// The fault plan, as individually removable clauses.
     pub clauses: Vec<Clause>,
+    /// Executor-pool width per replica (1 = the serial executor; the
+    /// legacy scenarios use 1 so their schedule hashes are unchanged).
+    pub width: usize,
     /// Checker self-test hook: corrupt `(partition, replica, object)`
     /// after the run, before checking. `None` in normal operation.
     pub corrupt: Option<(u16, usize, u64)>,
@@ -347,8 +360,40 @@ pub fn scenario_for_seed(seed: u64, quick: bool) -> Scenario {
         clients,
         requests,
         clauses,
+        width: 1,
         corrupt: None,
     }
+}
+
+/// Derives a *parallel-execution* chaos scenario for a seed: the same bank
+/// deployment driven through a width-4 executor pool, with fault clauses
+/// biased toward the two interactions the pool adds — a replica crashing
+/// while a batch of commands is spread across its workers, and a state
+/// transfer racing workers still in flight (the responder must quiesce the
+/// pool before snapshotting, the requester must cover the parked workers).
+pub fn parallel_scenario_for_seed(seed: u64, quick: bool) -> Scenario {
+    let mut sc = scenario_for_seed(seed, quick);
+    sc.width = 4;
+    let mut rng = seed ^ 0xA0761D6478BD642F;
+    let horizon = sc.requests * 120;
+    let victims: Vec<usize> = (0..sc.partitions)
+        .map(|_| (splitmix(&mut rng) as usize) % sc.replicas)
+        .collect();
+    // Crash mid-batch: fire well inside the steady-state window so the
+    // victim's pool almost certainly has in-flight workers, then recover
+    // in time to force a state transfer against a still-running pool.
+    sc.clauses = (0..sc.partitions)
+        .map(|p| {
+            let at = horizon / 4 + splitmix(&mut rng) % (horizon / 4);
+            Clause::Crash {
+                p: p as u16,
+                r: victims[p],
+                at_us: at,
+                recover_us: at + horizon / 8 + splitmix(&mut rng) % (horizon / 4),
+            }
+        })
+        .collect();
+    sc
 }
 
 fn build_plan(sc: &Scenario, cluster: &HeronCluster) -> FaultPlan {
@@ -426,7 +471,11 @@ pub fn run_with_engine(sc: &Scenario, engine: sim::EngineConfig) -> (RunResult, 
         partitions: sc.partitions as u16,
         accounts: sc.accounts,
     });
-    let cluster = HeronCluster::build(&fabric, HeronConfig::new(sc.partitions, sc.replicas), bank);
+    let cluster = HeronCluster::build(
+        &fabric,
+        HeronConfig::new(sc.partitions, sc.replicas).with_executor_width(sc.width),
+        bank,
+    );
     cluster.spawn(&simulation);
     build_plan(sc, &cluster).arm(&simulation, &fabric);
 
@@ -554,6 +603,17 @@ mod tests {
         match run(&sc) {
             RunResult::Pass { ops } => assert!(ops > 0),
             other => panic!("seed 1 must pass, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_parallel_scenario_passes() {
+        let sc = parallel_scenario_for_seed(1, true);
+        assert_eq!(sc.width, 4);
+        assert!(!sc.clauses.is_empty());
+        match run(&sc) {
+            RunResult::Pass { ops } => assert!(ops > 0),
+            other => panic!("parallel seed 1 must pass, got {other:?}"),
         }
     }
 

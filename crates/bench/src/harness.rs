@@ -33,8 +33,14 @@ pub enum Workload {
 pub struct RunConfig {
     /// Simulation seed.
     pub seed: u64,
-    /// Partitions (= warehouses).
+    /// Partitions.
     pub partitions: usize,
+    /// Warehouses hosted by each partition (TPC-C workloads; default 1,
+    /// the paper's shape). More than one gives a parallel executor pool
+    /// disjoint conflict classes to exploit.
+    pub warehouses_per_partition: u16,
+    /// Executor-pool width per replica (1 = the serial executor).
+    pub executor_width: usize,
     /// Replicas per partition.
     pub replicas: usize,
     /// Closed-loop clients.
@@ -88,6 +94,8 @@ impl RunConfig {
         RunConfig {
             seed: 42,
             partitions,
+            warehouses_per_partition: 1,
+            executor_width: 1,
             replicas,
             // The paper saturates at ~2 outstanding requests per
             // partition (53 ktps × 35.7 µs ≈ 1.9 at 2P); a few clients per
@@ -107,6 +115,21 @@ impl RunConfig {
             crash: None,
             engine: sim::EngineConfig::default(),
         }
+    }
+
+    /// Sets the executor-pool width per replica.
+    #[must_use]
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.executor_width = width;
+        self
+    }
+
+    /// Sets how many warehouses each partition hosts (TPC-C workloads).
+    #[must_use]
+    pub fn with_warehouses_per_partition(mut self, wpp: u16) -> Self {
+        assert!(wpp >= 1, "at least one warehouse per partition");
+        self.warehouses_per_partition = wpp;
+        self
     }
 
     /// Selects the scheduler engine (determinism cross-checks only).
@@ -260,13 +283,16 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
     let wall_start = std::time::Instant::now();
     let simulation = sim::Simulation::with_engine(cfg.seed, cfg.engine);
     let fabric = Fabric::new(LatencyModel::connectx4());
+    let warehouses = cfg.partitions as u16 * cfg.warehouses_per_partition;
     let app: Arc<dyn StateMachine> = match cfg.workload {
         Workload::Tpcc | Workload::TpccLocal => {
-            Arc::new(TpccApp::new(cfg.scale, cfg.partitions as u16))
+            Arc::new(TpccApp::new(cfg.scale, warehouses).with_partitions(cfg.partitions as u16))
         }
         Workload::Null | Workload::NullLocal => Arc::new(NullApp::new(cfg.partitions as u16)),
     };
-    let mut hcfg = HeronConfig::new(cfg.partitions, cfg.replicas).with_max_clients(cfg.clients + 2);
+    let mut hcfg = HeronConfig::new(cfg.partitions, cfg.replicas)
+        .with_max_clients(cfg.clients + 2)
+        .with_executor_width(cfg.executor_width);
     if let Some(delta) = cfg.wait_for_all {
         hcfg = hcfg.with_wait_for_all(delta);
     }
@@ -303,11 +329,11 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
         let seed = cfg.seed * 1000 + c as u64;
         let live = live_clients.clone();
         simulation.spawn(format!("client-{c}"), move || {
-            let mut gen = tpcc::TpccGen::new(scale, partitions, seed);
+            let mut gen = tpcc::TpccGen::new(scale, warehouses, seed);
             if workload == Workload::TpccLocal {
                 gen.local_only = true;
             }
-            let home = (c as u16 % partitions) + 1;
+            let home = (c as u16 % warehouses) + 1;
             let mut issued = 0u64;
             loop {
                 match fixed_requests {
@@ -321,16 +347,18 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
                     }
                     Workload::Null => {
                         // Mirror the TPC-C destination distribution.
-                        let dests: Vec<PartitionId> = gen
+                        let mut dests: Vec<PartitionId> = gen
                             .next(home)
                             .warehouses()
                             .into_iter()
-                            .map(|w| PartitionId(w - 1))
+                            .map(|w| PartitionId((w - 1) % partitions))
                             .collect();
+                        dests.sort_unstable();
+                        dests.dedup();
                         client.execute_on(&NullApp::request(&dests), &dests);
                     }
                     Workload::NullLocal => {
-                        let dests = [PartitionId(home - 1)];
+                        let dests = [PartitionId((home - 1) % partitions)];
                         client.execute_on(&NullApp::request(&dests), &dests);
                     }
                 }

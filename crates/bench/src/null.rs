@@ -49,6 +49,13 @@ impl StateMachine for NullApp {
         vec![]
     }
 
+    fn conflict_keys(&self, _req: &[u8]) -> Vec<u64> {
+        // Null requests read and write nothing: they commute with
+        // everything, so a parallel executor pool may run them all
+        // concurrently.
+        vec![]
+    }
+
     fn execute(
         &self,
         _partition: PartitionId,

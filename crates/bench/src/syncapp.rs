@@ -70,6 +70,12 @@ impl StateMachine for SyncApp {
         }
     }
 
+    fn conflict_keys(&self, req: &[u8]) -> Vec<u64> {
+        // Every request names exactly one object; requests on distinct
+        // objects commute.
+        vec![u64::from_le_bytes(req[1..9].try_into().expect("oid"))]
+    }
+
     fn execute(
         &self,
         partition: PartitionId,

@@ -61,6 +61,24 @@ fn fig4_shape_is_engine_invariant() {
     );
 }
 
+/// An explicit executor width of 1 runs the serial executor under the
+/// original process names and memory layout: the schedule fingerprint must
+/// be bit-identical to a run that never mentions the pool. This pins the
+/// P-SMR plumbing (pool spawn path, conflict-key extraction, coordination
+/// lanes, progress region) to zero overhead at width 1.
+#[test]
+fn width1_is_schedule_identical_to_serial() {
+    let cfg = RunConfig::new(2, 3, Workload::Tpcc).with_requests(30);
+    let serial = run_heron(&cfg);
+    let pooled = run_heron(&cfg.clone().with_width(1));
+    assert_eq!(
+        (serial.schedule_hash, serial.events, serial.virtual_ns),
+        (pooled.schedule_hash, pooled.events, pooled.virtual_ns),
+        "explicit width-1 run diverged from the serial executor"
+    );
+    assert_ne!(serial.schedule_hash, 0, "schedule hash must be populated");
+}
+
 /// Chaos scenarios (seeded fault plans through the consistency checker)
 /// reach the same verdict and schedule hash on every engine, across the
 /// seed range the tier-1 chaos gate sweeps.

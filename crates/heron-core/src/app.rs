@@ -103,6 +103,21 @@ pub trait StateMachine: Send + Sync + 'static {
     /// priori as the paper assumes.
     fn read_set(&self, request: &[u8]) -> Vec<ObjectId>;
 
+    /// The request's *conflict key-set* for parallel execution (P-SMR,
+    /// Marandi et al.): two delivered commands may execute concurrently on
+    /// one replica iff their key-sets are disjoint; overlapping commands
+    /// apply in delivery order. Keys are opaque tokens — workloads derive
+    /// them from whatever statically identifies the state a command may
+    /// touch (TPC-C uses warehouse/district ids).
+    ///
+    /// The default declares a single universal key, serializing every
+    /// command — always safe, no parallelism. An *empty* set means the
+    /// command conflicts with nothing (read-only against immutable state).
+    fn conflict_keys(&self, request: &[u8]) -> Vec<u64> {
+        let _ = request;
+        vec![0]
+    }
+
     /// The read set as seen by one involved partition. Defaults to
     /// [`StateMachine::read_set`]; workloads that *partially execute*
     /// requests in some partitions (the paper's TPC-C does — §IV-A)

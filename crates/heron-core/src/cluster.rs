@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use rdma_sim::{Addr, Fabric, Node, NodeId, QueuePair};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Progress accounting for an in-flight inbound state transfer.
@@ -48,9 +48,10 @@ pub(crate) struct ReplicaShared {
     pub last_req: AtomicU64,
     /// Raw timestamp of the last request whose write phase finished.
     pub completed_req: AtomicU64,
-    /// True while the executor is inside a write phase; state-transfer
-    /// responders wait it out so they snapshot request boundaries.
-    pub in_write_phase: AtomicBool,
+    /// Number of executors currently inside a write phase (at most 1
+    /// serial; one per worker with a pool); state-transfer responders wait
+    /// for it to reach zero so they snapshot request boundaries.
+    pub in_write_phase: AtomicU64,
     /// Cached remote slot addresses: `(oid, node) → (addr, cap)` —
     /// the paper's `object_map`.
     pub object_map: Mutex<HashMap<(ObjectId, NodeId), (Addr, usize)>>,
@@ -181,12 +182,18 @@ impl HeronCluster {
             let mut row = Vec::with_capacity(n);
             for i in 0..n {
                 let node = inner.nodes[p][i].clone();
+                // One coordination lane per pool worker: every writer
+                // (partition, replica, lane) owns a private entry, so
+                // concurrent workers never overwrite each other's barrier
+                // state. Width 1 is byte-identical to the pre-pool layout.
                 let layout = ReplicaLayout {
-                    coord: node.alloc_bytes(cfg.partitions * n * COORD_ENTRY),
+                    coord: node.alloc_bytes(cfg.partitions * n * cfg.executor_width * COORD_ENTRY),
+                    coord_width: cfg.executor_width,
                     statesync: node.alloc_bytes(n * SYNC_ENTRY),
                     ring: node.alloc_bytes(cfg.transfer_slots * (CHUNK_HDR + cfg.transfer_chunk)),
                     applied: node.alloc_words(1),
                     doorbell: node.alloc_words(1),
+                    progress: node.alloc_words(cfg.partitions * n),
                 };
                 if let Some(det) = &inner.detector {
                     use rdma_sim::RegionKind::{Staging, Sync};
@@ -194,7 +201,7 @@ impl HeronCluster {
                     det.annotate(
                         &node,
                         layout.coord,
-                        cfg.partitions * n * COORD_ENTRY,
+                        cfg.partitions * n * cfg.executor_width * COORD_ENTRY,
                         Sync,
                         tag("coord"),
                     );
@@ -214,6 +221,13 @@ impl HeronCluster {
                     );
                     det.annotate(&node, layout.applied, 8, Sync, tag("applied"));
                     det.annotate(&node, layout.doorbell, 8, Sync, tag("doorbell"));
+                    det.annotate(
+                        &node,
+                        layout.progress,
+                        cfg.partitions * n * 8,
+                        Sync,
+                        tag("progress"),
+                    );
                 }
                 let mut store = VersionedStore::new(node.clone());
                 if let Some(det) = &inner.detector {
@@ -232,7 +246,7 @@ impl HeronCluster {
                     log: Mutex::new(Vec::new()),
                     last_req: AtomicU64::new(0),
                     completed_req: AtomicU64::new(0),
-                    in_write_phase: AtomicBool::new(false),
+                    in_write_phase: AtomicU64::new(0),
                     object_map: Mutex::new(HashMap::new()),
                     addr_heard: Mutex::new(HashMap::new()),
                     transfer: Mutex::new(TransferProgress::default()),
@@ -259,9 +273,16 @@ impl HeronCluster {
             for i in 0..self.inner.cfg.replicas_per_partition {
                 let shared = Arc::clone(&self.replicas[p][i]);
                 let deliveries = self.inner.mcast.deliveries(GroupId(p as u16), i);
-                simulation.spawn(format!("heron-exec-p{p}r{i}"), move || {
-                    Executor::new(shared, deliveries).run()
-                });
+                if self.inner.cfg.executor_width == 1 {
+                    // Serial executor, spawned under the same name in the
+                    // same order as ever: width 1 is schedule-hash
+                    // bit-identical to the pre-pool system.
+                    simulation.spawn(format!("heron-exec-p{p}r{i}"), move || {
+                        Executor::new(shared, deliveries).run()
+                    });
+                } else {
+                    crate::executor::spawn_pool(simulation, shared, deliveries, p, i);
+                }
                 let shared = Arc::clone(&self.replicas[p][i]);
                 simulation.spawn(format!("heron-svc-p{p}r{i}"), move || {
                     Service::new(shared).run()

@@ -58,6 +58,13 @@ pub struct HeronConfig {
     pub transfer_timeout: Duration,
     /// Multi-partition execution strategy (paper §III-D2).
     pub execution_mode: ExecutionMode,
+    /// Executor pool width per replica (P-SMR). `1` (the default) runs the
+    /// serial executor and is schedule-hash bit-identical to the
+    /// pre-pool system; widths above 1 spawn that many virtual-time
+    /// worker processes fed by a dependency-aware dispatcher that chains
+    /// commands with overlapping [`crate::StateMachine::conflict_keys`]
+    /// in delivery order and runs independent commands concurrently.
+    pub executor_width: usize,
     /// Enables the Sim-TSan happens-before race detector on the fabric:
     /// shadow memory behind every verb, region annotations for all of
     /// Heron's coordination memory, and the protocol lints. Off by
@@ -103,6 +110,7 @@ impl HeronConfig {
             deser_ns_per_kib: 2_290,
             transfer_timeout: Duration::from_millis(5),
             execution_mode: ExecutionMode::default(),
+            executor_width: 1,
             race_detector: false,
             tracing: false,
             break_dual_version_guard: false,
@@ -137,6 +145,19 @@ impl HeronConfig {
     #[must_use]
     pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
         self.execution_mode = mode;
+        self
+    }
+
+    /// Sets the executor pool width per replica (see
+    /// [`HeronConfig::executor_width`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn with_executor_width(mut self, width: usize) -> Self {
+        assert!(width >= 1, "executor_width must be at least 1");
+        self.executor_width = width;
         self
     }
 

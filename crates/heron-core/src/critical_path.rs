@@ -93,6 +93,11 @@ pub struct Attribution {
     pub n: u64,
     /// Mean multicast-submit → delivery, ns.
     pub ordering_ns: u64,
+    /// Mean delivery → executor-pickup dispatch wait (P-SMR pool), ns.
+    /// Zero on the serial width-1 path. Carried as an `exec.request` arg,
+    /// not a child span: dispatch waits of concurrent commands overlap
+    /// across workers and would not nest as spans.
+    pub parallel_ns: u64,
     /// Mean Phase 2 + Phase 4 barrier time, ns.
     pub coordination_ns: u64,
     /// Mean execution (read + compute + write), ns.
@@ -141,10 +146,12 @@ pub fn attribute_where(events: &[TraceEvent], keep: impl Fn(u64) -> bool) -> Att
         }
         a.n += 1;
         a.ordering_ns += s.arg("ordering_ns").unwrap_or(0);
+        a.parallel_ns += s.arg("parallel_ns").unwrap_or(0);
         a.coordination_ns += coord.get(&s.id).copied().unwrap_or(0);
         a.execution_ns += exec.get(&s.id).copied().unwrap_or(0);
     }
     a.ordering_ns = a.ordering_ns.checked_div(a.n).unwrap_or(0);
+    a.parallel_ns = a.parallel_ns.checked_div(a.n).unwrap_or(0);
     a.coordination_ns = a.coordination_ns.checked_div(a.n).unwrap_or(0);
     a.execution_ns = a.execution_ns.checked_div(a.n).unwrap_or(0);
     a
@@ -235,11 +242,18 @@ pub fn critical_paths(events: &[TraceEvent]) -> Vec<RequestPath> {
             let (p2, p4) = coord.get(&h.id).copied().unwrap_or((0, 0));
             let e = exec.get(&h.id).copied().unwrap_or(0);
             let ordering = h.arg("ordering_ns").unwrap_or(0);
-            let accounted = ordering + p2 + e + p4;
+            let parallel = h.arg("parallel_ns").unwrap_or(0);
+            let accounted = ordering + parallel + p2 + e + p4;
             segments.push(PathSegment {
                 name: "ordering",
                 ns: ordering,
             });
+            if parallel > 0 {
+                segments.push(PathSegment {
+                    name: "execute.parallel",
+                    ns: parallel,
+                });
+            }
             if p2 + p4 > 0 {
                 segments.push(PathSegment {
                     name: "phase2",
@@ -409,5 +423,52 @@ mod tests {
         );
         let sum: u64 = p.segments.iter().map(|s| s.ns).sum();
         assert_eq!(sum, p.total_ns, "segments account for the whole latency");
+    }
+
+    /// With an executor pool the `exec.request` span carries a
+    /// `parallel_ns` arg (dispatch wait); it must surface as its own
+    /// segment and the decomposition must still sum exactly.
+    #[test]
+    fn parallel_wait_is_attributed_and_sums_exactly() {
+        use EventKind::{Begin, End, Instant};
+        let events = vec![
+            ev(Begin, 0, 9, 1, 0, "client.request", 0, &[]),
+            ev(
+                Begin,
+                42,
+                2,
+                2,
+                0,
+                "exec.request",
+                5,
+                &[
+                    ("partition", 0),
+                    ("partitions", 1),
+                    ("ordering_ns", 30),
+                    ("parallel_ns", 12),
+                ],
+            ),
+            ev(Begin, 42, 2, 3, 2, "exec.execute", 5, &[]),
+            ev(End, 67, 2, 3, 2, "exec.execute", 5, &[]),
+            ev(Instant, 68, 2, 0, 2, "exec.reply", 5, &[]),
+            ev(End, 69, 2, 2, 0, "exec.request", 5, &[]),
+            ev(End, 100, 9, 1, 0, "client.request", 5, &[]),
+        ];
+        let a = attribute(&events, Some(1));
+        assert_eq!((a.n, a.ordering_ns, a.parallel_ns), (1, 30, 12));
+        let paths = critical_paths(&events);
+        let p = &paths[0];
+        let by_name: Vec<(&str, u64)> = p.segments.iter().map(|s| (s.name, s.ns)).collect();
+        assert_eq!(
+            by_name,
+            [
+                ("ordering", 30),
+                ("execute.parallel", 12),
+                ("execute", 25),
+                ("reply+other", 33)
+            ]
+        );
+        let sum: u64 = p.segments.iter().map(|s| s.ns).sum();
+        assert_eq!(sum, p.total_ns);
     }
 }

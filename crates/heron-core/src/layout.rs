@@ -46,13 +46,33 @@ pub(crate) struct ReplicaLayout {
     pub ring: Addr,
     pub applied: Addr,
     pub doorbell: Addr,
+    /// Completed-prefix watermarks: one word per replica of every
+    /// partition, written by that replica with a one-sided write whenever
+    /// its hole-free completed prefix advances. Only consulted when
+    /// `coord_width > 1` — with a pool, a coordination lane moving beyond
+    /// `ts` no longer implies `ts` finished there (a later non-conflicting
+    /// command may coordinate first), so barrier checks need this explicit
+    /// evidence instead.
+    pub progress: Addr,
+    /// Executor-pool width the coordination region was sized for: each
+    /// writer replica owns `coord_width` *lanes* (one per pool worker),
+    /// each a [`COORD_ENTRY`]. At width 1 the region is byte-identical to
+    /// the pre-pool layout.
+    pub coord_width: usize,
 }
 
 impl ReplicaLayout {
-    /// Entry written by replica `q` of partition `h` (with `n` replicas
-    /// per partition).
-    pub fn coord_slot(&self, h: usize, q: usize, n: usize) -> Addr {
-        self.coord.offset(((h * n + q) * COORD_ENTRY) as u64)
+    /// Entry written by worker `lane` of replica `q` of partition `h`
+    /// (with `n` replicas per partition). Each lane has a single writer
+    /// process, and a worker's dispatch order makes its lane's timestamps
+    /// strictly increasing — the monotonicity [`coord_slot`] readers rely
+    /// on, preserved per lane rather than per replica.
+    ///
+    /// [`coord_slot`]: Self::coord_slot
+    pub fn coord_slot(&self, h: usize, q: usize, lane: usize, n: usize) -> Addr {
+        debug_assert!(lane < self.coord_width);
+        self.coord
+            .offset((((h * n + q) * self.coord_width + lane) * COORD_ENTRY) as u64)
     }
 
     /// State-transfer entry of requester `p`.
@@ -64,6 +84,12 @@ impl ReplicaLayout {
     pub fn ring_slot(&self, stamp: u64, slots: usize, chunk: usize) -> Addr {
         let idx = ((stamp - 1) as usize) % slots;
         self.ring.offset((idx * (CHUNK_HDR + chunk)) as u64)
+    }
+
+    /// Completed-prefix watermark published by replica `q` of partition
+    /// `h` (with `n` replicas per partition).
+    pub fn progress_slot(&self, h: usize, q: usize, n: usize) -> Addr {
+        self.progress.offset(((h * n + q) * WORD) as u64)
     }
 }
 
@@ -265,12 +291,41 @@ mod tests {
             ring: Addr(0),
             applied: Addr(0),
             doorbell: Addr(0),
+            progress: Addr(0),
+            coord_width: 1,
         };
-        let a = l.coord_slot(0, 0, 3);
-        let b = l.coord_slot(0, 1, 3);
-        let c = l.coord_slot(1, 0, 3);
+        let a = l.coord_slot(0, 0, 0, 3);
+        let b = l.coord_slot(0, 1, 0, 3);
+        let c = l.coord_slot(1, 0, 0, 3);
         assert_eq!(b.0 - a.0, COORD_ENTRY as u64);
         assert_eq!(c.0 - a.0, (3 * COORD_ENTRY) as u64);
+    }
+
+    #[test]
+    fn coord_lanes_are_disjoint_and_width1_matches_legacy() {
+        let wide = ReplicaLayout {
+            coord: Addr(0),
+            statesync: Addr(0),
+            ring: Addr(0),
+            applied: Addr(0),
+            doorbell: Addr(0),
+            progress: Addr(0),
+            coord_width: 4,
+        };
+        // Lanes of one writer are adjacent entries; the next writer's
+        // lane 0 starts after all of the previous writer's lanes.
+        let a = wide.coord_slot(0, 0, 0, 3);
+        assert_eq!(wide.coord_slot(0, 0, 1, 3).0 - a.0, COORD_ENTRY as u64);
+        assert_eq!(
+            wide.coord_slot(0, 1, 0, 3).0 - a.0,
+            (4 * COORD_ENTRY) as u64
+        );
+        // Width 1 reproduces the pre-pool offsets exactly.
+        let narrow = ReplicaLayout {
+            coord_width: 1,
+            ..wide
+        };
+        assert_eq!(narrow.coord_slot(1, 2, 0, 3).0, (5 * COORD_ENTRY) as u64);
     }
 
     #[test]
@@ -281,6 +336,8 @@ mod tests {
             ring: Addr(0x1000),
             applied: Addr(0),
             doorbell: Addr(0),
+            progress: Addr(0),
+            coord_width: 1,
         };
         let s1 = l.ring_slot(1, 4, 1024);
         let s5 = l.ring_slot(5, 4, 1024);

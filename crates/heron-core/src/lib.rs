@@ -88,6 +88,7 @@ mod client;
 mod cluster;
 mod config;
 pub mod critical_path;
+mod executor;
 mod layout;
 mod metrics;
 mod replica;

@@ -10,6 +10,10 @@ use std::time::Duration;
 pub struct Breakdown {
     /// Multicast submit → delivery at the replica.
     pub ordering_ns: u64,
+    /// Delivery → pickup by an executor: the dependency-aware dispatch
+    /// wait of the P-SMR executor pool. Exactly zero on the serial
+    /// (width 1) path, where a command is picked up at delivery.
+    pub parallel_ns: u64,
     /// Phase 2 + Phase 4 barrier time.
     pub coordination_ns: u64,
     /// Reading + compute + writing.
@@ -360,6 +364,7 @@ impl Metrics {
         if self.registry.is_enabled() {
             let r = &self.registry;
             r.histogram("exec.ordering_ns").record(b.ordering_ns);
+            r.histogram("exec.parallel_ns").record(b.parallel_ns);
             r.histogram("exec.coordination_ns")
                 .record(b.coordination_ns);
             r.histogram("exec.execution_ns").record(b.execution_ns);
@@ -537,6 +542,7 @@ mod tests {
         m.record_latency(Duration::from_micros(10));
         m.record_breakdown(Breakdown {
             ordering_ns: 5,
+            parallel_ns: 0,
             coordination_ns: 7,
             execution_ns: 9,
             partitions: 2,
@@ -554,7 +560,8 @@ mod tests {
                 "client.latency_ns",
                 "exec.coordination_ns",
                 "exec.execution_ns",
-                "exec.ordering_ns"
+                "exec.ordering_ns",
+                "exec.parallel_ns"
             ]
         );
         assert_eq!(m.registry().histogram("client.latency_ns").count(), 1);
@@ -567,6 +574,7 @@ mod tests {
         let m = Metrics::new(1);
         m.record_breakdown(Breakdown {
             ordering_ns: 10,
+            parallel_ns: 0,
             coordination_ns: 0,
             execution_ns: 20,
             partitions: 1,
@@ -574,6 +582,7 @@ mod tests {
         });
         m.record_breakdown(Breakdown {
             ordering_ns: 30,
+            parallel_ns: 2,
             coordination_ns: 4,
             execution_ns: 40,
             partitions: 4,

@@ -1,36 +1,29 @@
-//! The replica executor: Algorithms 1 (coordination), 2 (execution) and
-//! the state-transfer protocol of Algorithm 3.
+//! The serial replica executor (Algorithm 1's delivery loop) and the
+//! state-transfer protocol of Algorithm 3.
+//!
+//! The per-command execution path (Phase 2/4 barriers, reading phase,
+//! compute, writing phase, reply) lives in [`crate::executor::ExecCore`],
+//! shared with the P-SMR executor pool. This module keeps the serial
+//! driver — one process doing delivery, execution and transfer serving in
+//! a single loop, exactly as before the pool existed — and the transfer
+//! protocol itself, as free functions so the pool dispatcher can run both
+//! sides of it on the workers' behalf.
 
-use crate::app::{Execution, LocalReader, ReadSet};
 use crate::cluster::ReplicaShared;
-use crate::layout::{
-    decode_envelope, encode_coord, encode_record, encode_response, encode_sync, resp_slot,
-    CHUNK_HDR, COORD_ENTRY,
-};
-use crate::metrics::{Breakdown, TransferRecord};
-use crate::types::{ObjectId, PartitionId, Placement, StorageKind};
-use amcast::{mask_groups, Delivered, DeliveryEvent, Timestamp};
-use bytes::Bytes;
-use rand::Rng;
+use crate::executor::{ExecCore, StallHandler, StallOutcome};
+use crate::layout::{encode_record, encode_sync, CHUNK_HDR};
+use crate::metrics::TransferRecord;
+use crate::types::{ObjectId, PartitionId, StorageKind};
+use amcast::{Delivered, DeliveryEvent, Timestamp};
 use sim::{Mailbox, SimTime};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// The executing replica has fallen behind the fast majority and cannot
-/// read consistent remote values; it must state-transfer (Algorithm 2,
-/// lines 23–25).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Lagging;
-
-/// Writes queued per target node, to be flushed in the same doorbell batch
-/// as the next coordination entry for that node (batched mode only).
-type PendingWrites = HashMap<rdma_sim::NodeId, Vec<(rdma_sim::Addr, Vec<u8>)>>;
-
-/// A replica's request-execution process.
+/// A replica's request-execution process (serial, `executor_width == 1`).
 pub(crate) struct Executor {
-    shared: Arc<ReplicaShared>,
+    core: ExecCore,
     deliveries: Mailbox<DeliveryEvent>,
     /// First time we observed each pending state-transfer request
     /// (requester idx, from_tmp) — drives the deterministic responder
@@ -45,15 +38,19 @@ pub(crate) struct Executor {
 impl Executor {
     pub(crate) fn new(shared: Arc<ReplicaShared>, deliveries: Mailbox<DeliveryEvent>) -> Self {
         Executor {
-            shared,
+            core: ExecCore { shared, lane: 0 },
             deliveries,
             seen_requests: HashMap::new(),
             needs_full_sync: false,
         }
     }
 
+    fn shared(&self) -> &Arc<ReplicaShared> {
+        &self.core.shared
+    }
+
     fn cfg(&self) -> &crate::HeronConfig {
-        &self.shared.cluster.cfg
+        &self.shared().cluster.cfg
     }
 
     fn n(&self) -> usize {
@@ -63,12 +60,13 @@ impl Executor {
     /// Runs the executor loop forever.
     pub(crate) fn run(mut self) {
         loop {
-            if !self.shared.node.is_alive() {
+            if !self.shared().node.is_alive() {
                 // Crashed: stay quiet until recovery; the deliveries we
                 // miss surface later as a Gap or as failed remote reads.
-                self.shared
+                let shared = Arc::clone(self.shared());
+                shared
                     .node
-                    .poll_until_timeout(|| self.shared.node.is_alive(), Duration::from_millis(1));
+                    .poll_until_timeout(|| shared.node.is_alive(), Duration::from_millis(1));
                 continue;
             }
             self.serve_transfers();
@@ -91,7 +89,7 @@ impl Executor {
             // responder-rotation turn (Algorithm 3, lines 19–22) reaches
             // us — never busy-wait on a request that is not yet our turn.
             let deliveries = self.deliveries.clone();
-            let shared = Arc::clone(&self.shared);
+            let shared = Arc::clone(self.shared());
             let now = sim::now();
             let mut timeout = Duration::from_millis(10);
             for key in pending_sync_requests(&shared) {
@@ -103,7 +101,7 @@ impl Executor {
             }
             let seen: std::collections::HashSet<(usize, u64)> =
                 self.seen_requests.keys().copied().collect();
-            self.shared.node.poll_until_timeout(
+            shared.node.poll_until_timeout(
                 || {
                     !deliveries.is_empty()
                         || pending_sync_requests(&shared)
@@ -115,13 +113,8 @@ impl Executor {
         }
     }
 
-    // ------------------------------------------------------------------
-    // Algorithm 1: coordination.
-    // ------------------------------------------------------------------
-
     fn on_deliver(&mut self, d: Delivered) {
-        let shared = Arc::clone(&self.shared);
-        let shared = &shared;
+        let shared = Arc::clone(self.shared());
         let ts = d.ts;
         // Lines 3–4: skip requests already covered by a state transfer.
         if ts.raw() <= shared.last_req.load(Ordering::SeqCst) {
@@ -139,867 +132,23 @@ impl Executor {
         // timestamp than this delivery, so keep transferring until a
         // responder's snapshot covers this request too — then skip it.
         if self.needs_full_sync {
-            while self.state_transfer() < ts.raw() {}
+            while state_transfer(&shared) < ts.raw() {}
             self.needs_full_sync = false;
             shared.exec_trace.lock().push((ts.raw(), 's'));
             return;
         }
         shared.exec_trace.lock().push((ts.raw(), 'e'));
 
-        let (client_id, seq, submit_ns, payload) = {
-            let (c, s, t, p) = decode_envelope(&d.payload);
-            (c, s, t, p.to_vec())
-        };
-        let dests: Vec<PartitionId> = mask_groups(d.dests)
-            .into_iter()
-            .map(PartitionId::from)
-            .collect();
-        let ordering_ns = sim::now().as_nanos().saturating_sub(submit_ns);
-        // Whole-request span on this executor, correlated on the message
-        // uid so one request stitches across partitions. The phase child
-        // spans below open and close at the very instants the Breakdown
-        // counters sample, so trace-derived attribution matches them
-        // exactly (the Fig. 6 view over spans).
-        let uid = u64::from(d.id.0);
-        let _req_span = sim::trace::span_args(
-            "exec.request",
-            uid,
-            &[
-                ("ts", ts.raw()),
-                ("partition", u64::from(shared.partition.0)),
-                ("partitions", dests.len() as u64),
-                ("ordering_ns", ordering_ns),
-            ],
-        );
-
-        // Lines 5–7: single-partition fast path — classic SMR.
-        if dests.len() == 1 {
-            let t0 = sim::now();
-            let exec_span = sim::trace::span("exec.execute", uid);
-            let reads = match self.read_objects(&payload, ts, &dests, &[]) {
-                Ok(r) => r,
-                Err(Lagging) => {
-                    // Local-only reads cannot lag; defensive fallback.
-                    while self.state_transfer() < ts.raw() {}
-                    return;
-                }
-            };
-            let exec = self.execute_and_write(&payload, ts, &reads);
-            let exec_ns = (sim::now() - t0).as_nanos() as u64;
-            drop(exec_span);
-            shared.completed_req.store(ts.raw(), Ordering::SeqCst);
-            self.reply(client_id, seq, &exec.response);
-            sim::trace::instant("exec.reply", uid);
-            shared.cluster.metrics.record_breakdown(Breakdown {
-                ordering_ns,
-                coordination_ns: 0,
-                execution_ns: exec_ns,
-                partitions: 1,
-                at_partition: shared.partition.0,
-            });
-            return;
-        }
-
-        // Lines 8–10: Phase 2 — barrier on a majority of every involved
-        // partition. If the barrier starves, the peers' coordination
-        // writes were lost while we were crashed (they ran this request
-        // long ago): recover through state transfer instead of waiting
-        // forever.
-        let t_p2 = sim::now();
-        let p2_span = sim::trace::span("exec.phase2", uid);
-        self.write_coord(&dests, ts, 1);
-        loop {
-            if self.wait_coord_timeout(&dests, ts, 1, self.cfg().transfer_timeout) {
-                break;
-            }
-            // The transfer is abortable on barrier-heal: delivery at a slow
-            // majority can trail ours by whole leader-election timeouts, and
-            // every replica of OUR partition may be stalled right here — in
-            // which case nobody serves transfers and waiting unconditionally
-            // deadlocks the partition (and, transitively, every partition
-            // coordinating with it).
-            let heal_shared = Arc::clone(shared);
-            let heal_dests = dests.clone();
-            let healed = move || coord_status(&heal_shared, &heal_dests, ts, 1).1;
-            match self.state_transfer_abortable(&healed) {
-                Some(rid) if rid >= ts.raw() => return, // transfer covered this request
-                _ => {}
-            }
-        }
-        let p2_ns = (sim::now() - t_p2).as_nanos() as u64;
-        drop(p2_span);
-
-        // Lines 11–13: execution (reading phase, compute, writing phase).
-        // If we have lagged behind the fast majority, state-transfer; a
-        // transfer whose snapshot already includes this request covers it
-        // (it will be skipped via last_req), otherwise we caught up to a
-        // point *before* this request and must still execute it.
-        let t_exec = sim::now();
-        let exec_span = sim::trace::span("exec.execute", uid);
-        let mut pending_writes = PendingWrites::new();
-        let active_only = self.cfg().execution_mode == crate::ExecutionMode::ActiveOnly;
-        let active = shared
-            .cluster
-            .app
-            .active_partition(&payload)
-            .unwrap_or(dests[0]);
-        let response = if active_only && active != shared.partition {
-            // Passive partition (§III-D2 variant): the active partition
-            // executes and writes our objects remotely. We only keep the
-            // update log complete (our declared read set covers what the
-            // active may write here) and acknowledge the client; the
-            // FIFO link guarantees the active's object writes land before
-            // its Phase-4 coordination entry does.
-            let mut log = shared.log.lock();
-            for oid in shared.cluster.app.read_set_at(shared.partition, &payload) {
-                if shared.cluster.app.placement(oid) == Placement::Partition(shared.partition) {
-                    log.push((ts.raw(), oid));
-                }
-            }
-            Bytes::new()
-        } else {
-            let exec = loop {
-                pending_writes.clear();
-                let attempt = if active_only {
-                    self.execute_active_only(&payload, ts, &dests, &mut pending_writes)
-                } else {
-                    self.read_objects(&payload, ts, &dests, &dests)
-                        .map(|reads| self.execute_and_write(&payload, ts, &reads))
-                };
-                match attempt {
-                    Ok(exec) => break exec,
-                    Err(Lagging) => {
-                        let rid = self.state_transfer();
-                        if rid >= ts.raw() {
-                            return; // the transfer included this request
-                        }
-                    }
-                }
-            };
-            exec.response
-        };
-        let exec_ns = (sim::now() - t_exec).as_nanos() as u64;
-        drop(exec_span);
-
-        // Lines 14–16: Phase 4 — same barrier, with the optional
-        // wait-for-all delay (paper §V-E1). Queued active-only write-backs
-        // ride the same doorbells.
-        let t_p4 = sim::now();
-        let p4_span = sim::trace::span("exec.phase4", uid);
-        // Protocol lint (regression guard): the Phase-4 entry — which in
-        // batched active-only mode carries the remote object write-backs —
-        // must never be posted before the Phase-2 quorum was observed.
-        // Coordination entries are monotone, so once the barrier above
-        // passed this stays satisfied; a hit means a code change skipped
-        // or reordered the Phase-2 wait.
-        if let Some(det) = shared.cluster.detector.as_ref() {
-            let (_, quorum, _) = self.coord_status(&dests, ts, 1);
-            if !quorum {
-                let coord_len = (self.cfg().partitions * self.n() * COORD_ENTRY) as u64;
-                det.report_lint(
-                    "Phase-2 write-back before quorum clock advanced",
-                    &shared.node,
-                    "coord",
-                    (shared.layout.coord.0, shared.layout.coord.0 + coord_len),
-                    None,
-                    format!(
-                        "posting the Phase-4 entry (and its queued write-backs) for ts {} \
-                         while the Phase-2 majority barrier is not satisfied",
-                        ts.raw()
-                    ),
-                );
-            }
-        }
-        self.write_coord_with(&dests, ts, 2, pending_writes);
-        self.wait_coord(&dests, ts, 2, self.cfg().wait_for_all);
-        let p4_ns = (sim::now() - t_p4).as_nanos() as u64;
-        drop(p4_span);
-
-        shared.completed_req.store(ts.raw(), Ordering::SeqCst);
-        // Line 17: reply.
-        self.reply(client_id, seq, &response);
-        sim::trace::instant("exec.reply", uid);
-        shared.cluster.metrics.record_breakdown(Breakdown {
-            ordering_ns,
-            coordination_ns: p2_ns + p4_ns,
-            execution_ns: exec_ns,
-            partitions: dests.len() as u16,
-            at_partition: shared.partition.0,
-        });
-    }
-
-    /// Writes our coordination entry `(r.tmp, phase)` to every replica of
-    /// every involved partition: smallest partition first, then by replica
-    /// index — the order behind Table I's per-partition asymmetry.
-    fn write_coord(&self, dests: &[PartitionId], ts: Timestamp, phase: u64) {
-        self.write_coord_with(dests, ts, phase, PendingWrites::new());
-    }
-
-    /// [`Self::write_coord`] with queued object writes coalesced in: in
-    /// batched mode (`max_batch > 1`) each target's pending writes and its
-    /// coordination entry are flushed as ONE doorbell batch — the coord
-    /// entry pushed last, so by the fabric's in-order application a peer
-    /// that observes the barrier entry also observes every object write
-    /// that preceded it (the invariant the passive execution path relies
-    /// on, previously guaranteed by FIFO ordering of individual verbs).
-    fn write_coord_with(
-        &self,
-        dests: &[PartitionId],
-        ts: Timestamp,
-        phase: u64,
-        mut pending: PendingWrites,
-    ) {
-        let shared = &self.shared;
-        let n = self.n();
-        let batched = self.cfg().max_batch() > 1;
-        let entry = encode_coord(ts.raw(), phase);
-        let mut sorted = dests.to_vec();
-        sorted.sort_unstable();
-        for h in sorted {
-            for q in 0..n {
-                let target = shared.peer(h, q);
-                let slot_on_target =
-                    self.layout_of(&target)
-                        .coord_slot(shared.partition.0 as usize, shared.idx, n);
-                if target.id() == shared.node.id() {
-                    let _ = shared.node.local_write(slot_on_target, &entry);
-                } else if batched {
-                    let mut batch = shared.qp(&target).write_batch();
-                    for (addr, buf) in pending.remove(&target.id()).unwrap_or_default() {
-                        batch.push(addr, buf);
-                    }
-                    batch.push(slot_on_target, entry.to_vec());
-                    let _ = batch.post();
-                } else {
-                    let _ = shared
-                        .qp(&target)
-                        .post_write(slot_on_target, entry.to_vec());
-                }
-            }
-        }
-        // Write-backs only target replicas of involved partitions, so the
-        // barrier loop above must have drained everything.
-        debug_assert!(
-            pending.is_empty(),
-            "queued writes must target barrier peers"
-        );
-    }
-
-    fn layout_of(&self, node: &rdma_sim::Node) -> crate::layout::ReplicaLayout {
-        // All replica nodes share the same allocation schedule, so the
-        // layout of any replica equals ours.
-        let _ = node;
-        self.shared.layout
-    }
-
-    /// Reads our own coordination memory and returns, per involved
-    /// partition, `(matching, satisfied)`: the replica indices whose entry
-    /// equals `(ts, ≥phase)`, and whether the paper's wait condition
-    /// (matching, or already beyond `ts`) holds for a majority.
-    fn coord_status(
-        &self,
-        dests: &[PartitionId],
-        ts: Timestamp,
-        phase: u64,
-    ) -> (HashMap<PartitionId, Vec<usize>>, bool, bool) {
-        coord_status(&self.shared, dests, ts, phase)
-    }
-
-    /// Like [`Executor::wait_coord`] but gives up after `timeout`; returns
-    /// whether the majority barrier was reached.
-    fn wait_coord_timeout(
-        &self,
-        dests: &[PartitionId],
-        ts: Timestamp,
-        phase: u64,
-        timeout: Duration,
-    ) -> bool {
-        self.shared.node.poll_until_timeout(
-            || {
-                let (_, maj, _) = self.coord_status(dests, ts, phase);
-                maj
-            },
-            timeout,
-        )
-    }
-
-    /// Blocks until a majority of every involved partition has coordinated
-    /// (Algorithm 1, lines 10/16). With `delta` set, additionally waits up
-    /// to δ for *all* replicas, recording Table I's delay statistics.
-    fn wait_coord(
-        &self,
-        dests: &[PartitionId],
-        ts: Timestamp,
-        phase: u64,
-        delta: Option<Duration>,
-    ) {
-        let shared = &self.shared;
-        shared.node.poll_until(|| {
-            let (_, maj, _) = self.coord_status(dests, ts, phase);
-            maj
-        });
-        if let Some(delta) = delta {
-            let stats = &shared.cluster.metrics.delays[shared.partition.0 as usize];
-            stats.total.fetch_add(1, Ordering::Relaxed);
-            let (_, _, everyone) = self.coord_status(dests, ts, phase);
-            if everyone {
-                return;
-            }
-            stats.delayed.fetch_add(1, Ordering::Relaxed);
-            let t0 = sim::now();
-            shared.node.poll_until_timeout(
-                || {
-                    let (_, _, everyone) = self.coord_status(dests, ts, phase);
-                    everyone
-                },
-                delta,
-            );
-            let waited = (sim::now() - t0).as_nanos() as u64;
-            stats.delay_sum_ns.fetch_add(waited, Ordering::Relaxed);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Algorithm 2: execution.
-    // ------------------------------------------------------------------
-
-    /// The reading phase: local objects from our store, remote objects via
-    /// one-sided reads against replicas that coordinated in Phase 2.
-    fn read_objects(
-        &self,
-        payload: &[u8],
-        ts: Timestamp,
-        _dests: &[PartitionId],
-        coordinated: &[PartitionId],
-    ) -> Result<ReadSet, Lagging> {
-        let shared = &self.shared;
-        let app = &shared.cluster.app;
-        let mut reads = ReadSet::new();
-        for oid in app.read_set_at(shared.partition, payload) {
-            match app.placement(oid) {
-                Placement::Replicated => {
-                    let (_, v) = shared
-                        .store
-                        .get(oid)
-                        .unwrap_or_else(|| panic!("replicated object {oid} missing"));
-                    reads.insert(oid, v);
-                }
-                Placement::Partition(h) if h == shared.partition => {
-                    let (_, v) = shared
-                        .store
-                        .get(oid)
-                        .unwrap_or_else(|| panic!("local object {oid} missing"));
-                    reads.insert(oid, v);
-                }
-                Placement::Partition(h) => {
-                    debug_assert!(
-                        coordinated.contains(&h),
-                        "read set touches partition {h} the request was not multicast to"
-                    );
-                    let v = self.remote_read(oid, h, ts)?;
-                    reads.insert(oid, v);
-                }
-            }
-        }
-        Ok(reads)
-    }
-
-    /// One remote read, with address discovery and failover (Algorithm 2,
-    /// lines 8–27).
-    fn remote_read(&self, oid: ObjectId, h: PartitionId, ts: Timestamp) -> Result<Bytes, Lagging> {
-        let (versions, _cap) = self.remote_read_slot(oid, h, ts)?;
-        match versions.read_for(ts) {
-            Some((_, v)) => Ok(v.clone()),
-            None => Err(Lagging), // lines 23–25
-        }
-    }
-
-    /// Like [`Executor::remote_read`] but returns the whole dual-version
-    /// slot image (used by the active-only execution mode, which must
-    /// reconstruct remote slots when writing them back).
-    fn remote_read_slot(
-        &self,
-        oid: ObjectId,
-        h: PartitionId,
-        ts: Timestamp,
-    ) -> Result<(crate::store::SlotVersions, usize), Lagging> {
-        let shared = &self.shared;
-        loop {
-            // Refresh the set of consistent candidates: replicas of h whose
-            // coordination entry matches r.tmp (they executed everything
-            // before r and have not moved past it).
-            let (matching, _, _) = self.coord_status(&[h], ts, 1);
-            let candidates = matching.get(&h).cloned().unwrap_or_default();
-            let candidates: Vec<usize> = candidates
-                .into_iter()
-                .filter(|&q| shared.peer(h, q).is_alive())
-                .collect();
-            if candidates.is_empty() {
-                // Everyone readable has moved past r: we are the lagger.
-                return Err(Lagging);
-            }
-            // Address discovery for candidates we don't know yet.
-            let known: Vec<usize> = candidates
-                .iter()
-                .copied()
-                .filter(|&q| {
-                    let node = shared.peer(h, q);
-                    shared.object_map.lock().contains_key(&(oid, node.id()))
-                })
-                .collect();
-            if known.is_empty() {
-                self.query_addresses(oid, h, &candidates);
-                continue;
-            }
-            // Line 15: pick a random coordinated replica.
-            let pick = known[sim::with_rng(|r| r.gen_range(0..known.len()))];
-            let target = shared.peer(h, pick);
-            let (addr, cap) = *shared
-                .object_map
-                .lock()
-                .get(&(oid, target.id()))
-                .expect("known candidate has a cached address");
-            let slot = crate::store::Slot { addr, cap };
-            let t_issue = sim::now().as_nanos();
-            match shared.qp(&target).read(addr, slot.size()) {
-                Err(_) => {
-                    // RDMA exception: the process failed; try another
-                    // (lines 20–21). Drop the stale address mapping.
-                    shared.object_map.lock().remove(&(oid, target.id()));
-                    continue;
-                }
-                Ok(raw) => {
-                    let versions = crate::store::SlotVersions::decode(&raw, cap);
-                    let chosen_ts = match versions.read_for(ts) {
-                        None => return Err(Lagging), // lines 23–25
-                        Some((t, _)) => t,
-                    };
-                    self.audit_remote_slot_read(
-                        &target, oid, addr, cap, &versions, chosen_ts, ts, t_issue,
-                    );
-                    return Ok((versions, cap));
-                }
-            }
-        }
-    }
-
-    /// Protocol lint: adjudicates a completed remote slot read against the
-    /// race detector's shadow state. The raw read of a dual-version slot
-    /// is exempt from the generic check (it legitimately snapshots the
-    /// version a concurrent writer is overwriting), so after decoding we
-    /// check only the byte range of the version the reader actually
-    /// *chose*: if its last writer has no happens-before edge to us, the
-    /// dual-versioning discipline failed to protect this read.
-    ///
-    /// Two benign cases are filtered out:
-    /// * writes that landed *after* we issued the read (`t_issue`) — the
-    ///   in-flux window; our snapshot predates them and the shadow marks
-    ///   surface them through the `influx_windows` statistic instead;
-    /// * state-transfer applies (the service process rewrites whole slots
-    ///   on a lagger that a Phase-2-starved reader may still legitimately
-    ///   target; the reader's snapshot of committed versions stays valid —
-    ///   see DESIGN.md §10).
-    ///
-    /// Active-only mode is excluded wholesale: racing active replicas
-    /// write identical slot images remotely by design.
-    #[allow(clippy::too_many_arguments)]
-    fn audit_remote_slot_read(
-        &self,
-        target: &rdma_sim::Node,
-        oid: ObjectId,
-        addr: rdma_sim::Addr,
-        cap: usize,
-        versions: &crate::store::SlotVersions,
-        chosen_ts: Timestamp,
-        r_ts: Timestamp,
-        t_issue: u64,
-    ) {
-        let Some(det) = self.shared.cluster.detector.as_ref() else {
-            return;
-        };
-        if self.cfg().execution_mode != crate::ExecutionMode::ActiveOnly {
-            let one = (crate::store::VERSION_HDR + cap) as u64;
-            // On a timestamp tie `read_for` keeps version `a`.
-            let start = if chosen_ts == versions.a.0 {
-                addr
-            } else {
-                addr.offset(one)
-            };
-            let Some(conflict) = det.audit_remote_read(target, start, one as usize) else {
-                return;
-            };
-            if conflict.writer.time_ns > t_issue || conflict.writer.proc.starts_with("heron-svc-") {
-                return;
-            }
-            det.report_lint(
-                "remote read targeted the active version slot",
-                target,
-                format!("slot:{oid}"),
-                conflict.range,
-                Some(conflict.writer),
-                format!(
-                    "the version chosen by the remote reader (ts {} for request ts {}) \
-                     was written with no happens-before edge to the reader; on real \
-                     hardware the one-sided read could have returned torn bytes",
-                    chosen_ts.raw(),
-                    r_ts.raw(),
-                ),
-            );
-        }
-    }
-
-    /// Algorithm 2 lines 8–13: ask every replica of `h` for the object's
-    /// address and wait until a majority answered.
-    fn query_addresses(&self, oid: ObjectId, h: PartitionId, candidates: &[usize]) {
-        let shared = &self.shared;
-        let majority = self.cfg().majority();
-        shared.addr_heard.lock().remove(&oid);
-        for q in 0..self.n() {
-            let target = shared.peer(h, q);
-            if target.id() == shared.node.id() {
-                continue;
-            }
-            let msg = crate::layout::encode_rpc(&crate::layout::Rpc::AddrQuery { oid });
-            let _ = shared.qp(&target).send(msg);
-        }
-        let _ = candidates;
-        // Replies are absorbed by the service process, which fills
-        // object_map/addr_heard and rings the doorbell.
-        shared.node.poll_until_timeout(
-            || {
-                shared
-                    .addr_heard
-                    .lock()
-                    .get(&oid)
-                    .map(|nodes| nodes.len() >= majority)
-                    .unwrap_or(false)
-            },
-            Duration::from_millis(1),
-        );
-    }
-
-    /// The §III-D2 *active-only* execution of a multi-partition request:
-    /// this (active) replica reads the union read set, runs the
-    /// application once per involved partition, applies its own writes
-    /// locally, and writes the passive partitions' objects remotely as
-    /// whole dual-version slot images (racing active replicas write
-    /// identical images, so the competition the paper warns about is
-    /// harmless here). FIFO links guarantee these object writes land at
-    /// every passive replica before this replica's Phase-4 coordination
-    /// entry.
-    fn execute_active_only(
-        &self,
-        payload: &[u8],
-        ts: Timestamp,
-        dests: &[PartitionId],
-        pending: &mut PendingWrites,
-    ) -> Result<Execution, Lagging> {
-        let shared = &self.shared;
-        let app = Arc::clone(&shared.cluster.app);
-        // Union read set, caching remote slot images for the write-back.
-        let mut reads = ReadSet::new();
-        let mut remote_slots: HashMap<ObjectId, crate::store::SlotVersions> = HashMap::new();
-        for oid in app.read_set(payload) {
-            match app.placement(oid) {
-                Placement::Replicated => {
-                    let (_, v) = shared
-                        .store
-                        .get(oid)
-                        .unwrap_or_else(|| panic!("replicated object {oid} missing"));
-                    reads.insert(oid, v);
-                }
-                Placement::Partition(h) if h == shared.partition => {
-                    let (_, v) = shared
-                        .store
-                        .get(oid)
-                        .unwrap_or_else(|| panic!("local object {oid} missing"));
-                    reads.insert(oid, v);
-                }
-                Placement::Partition(h) => {
-                    let (versions, _) = self.remote_read_slot(oid, h, ts)?;
-                    let (_, v) = versions.read_for(ts).expect("checked by remote_read_slot");
-                    reads.insert(oid, v.clone());
-                    remote_slots.insert(oid, versions);
-                }
-            }
-        }
-        // Execute every partition's share; the active pays all the compute
-        // the passive partitions saved.
-        let local = StoreReader { shared };
-        let mut total_compute = Duration::ZERO;
-        let mut response = Bytes::new();
-        let mut remote_writes: Vec<(PartitionId, ObjectId, Bytes)> = Vec::new();
-        shared.in_write_phase.store(true, Ordering::SeqCst);
-        for &p in dests {
-            let exec = app.execute(p, payload, &reads, &local);
-            total_compute += exec.compute;
-            if response.is_empty() {
-                response = exec.response.clone();
-            }
-            for (oid, value) in exec.writes {
-                match app.placement(oid) {
-                    Placement::Replicated => {
-                        panic!("application attempted to write replicated object {oid}")
-                    }
-                    Placement::Partition(h) if h == shared.partition => {
-                        shared.store.set(oid, &value, ts);
-                        shared.log.lock().push((ts.raw(), oid));
-                    }
-                    Placement::Partition(h) => remote_writes.push((h, oid, value)),
-                }
-            }
-        }
-        shared.in_write_phase.store(false, Ordering::SeqCst);
-        if !total_compute.is_zero() {
-            sim::sleep(total_compute);
-        }
-        // Write back the passive partitions' objects. In batched mode they
-        // are queued and ride the Phase-4 coordination doorbell (one batch
-        // per peer); unbatched, each image is its own verb, exactly as
-        // before.
-        let batched = self.cfg().max_batch() > 1;
-        for (h, oid, value) in remote_writes {
-            let versions = remote_slots.get(&oid).unwrap_or_else(|| {
-                panic!(
-                    "active-only mode requires remotely-written object {oid} \
-                     to be in the request's read set"
-                )
-            });
-            for q in 0..self.n() {
-                let target = shared.peer(h, q);
-                let Some(&(addr, cap)) = shared.object_map.lock().get(&(oid, target.id())) else {
-                    continue; // unknown address: that replica will lag and state-transfer
-                };
-                let image = encode_slot_image(versions, &value, ts, cap);
-                if batched {
-                    pending.entry(target.id()).or_default().push((addr, image));
-                } else {
-                    let _ = shared.qp(&target).post_write(addr, image);
-                }
-            }
-        }
-        Ok(Execution {
-            writes: vec![],
-            response,
-            compute: Duration::ZERO,
-        })
-    }
-
-    /// Compute + writing phase: runs the application, then applies local
-    /// writes under the dual-versioning rule and appends to the update log.
-    fn execute_and_write(&self, payload: &[u8], ts: Timestamp, reads: &ReadSet) -> Execution {
-        let shared = &self.shared;
-        let app = &shared.cluster.app;
-        let local = StoreReader { shared };
-        let exec = app.execute(shared.partition, payload, reads, &local);
-        if !exec.compute.is_zero() {
-            sim::sleep(exec.compute);
-        }
-        shared.in_write_phase.store(true, Ordering::SeqCst);
-        for (oid, value) in &exec.writes {
-            match app.placement(*oid) {
-                Placement::Replicated => {
-                    panic!("application attempted to write replicated object {oid}")
-                }
-                Placement::Partition(h) if h == shared.partition => {
-                    shared.store.set(*oid, value, ts);
-                    shared.log.lock().push((ts.raw(), *oid));
-                }
-                Placement::Partition(_) => {
-                    // Remote object: its own partition writes it (paper
-                    // §III-A Phase 3); nothing to do here.
-                }
-            }
-        }
-        shared.in_write_phase.store(false, Ordering::SeqCst);
-        exec
-    }
-
-    /// Writes the response into the client's response slot for our
-    /// partition — one unsignaled RDMA write.
-    fn reply(&self, client_id: u64, seq: u64, response: &[u8]) {
-        let shared = &self.shared;
-        let info = {
-            let clients = shared.cluster.clients.lock();
-            match clients.get(&client_id) {
-                Some(c) => (c.node, c.resp_base),
-                None => return, // client vanished (e.g. test ended)
-            }
-        };
-        let client_node = shared.cluster.fabric.node(info.0);
-        let slot = resp_slot(
-            info.1,
-            shared.partition.0 as usize,
-            shared.idx,
-            self.n(),
-            self.cfg().max_response,
-        );
-        let buf = encode_response(seq, response);
-        let _ = shared.qp(&client_node).post_write(slot, buf);
-    }
-
-    // ------------------------------------------------------------------
-    // Algorithm 3: state transfer.
-    // ------------------------------------------------------------------
-
-    /// Requester side: ask the group for our missing state and wait until
-    /// a responder completes it. Returns the responder's snapshot bound
-    /// (raw timestamp): every request up to and including it is reflected
-    /// in our state afterwards.
-    fn state_transfer(&mut self) -> u64 {
-        self.state_transfer_abortable(&|| false)
-            .expect("non-abortable transfer always completes")
-    }
-
-    /// [`Self::state_transfer`] with an escape hatch: between responder
-    /// re-arms, if `abort()` reports that the condition we fell back from
-    /// has healed (e.g. a coordination barrier's entries arrived late
-    /// rather than never), the request is withdrawn and `None` returned.
-    ///
-    /// Without this, a whole partition can deadlock: every executor that
-    /// misses a barrier by a hair falls into the transfer fallback, and
-    /// since responders only serve from the executor main loop, replicas
-    /// stuck in the fallback can never serve each other.
-    ///
-    /// Withdrawal only happens while the request is provably untouched —
-    /// our own status word is still 1 (armed, unclaimed; responders claim
-    /// with a remote CAS on it, and the read-then-reset below is atomic in
-    /// the cooperative simulation) and no chunk of this transfer has been
-    /// applied — so a partially-applied snapshot can never be abandoned.
-    fn state_transfer_abortable(&mut self, abort: &dyn Fn() -> bool) -> Option<u64> {
-        let shared = &self.shared;
-        let metrics = &shared.cluster.metrics;
-        metrics.transfers_started.fetch_add(1, Ordering::Relaxed);
-        let t0 = sim::now();
-        let my_sync = shared.layout.sync_slot(shared.idx);
-        let slots = self.cfg().transfer_slots;
-        'retry: loop {
-            let from = shared.completed_req.load(Ordering::SeqCst);
-            {
-                let mut prog = shared.transfer.lock();
-                prog.expected = 1;
-                prog.bytes = 0;
-                prog.native_bytes = 0;
-                prog.stream_bound = None;
-            }
-            // Zero the staging ring stamps so stale chunks are not
-            // re-applied.
-            for k in 1..=slots as u64 {
-                let slot = shared.layout.ring_slot(k, slots, self.cfg().transfer_chunk);
-                let _ = shared.node.local_write_word(slot, 0);
-            }
-            let _ = shared.node.local_write_word(shared.layout.applied, 0);
-            // Lines 2–4: write (from, status=1) into our entry on every
-            // group member.
-            let entry = encode_sync(from, 1);
-            loop {
-                for q in 0..self.n() {
-                    let target = shared.peer(shared.partition, q);
-                    if target.id() == shared.node.id() {
-                        let _ = shared.node.local_write(my_sync, &entry);
-                    } else {
-                        let _ = shared.qp(&target).post_write(my_sync, entry.to_vec());
-                    }
-                }
-                // Line 5: wait for a responder to flip status back to 0
-                // (the low bits; the high bits carry the chunk count).
-                let done = shared.node.poll_until_timeout(
-                    || {
-                        shared
-                            .node
-                            .local_read_word(my_sync.offset(8))
-                            .map(|st| st & 3 == 0)
-                            .unwrap_or(false)
-                    },
-                    self.cfg().transfer_timeout,
-                );
-                if done {
-                    break;
-                }
-                if abort() {
-                    let status = shared.node.local_read_word(my_sync.offset(8)).unwrap_or(0);
-                    let untouched = {
-                        let prog = shared.transfer.lock();
-                        prog.stream_bound.is_none() && prog.bytes == 0
-                    };
-                    if status == 1 && untouched {
-                        // Withdraw: reset our own status word first (kills
-                        // any in-flight responder claim — the CAS on it
-                        // will now fail), then clear our entry on every
-                        // peer so their serve loops stop raising it.
-                        let _ = shared.node.local_write(my_sync, &encode_sync(0, 0));
-                        shared.transfer.lock().expected = 0;
-                        let clear = encode_sync(0, 0);
-                        for q in 0..self.n() {
-                            let target = shared.peer(shared.partition, q);
-                            if target.id() != shared.node.id() {
-                                let _ = shared.qp(&target).post_write(my_sync, clear.to_vec());
-                            }
-                        }
-                        return None;
-                    }
-                }
-                // Timeout: the selected responder may have failed; re-arm
-                // (the rotation on the responder side picks the next one).
-            }
-            // Every chunk landed before the status flip (FIFO), but the
-            // service process still needs time to *apply* them — wait for
-            // it. A timeout here means a racing responder's stale chunk
-            // clobbered one of ours: redo the transfer.
-            let chunks = shared
-                .node
-                .local_read_word(my_sync.offset(8))
-                .expect("own sync word")
-                >> 2;
-            let applied = shared.node.poll_until_timeout(
-                || shared.transfer.lock().expected > chunks,
-                self.cfg().transfer_timeout,
-            );
-            if !applied {
-                continue 'retry;
-            }
-            // Race-detector edge: read the applied watermark — the service
-            // process's last instrumented write — so every chunk it applied
-            // happens-before our subsequent execution and coordination
-            // writes (and, transitively, before any remote reader that
-            // observes our next coordination entry). Free when the
-            // detector is off: a local read costs no virtual time.
-            let _ = shared.node.local_read_word(shared.layout.applied);
-            // Line 6: adopt the responder's request id — but only if it
-            // matches the stream we actually applied. A mismatch means two
-            // responders raced (one was slow, the rotation fired) and we
-            // may hold a mix of their snapshots; redo the transfer from
-            // our current position.
-            let rid = shared.node.local_read_word(my_sync).expect("own sync word");
-            let stream = {
-                let mut prog = shared.transfer.lock();
-                prog.expected = 0; // disarm: late chunks are dropped
-                prog.stream_bound
-            };
-            if let Some(bound) = stream {
-                if bound != rid {
-                    continue 'retry;
-                }
-            }
-            shared.exec_trace.lock().push((rid, 't'));
-            let cur = shared.last_req.load(Ordering::SeqCst);
-            shared.last_req.store(cur.max(rid), Ordering::SeqCst);
-            let curc = shared.completed_req.load(Ordering::SeqCst);
-            shared.completed_req.store(curc.max(rid), Ordering::SeqCst);
-            let prog = shared.transfer.lock();
-            metrics.transfers.lock().push(TransferRecord {
-                bytes: prog.bytes,
-                duration_ns: (sim::now() - t0).as_nanos() as u64,
-                native_bytes: prog.native_bytes,
-            });
-            return Some(rid);
-        }
+        let mut stalls = SerialStalls { shared: &shared };
+        let _ = self
+            .core
+            .run_command(&d, sim::now().as_nanos(), &mut stalls);
     }
 
     /// Responder side of Algorithm 3 (lines 7–22): serve pending state
     /// transfers whose rotation turn has reached us.
     fn serve_transfers(&mut self) {
-        let shared = Arc::clone(&self.shared);
+        let shared = Arc::clone(self.shared());
         let n = self.n();
         // Drop bookkeeping for requests that were completed by someone.
         let pending: std::collections::HashSet<(usize, u64)> =
@@ -1023,198 +172,351 @@ impl Executor {
             if sim::now() < due {
                 continue;
             }
-            self.respond_transfer(p, from);
+            respond_transfer(&shared, p, from);
             self.seen_requests.remove(&(p, from));
         }
     }
+}
 
-    /// Streams our state since `from` to the requester in 32 KiB chunks,
-    /// then clears the status entry everywhere (lines 11–18).
-    fn respond_transfer(&self, requester: usize, from: u64) {
-        let shared = &self.shared;
-        let cfg = self.cfg();
-        // Claim the transfer with a remote CAS on the requester's status
-        // word (1 → 2): exactly one responder streams at a time, even if
-        // the rotation timeout fires while a slow responder is mid-stream.
-        let target = shared.peer(shared.partition, requester);
-        let status_addr = shared.layout.sync_slot(requester).offset(8);
-        match shared.qp(&target).compare_and_swap(status_addr, 1, 2) {
-            Ok(1) => {}
-            _ => return, // claimed by someone else, completed, or crashed
+/// [`StallHandler`] of the serial executor: stalls resolve inline through
+/// Algorithm 3's requester side, exactly as the pre-pool executor did.
+struct SerialStalls<'a> {
+    shared: &'a Arc<ReplicaShared>,
+}
+
+impl StallHandler for SerialStalls<'_> {
+    fn on_phase2_starved(&mut self, dests: &[PartitionId], ts: Timestamp) -> StallOutcome {
+        // The transfer is abortable on barrier-heal: delivery at a slow
+        // majority can trail ours by whole leader-election timeouts, and
+        // every replica of OUR partition may be stalled right here — in
+        // which case nobody serves transfers and waiting unconditionally
+        // deadlocks the partition (and, transitively, every partition
+        // coordinating with it).
+        let heal_shared = Arc::clone(self.shared);
+        let heal_dests = dests.to_vec();
+        let healed = move || coord_status(&heal_shared, &heal_dests, ts, 1).1;
+        match state_transfer_abortable(self.shared, &healed) {
+            Some(rid) if rid >= ts.raw() => StallOutcome::Covered,
+            _ => StallOutcome::Retry,
         }
-        // Snapshot at a request boundary.
-        shared.node.poll_until_timeout(
-            || !shared.in_write_phase.load(Ordering::SeqCst),
-            cfg.transfer_timeout,
-        );
-        let bound = shared.completed_req.load(Ordering::SeqCst);
-        // Line 12: the update log bounds what must be synchronized.
-        let oids: BTreeSet<ObjectId> = shared
-            .log
-            .lock()
-            .iter()
-            .filter(|(ts, _)| *ts > from)
-            .map(|(_, oid)| *oid)
-            .collect();
-        let qp = shared.qp(&target);
-        let app = &shared.cluster.app;
-        let chunk_cap = cfg.transfer_chunk;
-        let mut chunk_body: Vec<u8> = Vec::with_capacity(chunk_cap);
-        let mut stamp = 1u64;
-        // Flushes one chunk. Returns `false` — abandoning the serve — if
-        // the requester stops applying (its staging ring was poisoned by a
-        // stale chunk of an earlier aborted transfer, or it crashed). The
-        // requester's retry loop re-arms the request and the rotation will
-        // serve it again; never spin on a wedged receiver, or the whole
-        // partition loses this replica.
-        let flush = |body: &mut Vec<u8>, stamp: &mut u64| -> bool {
-            if body.is_empty() {
-                return true;
-            }
-            // Flow control: never run more than the ring size ahead of the
-            // requester's applied counter.
-            if *stamp > cfg.transfer_slots as u64 {
-                let deadline = sim::now() + cfg.transfer_timeout;
-                let watermark = loop {
-                    let Ok(applied) = qp.read_word(shared.layout.applied) else {
-                        return false; // requester crashed
-                    };
-                    if *stamp <= applied + cfg.transfer_slots as u64 {
-                        break applied;
-                    }
-                    if sim::now() >= deadline {
-                        return false; // no progress: abandon this serve
-                    }
-                };
-                // Protocol lint (regression guard): posting past the
-                // applied watermark would overwrite a staged chunk the
-                // requester's service has not consumed yet — it would land
-                // inside the requester's live read window. The wait above
-                // makes this unreachable; the lint keeps its own
-                // comparison so it trips immediately if a change ever
-                // breaks the flow-control condition.
-                if let Some(det) = shared.cluster.detector.as_ref() {
-                    if *stamp > watermark + cfg.transfer_slots as u64 {
-                        let slot = shared
-                            .layout
-                            .ring_slot(*stamp, cfg.transfer_slots, chunk_cap);
-                        det.report_lint(
-                            "state-transfer chunk overlaps a live read window",
-                            &target,
-                            "ring",
-                            (slot.0, slot.0 + (CHUNK_HDR + chunk_cap) as u64),
-                            None,
-                            format!(
-                                "chunk {} posted while the requester had only applied \
-                                 {} of a {}-slot staging ring",
-                                *stamp, watermark, cfg.transfer_slots
-                            ),
-                        );
-                    }
+    }
+
+    fn on_lagging(&mut self, ts: Timestamp) -> StallOutcome {
+        if state_transfer(self.shared) >= ts.raw() {
+            StallOutcome::Covered
+        } else {
+            StallOutcome::Retry
+        }
+    }
+
+    fn on_completed(&mut self, ts: Timestamp) {
+        self.shared.completed_req.store(ts.raw(), Ordering::SeqCst);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Algorithm 3: state transfer (free functions — the serial executor and
+// the pool dispatcher both run them).
+// ----------------------------------------------------------------------
+
+/// Requester side: ask the group for our missing state and wait until
+/// a responder completes it. Returns the responder's snapshot bound
+/// (raw timestamp): every request up to and including it is reflected
+/// in our state afterwards.
+pub(crate) fn state_transfer(shared: &Arc<ReplicaShared>) -> u64 {
+    state_transfer_abortable(shared, &|| false).expect("non-abortable transfer always completes")
+}
+
+/// [`state_transfer`] with an escape hatch: between responder
+/// re-arms, if `abort()` reports that the condition we fell back from
+/// has healed (e.g. a coordination barrier's entries arrived late
+/// rather than never), the request is withdrawn and `None` returned.
+///
+/// Without this, a whole partition can deadlock: every executor that
+/// misses a barrier by a hair falls into the transfer fallback, and
+/// since responders only serve from the executor main loop, replicas
+/// stuck in the fallback can never serve each other.
+///
+/// Withdrawal only happens while the request is provably untouched —
+/// our own status word is still 1 (armed, unclaimed; responders claim
+/// with a remote CAS on it, and the read-then-reset below is atomic in
+/// the cooperative simulation) and no chunk of this transfer has been
+/// applied — so a partially-applied snapshot can never be abandoned.
+pub(crate) fn state_transfer_abortable(
+    shared: &Arc<ReplicaShared>,
+    abort: &dyn Fn() -> bool,
+) -> Option<u64> {
+    let cfg = &shared.cluster.cfg;
+    let n = cfg.replicas_per_partition;
+    let metrics = &shared.cluster.metrics;
+    metrics.transfers_started.fetch_add(1, Ordering::Relaxed);
+    let t0 = sim::now();
+    let my_sync = shared.layout.sync_slot(shared.idx);
+    let slots = cfg.transfer_slots;
+    'retry: loop {
+        let from = shared.completed_req.load(Ordering::SeqCst);
+        {
+            let mut prog = shared.transfer.lock();
+            prog.expected = 1;
+            prog.bytes = 0;
+            prog.native_bytes = 0;
+            prog.stream_bound = None;
+        }
+        // Zero the staging ring stamps so stale chunks are not
+        // re-applied.
+        for k in 1..=slots as u64 {
+            let slot = shared.layout.ring_slot(k, slots, cfg.transfer_chunk);
+            let _ = shared.node.local_write_word(slot, 0);
+        }
+        let _ = shared.node.local_write_word(shared.layout.applied, 0);
+        // Lines 2–4: write (from, status=1) into our entry on every
+        // group member.
+        let entry = encode_sync(from, 1);
+        loop {
+            for q in 0..n {
+                let target = shared.peer(shared.partition, q);
+                if target.id() == shared.node.id() {
+                    let _ = shared.node.local_write(my_sync, &entry);
+                } else {
+                    let _ = shared.qp(&target).post_write(my_sync, entry.to_vec());
                 }
             }
-            let mut buf = Vec::with_capacity(CHUNK_HDR + body.len());
-            buf.extend_from_slice(&stamp.to_le_bytes());
-            buf.extend_from_slice(&(body.len() as u64).to_le_bytes());
-            buf.extend_from_slice(&bound.to_le_bytes());
-            buf.extend_from_slice(body);
-            let slot = shared
-                .layout
-                .ring_slot(*stamp, cfg.transfer_slots, chunk_cap);
-            let _ = qp.post_write(slot, buf);
-            *stamp += 1;
-            body.clear();
-            true
-        };
-        for oid in oids {
-            let Some(slot) = shared.store.slot(oid) else {
-                continue;
-            };
-            let raw = shared.store.raw_slot_bytes(slot);
-            // Native objects must be serialized before shipping
-            // (paper §V-E2, second scenario).
-            if app.storage_kind(oid) == StorageKind::Native {
-                sim::sleep_ns(raw.len() as u64 * cfg.ser_ns_per_kib / 1024);
-            }
-            let record = encode_record(oid, &raw);
-            if chunk_body.len() + record.len() > chunk_cap && !flush(&mut chunk_body, &mut stamp) {
-                return;
-            }
-            assert!(
-                record.len() <= chunk_cap,
-                "object slot larger than a transfer chunk; raise transfer_chunk"
+            // Line 5: wait for a responder to flip status back to 0
+            // (the low bits; the high bits carry the chunk count).
+            let done = shared.node.poll_until_timeout(
+                || {
+                    shared
+                        .node
+                        .local_read_word(my_sync.offset(8))
+                        .map(|st| st & 3 == 0)
+                        .unwrap_or(false)
+                },
+                cfg.transfer_timeout,
             );
-            chunk_body.extend_from_slice(&record);
+            if done {
+                break;
+            }
+            if abort() {
+                let status = shared.node.local_read_word(my_sync.offset(8)).unwrap_or(0);
+                let untouched = {
+                    let prog = shared.transfer.lock();
+                    prog.stream_bound.is_none() && prog.bytes == 0
+                };
+                if status == 1 && untouched {
+                    // Withdraw: reset our own status word first (kills
+                    // any in-flight responder claim — the CAS on it
+                    // will now fail), then clear our entry on every
+                    // peer so their serve loops stop raising it.
+                    let _ = shared.node.local_write(my_sync, &encode_sync(0, 0));
+                    shared.transfer.lock().expected = 0;
+                    let clear = encode_sync(0, 0);
+                    for q in 0..n {
+                        let target = shared.peer(shared.partition, q);
+                        if target.id() != shared.node.id() {
+                            let _ = shared.qp(&target).post_write(my_sync, clear.to_vec());
+                        }
+                    }
+                    return None;
+                }
+            }
+            // Timeout: the selected responder may have failed; re-arm
+            // (the rotation on the responder side picks the next one).
         }
-        if !flush(&mut chunk_body, &mut stamp) {
+        // Every chunk landed before the status flip (FIFO), but the
+        // service process still needs time to *apply* them — wait for
+        // it. A timeout here means a racing responder's stale chunk
+        // clobbered one of ours: redo the transfer.
+        let chunks = shared
+            .node
+            .local_read_word(my_sync.offset(8))
+            .expect("own sync word")
+            >> 2;
+        let applied = shared.node.poll_until_timeout(
+            || shared.transfer.lock().expected > chunks,
+            cfg.transfer_timeout,
+        );
+        if !applied {
+            continue 'retry;
+        }
+        // Race-detector edge: read the applied watermark — the service
+        // process's last instrumented write — so every chunk it applied
+        // happens-before our subsequent execution and coordination
+        // writes (and, transitively, before any remote reader that
+        // observes our next coordination entry). Free when the
+        // detector is off: a local read costs no virtual time.
+        let _ = shared.node.local_read_word(shared.layout.applied);
+        // Line 6: adopt the responder's request id — but only if it
+        // matches the stream we actually applied. A mismatch means two
+        // responders raced (one was slow, the rotation fired) and we
+        // may hold a mix of their snapshots; redo the transfer from
+        // our current position.
+        let rid = shared.node.local_read_word(my_sync).expect("own sync word");
+        let stream = {
+            let mut prog = shared.transfer.lock();
+            prog.expected = 0; // disarm: late chunks are dropped
+            prog.stream_bound
+        };
+        if let Some(bound) = stream {
+            if bound != rid {
+                continue 'retry;
+            }
+        }
+        shared.exec_trace.lock().push((rid, 't'));
+        let cur = shared.last_req.load(Ordering::SeqCst);
+        shared.last_req.store(cur.max(rid), Ordering::SeqCst);
+        let curc = shared.completed_req.load(Ordering::SeqCst);
+        shared.completed_req.store(curc.max(rid), Ordering::SeqCst);
+        publish_progress(shared);
+        let prog = shared.transfer.lock();
+        metrics.transfers.lock().push(TransferRecord {
+            bytes: prog.bytes,
+            duration_ns: (sim::now() - t0).as_nanos() as u64,
+            native_bytes: prog.native_bytes,
+        });
+        return Some(rid);
+    }
+}
+
+/// Streams the replica's state since `from` to the requester in 32 KiB
+/// chunks, then clears the status entry everywhere (Algorithm 3,
+/// lines 11–18).
+pub(crate) fn respond_transfer(shared: &Arc<ReplicaShared>, requester: usize, from: u64) {
+    let cfg = &shared.cluster.cfg;
+    let n = cfg.replicas_per_partition;
+    // Claim the transfer with a remote CAS on the requester's status
+    // word (1 → 2): exactly one responder streams at a time, even if
+    // the rotation timeout fires while a slow responder is mid-stream.
+    let target = shared.peer(shared.partition, requester);
+    let status_addr = shared.layout.sync_slot(requester).offset(8);
+    match shared.qp(&target).compare_and_swap(status_addr, 1, 2) {
+        Ok(1) => {}
+        _ => return, // claimed by someone else, completed, or crashed
+    }
+    // Snapshot at a request boundary. `in_write_phase` counts executors
+    // currently inside a writing phase (the serial executor contributes at
+    // most one; pool workers one each).
+    shared.node.poll_until_timeout(
+        || shared.in_write_phase.load(Ordering::SeqCst) == 0,
+        cfg.transfer_timeout,
+    );
+    let bound = shared.completed_req.load(Ordering::SeqCst);
+    // Line 12: the update log bounds what must be synchronized.
+    let oids: BTreeSet<ObjectId> = shared
+        .log
+        .lock()
+        .iter()
+        .filter(|(ts, _)| *ts > from)
+        .map(|(_, oid)| *oid)
+        .collect();
+    let qp = shared.qp(&target);
+    let app = &shared.cluster.app;
+    let chunk_cap = cfg.transfer_chunk;
+    let mut chunk_body: Vec<u8> = Vec::with_capacity(chunk_cap);
+    let mut stamp = 1u64;
+    // Flushes one chunk. Returns `false` — abandoning the serve — if
+    // the requester stops applying (its staging ring was poisoned by a
+    // stale chunk of an earlier aborted transfer, or it crashed). The
+    // requester's retry loop re-arms the request and the rotation will
+    // serve it again; never spin on a wedged receiver, or the whole
+    // partition loses this replica.
+    let flush = |body: &mut Vec<u8>, stamp: &mut u64| -> bool {
+        if body.is_empty() {
+            return true;
+        }
+        // Flow control: never run more than the ring size ahead of the
+        // requester's applied counter.
+        if *stamp > cfg.transfer_slots as u64 {
+            let deadline = sim::now() + cfg.transfer_timeout;
+            let watermark = loop {
+                let Ok(applied) = qp.read_word(shared.layout.applied) else {
+                    return false; // requester crashed
+                };
+                if *stamp <= applied + cfg.transfer_slots as u64 {
+                    break applied;
+                }
+                if sim::now() >= deadline {
+                    return false; // no progress: abandon this serve
+                }
+            };
+            // Protocol lint (regression guard): posting past the
+            // applied watermark would overwrite a staged chunk the
+            // requester's service has not consumed yet — it would land
+            // inside the requester's live read window. The wait above
+            // makes this unreachable; the lint keeps its own
+            // comparison so it trips immediately if a change ever
+            // breaks the flow-control condition.
+            if let Some(det) = shared.cluster.detector.as_ref() {
+                if *stamp > watermark + cfg.transfer_slots as u64 {
+                    let slot = shared
+                        .layout
+                        .ring_slot(*stamp, cfg.transfer_slots, chunk_cap);
+                    det.report_lint(
+                        "state-transfer chunk overlaps a live read window",
+                        &target,
+                        "ring",
+                        (slot.0, slot.0 + (CHUNK_HDR + chunk_cap) as u64),
+                        None,
+                        format!(
+                            "chunk {} posted while the requester had only applied \
+                             {} of a {}-slot staging ring",
+                            *stamp, watermark, cfg.transfer_slots
+                        ),
+                    );
+                }
+            }
+        }
+        let mut buf = Vec::with_capacity(CHUNK_HDR + body.len());
+        buf.extend_from_slice(&stamp.to_le_bytes());
+        buf.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&bound.to_le_bytes());
+        buf.extend_from_slice(body);
+        let slot = shared
+            .layout
+            .ring_slot(*stamp, cfg.transfer_slots, chunk_cap);
+        let _ = qp.post_write(slot, buf);
+        *stamp += 1;
+        body.clear();
+        true
+    };
+    for oid in oids {
+        let Some(slot) = shared.store.slot(oid) else {
+            continue;
+        };
+        let raw = shared.store.raw_slot_bytes(slot);
+        // Native objects must be serialized before shipping
+        // (paper §V-E2, second scenario).
+        if app.storage_kind(oid) == StorageKind::Native {
+            sim::sleep_ns(raw.len() as u64 * cfg.ser_ns_per_kib / 1024);
+        }
+        let record = encode_record(oid, &raw);
+        if chunk_body.len() + record.len() > chunk_cap && !flush(&mut chunk_body, &mut stamp) {
             return;
         }
-        // Lines 16–17: announce completion to the whole group. FIFO RC
-        // delivery guarantees the requester sees every chunk before the
-        // status flip; the chunk count rides in the status word's high
-        // bits so the requester can wait until its service process has
-        // *applied* them all (application costs time for natively-stored
-        // objects).
-        let chunks = stamp - 1;
-        let entry = encode_sync(bound, chunks << 2);
-        let sync = shared.layout.sync_slot(requester);
-        for q in 0..self.n() {
-            let t = shared.peer(shared.partition, q);
-            if t.id() == shared.node.id() {
-                let _ = shared.node.local_write(sync, &entry);
-            } else {
-                let _ = shared.qp(&t).post_write(sync, entry.to_vec());
-            }
-        }
+        assert!(
+            record.len() <= chunk_cap,
+            "object slot larger than a transfer chunk; raise transfer_chunk"
+        );
+        chunk_body.extend_from_slice(&record);
     }
-}
-
-/// Builds the dual-version slot image that results from applying the
-/// paper's `set()` rule (overwrite the smaller-timestamp version) to a
-/// remotely-read slot — what the active-only mode writes back to passive
-/// replicas. Deterministic: racing writers with the same reads produce
-/// byte-identical images.
-fn encode_slot_image(
-    versions: &crate::store::SlotVersions,
-    new_value: &[u8],
-    ts: Timestamp,
-    cap: usize,
-) -> Vec<u8> {
-    assert!(
-        new_value.len() <= cap,
-        "active-only remote write exceeds the remote slot capacity"
-    );
-    let encode_one = |buf: &mut Vec<u8>, tmp: Timestamp, data: &[u8]| {
-        buf.extend_from_slice(&tmp.raw().to_le_bytes());
-        buf.extend_from_slice(&(data.len() as u64).to_le_bytes());
-        buf.extend_from_slice(data);
-        buf.extend(std::iter::repeat_n(0u8, cap - data.len()));
-    };
-    let mut buf = Vec::with_capacity(2 * (16 + cap));
-    let victim_is_a = versions.a.0 <= versions.b.0;
-    if victim_is_a {
-        encode_one(&mut buf, ts, new_value);
-        encode_one(&mut buf, versions.b.0, &versions.b.1);
-    } else {
-        encode_one(&mut buf, versions.a.0, &versions.a.1);
-        encode_one(&mut buf, ts, new_value);
+    if !flush(&mut chunk_body, &mut stamp) {
+        return;
     }
-    buf
-}
-
-/// [`LocalReader`] backed by the executing replica's store.
-struct StoreReader<'a> {
-    shared: &'a ReplicaShared,
-}
-
-impl LocalReader for StoreReader<'_> {
-    fn read(&self, oid: ObjectId) -> Option<Bytes> {
-        match self.shared.cluster.app.placement(oid) {
-            Placement::Replicated => {}
-            Placement::Partition(h) if h == self.shared.partition => {}
-            Placement::Partition(_) => return None,
+    // Lines 16–17: announce completion to the whole group. FIFO RC
+    // delivery guarantees the requester sees every chunk before the
+    // status flip; the chunk count rides in the status word's high
+    // bits so the requester can wait until its service process has
+    // *applied* them all (application costs time for natively-stored
+    // objects).
+    let chunks = stamp - 1;
+    let entry = encode_sync(bound, chunks << 2);
+    let sync = shared.layout.sync_slot(requester);
+    for q in 0..n {
+        let t = shared.peer(shared.partition, q);
+        if t.id() == shared.node.id() {
+            let _ = shared.node.local_write(sync, &entry);
+        } else {
+            let _ = shared.qp(&t).post_write(sync, entry.to_vec());
         }
-        self.shared.store.get(oid).map(|(_, v)| v)
     }
 }
 
@@ -1222,6 +524,28 @@ impl LocalReader for StoreReader<'_> {
 /// partition, `(matching, satisfied-majority, satisfied-everyone)` — free
 /// function so the phase-2 barrier can be re-checked from inside the
 /// state-transfer fallback without re-borrowing the executor.
+///
+/// With an executor pool each replica owns `coord_width` lanes — one
+/// `(tmp, phase)` entry per worker. A peer *matches* if any of its lanes
+/// holds `(ts, ≥phase)` (the worker executing `r` has coordinated and not
+/// moved past it — that lane's predecessors all completed, and
+/// conflict-ordered dispatch guarantees no conflicting successor has
+/// started on any lane).
+///
+/// A peer without a matching lane still *satisfies the wait* on evidence
+/// it already finished `r`, and the evidence differs by width. At width 1
+/// execution is in delivery order, so a lane beyond `ts` implies `r`
+/// completed there — the paper's single-entry condition, bit for bit. At
+/// width > 1 that inference is unsound: a later non-conflicting command
+/// can be dispatched to another worker and coordinate while `r` is still
+/// running (or parked) — counting its lane would let a Phase-4 barrier
+/// pass with no replica of the peer partition having executed `r`, after
+/// which the peers recycle their lanes and `r`'s own remote reads find no
+/// candidates (the all-`Lagging` livelock). Instead the pool publishes a
+/// hole-free completed-prefix watermark ([`publish_progress`]) into every
+/// replica's progress region, and a peer counts only when its watermark
+/// reaches `ts` — which also covers a peer whose command was superseded
+/// by a state transfer and never wrote a lane entry at all.
 pub(crate) fn coord_status(
     shared: &ReplicaShared,
     dests: &[PartitionId],
@@ -1230,6 +554,7 @@ pub(crate) fn coord_status(
 ) -> (HashMap<PartitionId, Vec<usize>>, bool, bool) {
     let n = shared.cluster.cfg.replicas_per_partition;
     let majority = shared.cluster.cfg.majority();
+    let width = shared.layout.coord_width;
     let mut matching: HashMap<PartitionId, Vec<usize>> = HashMap::new();
     let mut all_majority = true;
     let mut all_everyone = true;
@@ -1237,13 +562,28 @@ pub(crate) fn coord_status(
         let mut ok = 0usize;
         let mut m = Vec::new();
         for q in 0..n {
-            let slot = shared.layout.coord_slot(h.0 as usize, q, n);
-            let tmp = shared.node.local_read_word(slot).unwrap_or(0);
-            let ph = shared.node.local_read_word(slot.offset(8)).unwrap_or(0);
-            if tmp == ts.raw() && ph >= phase {
+            let mut lane_match = false;
+            let mut lane_beyond = false;
+            for lane in 0..width {
+                let slot = shared.layout.coord_slot(h.0 as usize, q, lane, n);
+                let tmp = shared.node.local_read_word(slot).unwrap_or(0);
+                let ph = shared.node.local_read_word(slot.offset(8)).unwrap_or(0);
+                if tmp == ts.raw() && ph >= phase {
+                    lane_match = true;
+                } else if tmp > ts.raw() {
+                    lane_beyond = true;
+                }
+            }
+            let finished_evidence = if width == 1 {
+                lane_beyond
+            } else {
+                let slot = shared.layout.progress_slot(h.0 as usize, q, n);
+                shared.node.local_read_word(slot).unwrap_or(0) >= ts.raw()
+            };
+            if lane_match {
                 ok += 1;
                 m.push(q);
-            } else if tmp > ts.raw() {
+            } else if finished_evidence {
                 ok += 1;
             }
         }
@@ -1256,6 +596,36 @@ pub(crate) fn coord_status(
         matching.insert(h, m);
     }
     (matching, all_majority, all_everyone)
+}
+
+/// Publishes this replica's hole-free completed prefix (`completed_req`)
+/// into the progress region of every replica of every partition — the
+/// finished-evidence [`coord_status`] consults at width > 1. A no-op at
+/// width 1: the serial executor's in-order lanes already carry the same
+/// information, and the pre-pool schedule must stay bit-identical.
+///
+/// Only the dispatcher thread publishes (worker completions funnel
+/// through its watermark, and state transfers run on it), so the
+/// posted values are monotonic per QP.
+pub(crate) fn publish_progress(shared: &Arc<ReplicaShared>) {
+    if shared.layout.coord_width == 1 {
+        return;
+    }
+    let n = shared.cluster.cfg.replicas_per_partition;
+    let slot = shared
+        .layout
+        .progress_slot(shared.partition.0 as usize, shared.idx, n);
+    let buf = shared.completed_req.load(Ordering::SeqCst).to_le_bytes();
+    for h in 0..shared.cluster.cfg.partitions {
+        for q in 0..n {
+            let target = shared.peer(PartitionId(h as u16), q);
+            if target.id() == shared.node.id() {
+                let _ = shared.node.local_write(slot, &buf);
+            } else {
+                let _ = shared.qp(&target).post_write(slot, buf.to_vec());
+            }
+        }
+    }
 }
 
 /// The `(requester idx, from_tmp)` of every state-transfer request

@@ -88,7 +88,7 @@ pub struct SpanArgs {
 
 impl SpanArgs {
     /// Maximum number of args an event can carry.
-    pub const CAP: usize = 4;
+    pub const CAP: usize = 5;
 
     /// Builds from a slice, keeping the first [`SpanArgs::CAP`] entries.
     pub fn from_slice(args: &[(&'static str, u64)]) -> Self {

@@ -1,6 +1,9 @@
 //! The TPC-C state machine on Heron.
 //!
-//! One warehouse per partition (paper §IV-A). Warehouse and Item are
+//! One *or more* warehouses per partition (paper §IV-A uses one; packing
+//! several per partition raises the intra-partition concurrency available
+//! to the P-SMR executor pool). Warehouse `w` lives on partition
+//! `(w - 1) % partitions`. Warehouse and Item are
 //! replicated read-only in every partition; Customer and Stock are stored
 //! serialized because remote partitions read them during execution
 //! (Payment and NewOrder respectively); everything else is native, local
@@ -53,28 +56,34 @@ impl Default for TpccCosts {
 pub struct TpccApp {
     scale: TpccScale,
     warehouses: u16,
+    partitions: u16,
     /// CPU-cost model.
     pub costs: TpccCosts,
 }
 
-/// Warehouse ids are 1-based; partition ids are 0-based.
-fn partition_of_w(w: u16) -> PartitionId {
-    debug_assert!(w >= 1);
-    PartitionId(w - 1)
-}
-
-fn w_of_partition(p: PartitionId) -> u16 {
-    p.0 + 1
-}
-
 impl TpccApp {
-    /// Creates the application for `warehouses` warehouses at `scale`.
+    /// Creates the application for `warehouses` warehouses at `scale`,
+    /// one warehouse per partition (the paper's deployment shape).
     pub fn new(scale: TpccScale, warehouses: u16) -> Self {
         TpccApp {
             scale,
             warehouses,
+            partitions: warehouses,
             costs: TpccCosts::default(),
         }
+    }
+
+    /// Packs the warehouses onto `partitions` partitions round-robin
+    /// (warehouse `w` → partition `(w - 1) % partitions`). More than one
+    /// warehouse per partition gives the parallel executor pool disjoint
+    /// conflict classes to run concurrently.
+    pub fn with_partitions(mut self, partitions: u16) -> Self {
+        assert!(
+            partitions >= 1 && partitions <= self.warehouses,
+            "partitions must be in 1..=warehouses"
+        );
+        self.partitions = partitions;
+        self
     }
 
     /// The configured scale.
@@ -82,9 +91,25 @@ impl TpccApp {
         self.scale
     }
 
-    /// Number of warehouses (= partitions).
+    /// Number of warehouses (≥ partitions).
     pub fn warehouses(&self) -> u16 {
         self.warehouses
+    }
+
+    /// Number of partitions the warehouses are packed onto.
+    pub fn partitions(&self) -> u16 {
+        self.partitions
+    }
+
+    /// Warehouse ids are 1-based; partition ids are 0-based.
+    fn partition_of_w(&self, w: u16) -> PartitionId {
+        debug_assert!(w >= 1);
+        PartitionId((w - 1) % self.partitions)
+    }
+
+    /// Does `partition` host warehouse `w`'s local tables?
+    fn hosts(&self, partition: PartitionId, w: u16) -> bool {
+        self.partition_of_w(w) == partition
     }
 
     /// A workload generator wired to this deployment's shape.
@@ -107,7 +132,7 @@ impl TpccApp {
     #[allow(clippy::too_many_arguments)] // mirrors the transaction's fields
     fn exec_new_order(
         &self,
-        my_w: u16,
+        partition: PartitionId,
         w: u16,
         d: u8,
         c: u32,
@@ -120,9 +145,10 @@ impl TpccApp {
         let mut native_rows = 0u32;
         let mut response = Vec::new();
 
-        // Every supplying warehouse updates its own stock rows.
+        // Every partition updates the stock rows of the supplying
+        // warehouses it hosts (possibly several, possibly also the home).
         for l in lines {
-            if l.supply_w != my_w {
+            if !self.hosts(partition, l.supply_w) {
                 continue;
             }
             let soid = ids::stock(l.supply_w, l.i_id);
@@ -147,7 +173,7 @@ impl TpccApp {
         }
 
         // The home warehouse enters the order.
-        if my_w == w {
+        if self.hosts(partition, w) {
             let mut district = Self::read_district(reads, local, w, d);
             let o_id = district.next_o_id;
             district.next_o_id += 1;
@@ -237,7 +263,7 @@ impl TpccApp {
     #[allow(clippy::too_many_arguments)]
     fn exec_payment(
         &self,
-        my_w: u16,
+        partition: PartitionId,
         w: u16,
         d: u8,
         c_w: u16,
@@ -270,12 +296,12 @@ impl TpccApp {
             serialized_rows += 2;
         }
 
-        if my_w == c_w {
+        if self.hosts(partition, c_w) {
             serialized_rows += 1; // reserialize
             writes.push((coid, Bytes::from(customer.to_bytes())));
         }
 
-        if my_w == w {
+        if self.hosts(partition, w) {
             let mut district = Self::read_district(reads, local, w, d);
             district.ytd += amount as u64;
             let h_id = district.next_h_id;
@@ -469,7 +495,7 @@ impl StateMachine for TpccApp {
     fn placement(&self, oid: ObjectId) -> Placement {
         match ids::table_of(oid) {
             Some(Table::Warehouse) | Some(Table::Item) => Placement::Replicated,
-            _ => Placement::Partition(partition_of_w(ids::warehouse_of(oid))),
+            _ => Placement::Partition(self.partition_of_w(ids::warehouse_of(oid))),
         }
     }
 
@@ -481,23 +507,29 @@ impl StateMachine for TpccApp {
     }
 
     fn destinations(&self, request: &[u8]) -> Vec<PartitionId> {
-        Transaction::decode(request)
+        // Several warehouses may map to the same partition: dedup.
+        let mut dests: Vec<PartitionId> = Transaction::decode(request)
             .expect("well-formed TPC-C request")
             .warehouses()
             .into_iter()
-            .map(partition_of_w)
-            .collect()
+            .map(|w| self.partition_of_w(w))
+            .collect();
+        dests.sort_unstable_by_key(|p| p.0);
+        dests.dedup();
+        dests
     }
 
     fn active_partition(&self, request: &[u8]) -> Option<PartitionId> {
         // The home warehouse performs the dynamic inserts (order rows,
         // history), so it must be the active partition in
         // `ExecutionMode::ActiveOnly`.
-        Some(partition_of_w(
-            Transaction::decode(request)
-                .expect("well-formed TPC-C request")
-                .home(),
-        ))
+        Some(
+            self.partition_of_w(
+                Transaction::decode(request)
+                    .expect("well-formed TPC-C request")
+                    .home(),
+            ),
+        )
     }
 
     fn read_set(&self, request: &[u8]) -> Vec<ObjectId> {
@@ -523,11 +555,10 @@ impl StateMachine for TpccApp {
     }
 
     fn read_set_at(&self, partition: PartitionId, request: &[u8]) -> Vec<ObjectId> {
-        let my_w = w_of_partition(partition);
         let txn = Transaction::decode(request).expect("well-formed TPC-C request");
         match txn {
             Transaction::NewOrder { w, d, c, ref lines } => {
-                if my_w == w {
+                if self.hosts(partition, w) {
                     // The home partition reads everything — including the
                     // remote Stock rows, with one-sided RDMA reads.
                     let mut rs = vec![ids::district(w, d), ids::customer(w, d, c)];
@@ -536,11 +567,11 @@ impl StateMachine for TpccApp {
                     rs.dedup();
                     rs
                 } else {
-                    // A supplying partition only needs its own stock rows
-                    // (partial execution, §IV-A).
+                    // A supplying partition only needs the stock rows of
+                    // the warehouses it hosts (partial execution, §IV-A).
                     let mut rs: Vec<ObjectId> = lines
                         .iter()
-                        .filter(|l| l.supply_w == my_w)
+                        .filter(|l| self.hosts(partition, l.supply_w))
                         .map(|l| ids::stock(l.supply_w, l.i_id))
                         .collect();
                     rs.sort_unstable();
@@ -551,7 +582,7 @@ impl StateMachine for TpccApp {
             Transaction::Payment {
                 w, d, c_w, c_d, c, ..
             } => {
-                if my_w == w {
+                if self.hosts(partition, w) {
                     // Home reads the (possibly remote, serialized)
                     // customer row for the response.
                     vec![ids::district(w, d), ids::customer(c_w, c_d, c)]
@@ -564,6 +595,53 @@ impl StateMachine for TpccApp {
         }
     }
 
+    fn conflict_keys(&self, request: &[u8]) -> Vec<u64> {
+        // Two token spaces, both borrowed from the object-id encoding so
+        // they can never collide with each other:
+        //   dist(w, d)  — the district row's oid. Serializes everything
+        //                 that touches district (w, d): its orders, its
+        //                 customers, its history.
+        //   stock(w)    — the oid of the *nonexistent* stock row (w, item
+        //                 0); item ids are 1-based, so no real object uses
+        //                 it. One coarse token per warehouse's stock: a
+        //                 StockLevel reads stock rows chosen by the data
+        //                 (unknowable a priori), so stock conflicts must
+        //                 be declared per warehouse, not per item.
+        fn dist(w: u16, d: u8) -> u64 {
+            ids::district(w, d).0
+        }
+        fn stock(w: u16) -> u64 {
+            ids::stock(w, 0).0
+        }
+        let txn = Transaction::decode(request).expect("well-formed TPC-C request");
+        let mut keys: Vec<u64> = match txn {
+            Transaction::NewOrder {
+                w, d, ref lines, ..
+            } => {
+                // District + customer + order inserts at home; stock
+                // updates at each supplying warehouse.
+                let mut k = vec![dist(w, d)];
+                k.extend(lines.iter().map(|l| stock(l.supply_w)));
+                k
+            }
+            Transaction::Payment { w, d, c_w, c_d, .. } => {
+                // District/history at home, customer at (c_w, c_d).
+                vec![dist(w, d), dist(c_w, c_d)]
+            }
+            Transaction::OrderStatus { w, d, .. } => vec![dist(w, d)],
+            // Delivery walks every district of its warehouse.
+            Transaction::Delivery { w, .. } => {
+                (1..=self.scale.districts).map(|d| dist(w, d)).collect()
+            }
+            // StockLevel reads the district's recent orders and the
+            // warehouse's stock rows.
+            Transaction::StockLevel { w, d, .. } => vec![dist(w, d), stock(w)],
+        };
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
     fn execute(
         &self,
         partition: PartitionId,
@@ -571,10 +649,9 @@ impl StateMachine for TpccApp {
         reads: &ReadSet,
         local: &dyn LocalReader,
     ) -> Execution {
-        let my_w = w_of_partition(partition);
         match Transaction::decode(request).expect("well-formed TPC-C request") {
             Transaction::NewOrder { w, d, c, lines } => {
-                self.exec_new_order(my_w, w, d, c, &lines, reads, local)
+                self.exec_new_order(partition, w, d, c, &lines, reads, local)
             }
             Transaction::Payment {
                 w,
@@ -583,7 +660,7 @@ impl StateMachine for TpccApp {
                 c_d,
                 c,
                 amount,
-            } => self.exec_payment(my_w, w, d, c_w, c_d, c, amount, reads, local),
+            } => self.exec_payment(partition, w, d, c_w, c_d, c, amount, reads, local),
             Transaction::OrderStatus { w, d, c } => self.exec_order_status(w, d, c, reads, local),
             Transaction::Delivery { w, carrier } => self.exec_delivery(w, carrier, local),
             Transaction::StockLevel { w, d, threshold } => {
@@ -593,8 +670,6 @@ impl StateMachine for TpccApp {
     }
 
     fn bootstrap(&self, partition: PartitionId) -> Vec<(ObjectId, Bytes)> {
-        let w = w_of_partition(partition);
-        let mut rng = SmallRng::seed_from_u64(self.scale.seed ^ (w as u64) << 32);
         let mut rows: Vec<(ObjectId, Bytes)> = Vec::new();
         // Replicated tables: every warehouse row and every item row.
         for wh in 1..=self.warehouses {
@@ -615,7 +690,19 @@ impl StateMachine for TpccApp {
             };
             rows.push((ids::item(i), Bytes::from(row.to_bytes())));
         }
-        // Local tables for this warehouse.
+        // Local tables for every warehouse this partition hosts. The rng
+        // is reseeded per warehouse so the rows of warehouse `w` are the
+        // same regardless of how warehouses are packed onto partitions.
+        for w in (1..=self.warehouses).filter(|&w| self.hosts(partition, w)) {
+            self.bootstrap_warehouse(w, &mut rows);
+        }
+        rows
+    }
+}
+
+impl TpccApp {
+    fn bootstrap_warehouse(&self, w: u16, rows: &mut Vec<(ObjectId, Bytes)>) {
+        let mut rng = SmallRng::seed_from_u64(self.scale.seed ^ (w as u64) << 32);
         for i in 1..=self.scale.items {
             let row = StockRow {
                 w_id: w as u32,
@@ -709,6 +796,5 @@ impl StateMachine for TpccApp {
                 }
             }
         }
-        rows
     }
 }

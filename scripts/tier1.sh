@@ -69,3 +69,15 @@ if ! cargo run -q --release --offline -p heron-bench --bin sched_bench -- \
   echo "  cargo run --release -p heron-bench --bin sched_bench -- --quick" >&2
   exit 1
 fi
+
+# P-SMR gate: executor-pool scaling (DESIGN.md §13). Sweeps width ∈
+# {1,2,4,8} × conflict level on TPC-C fixed work; fails if the width-8
+# speedups drop below the quick-mode floors, if any cell stalls, or if
+# the width=1 identity / pool correctness tests regressed (those run in
+# `cargo test` above via schedule_hash.rs / psmr_order.rs / chaos.rs).
+if ! cargo run -q --release --offline -p heron-bench --bin psmr_scaling -- \
+    --gate --quick; then
+  echo "tier1: P-SMR scaling gate FAILED — remeasure with:" >&2
+  echo "  cargo run --release -p heron-bench --bin psmr_scaling -- --quick" >&2
+  exit 1
+fi
