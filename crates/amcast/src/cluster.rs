@@ -12,7 +12,7 @@ use sim::Mailbox;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A message handed to the application by atomic multicast.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +53,10 @@ pub(crate) struct McastInner {
     pub(crate) layouts: HashMap<NodeId, NodeLayout>,
     /// Delivery mailboxes, `deliveries[group][index]`.
     pub(crate) deliveries: Vec<Vec<Mailbox<DeliveryEvent>>>,
+    /// Durable storage for per-replica write-ahead logs. Unset unless
+    /// [`Mcast::attach_wal`] is called: without it the deployment performs
+    /// no I/O and executes bit-identical schedules.
+    pub(crate) wal: OnceLock<sim::storage::Storage>,
     uid_counter: AtomicU32,
     client_counter: AtomicU32,
 }
@@ -112,6 +116,8 @@ impl Mcast {
                     log_seq: node.alloc_words(1),
                     acks: node.alloc_bytes(cfg.replicas_per_group * WORD),
                     heartbeat: node.alloc_words(1),
+                    log_floor: node.alloc_words(1),
+                    boot_gen: node.alloc_words(1),
                 };
                 layouts.insert(node.id(), layout);
             }
@@ -136,6 +142,7 @@ impl Mcast {
                 nodes,
                 layouts,
                 deliveries,
+                wal: OnceLock::new(),
                 uid_counter: AtomicU32::new(1),
                 client_counter: AtomicU32::new(0),
             }),
@@ -145,6 +152,129 @@ impl Mcast {
     /// The configuration this deployment was built with.
     pub fn config(&self) -> &McastConfig {
         &self.inner.cfg
+    }
+
+    /// Attaches durable storage: every replica write-ahead-logs its
+    /// deliveries into namespace `mcast-g{g}r{i}` and can rebuild its
+    /// protocol state from the WAL after a power loss wipes its registered
+    /// memory. Must be called before [`Mcast::spawn_replicas`].
+    ///
+    /// Without an attached WAL the deployment performs no storage I/O and
+    /// its schedule is bit-identical to builds that predate durability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if storage was already attached.
+    pub fn attach_wal(&self, storage: &sim::storage::Storage) {
+        assert!(
+            self.inner.wal.set(storage.clone()).is_ok(),
+            "WAL storage already attached"
+        );
+    }
+
+    /// The durable namespace name of replica `(group, idx)`.
+    pub(crate) fn wal_namespace(group: GroupId, idx: usize) -> String {
+        format!("mcast-g{}r{}", group.0, idx)
+    }
+
+    /// The durable WAL namespace of replica `(group, idx)`, if storage is
+    /// attached.
+    pub fn wal_disk(&self, group: GroupId, idx: usize) -> Option<sim::storage::Disk> {
+        self.inner
+            .wal
+            .get()
+            .map(|s| s.disk(Self::wal_namespace(group, idx)))
+    }
+
+    /// Truncates replica `(group, idx)`'s WAL behind a checkpoint horizon:
+    /// drops every frame with delivery timestamp `<= ts_bound` (raw
+    /// [`Timestamp`] encoding) and persists the floor record. Returns
+    /// `(dropped, remaining)` frame counts; `(0, remaining)` when nothing
+    /// falls behind the bound or no storage is attached. The compaction
+    /// I/O is charged to the calling process.
+    pub fn truncate_wal(&self, group: GroupId, idx: usize, ts_bound: u64) -> (usize, usize) {
+        let Some(disk) = self.wal_disk(group, idx) else {
+            return (0, 0);
+        };
+        let frames = crate::wal::read_frames(&disk);
+        let (old_floor, _) = crate::wal::read_floor(&disk);
+        let mut floor_seq = old_floor;
+        let mut kept = Vec::new();
+        let mut dropped_uids = Vec::new();
+        // Every byte of the snapshot we filtered: the frame codec
+        // round-trips exactly, so re-encoding measures what we consumed.
+        // The charged reads above yield, and the replica's delivery path
+        // keeps appending while we sleep — the rewrite below must replace
+        // only this prefix, or a frame delivered mid-compaction would be
+        // silently clobbered (and lost to any later cold restart).
+        let mut snapshot_len = 0usize;
+        for f in frames {
+            snapshot_len += crate::layout::LOG_HDR + f.payload.len();
+            if f.ts_raw <= ts_bound {
+                floor_seq = floor_seq.max(f.seq + 1);
+                dropped_uids.push(f.uid);
+            } else {
+                kept.push(f);
+            }
+        }
+        let dropped = dropped_uids.len();
+        if dropped == 0 {
+            return (0, kept.len());
+        }
+        // The payloads go, but the delivered-uid knowledge must stay
+        // durable: a reloaded replica that forgot a uid would re-sequence
+        // a client resubmission as a fresh (duplicate) delivery.
+        crate::wal::append_seen(&disk, &dropped_uids);
+        let mut buf = Vec::new();
+        for f in &kept {
+            buf.extend_from_slice(&crate::layout::encode_log(
+                f.seq, f.uid, f.mask, f.ts_raw, f.epoch, &f.payload,
+            ));
+        }
+        disk.replace_prefix(crate::wal::WAL_FILE, snapshot_len, &buf);
+        crate::wal::write_floor(&disk, floor_seq, ts_bound);
+        (dropped, kept.len())
+    }
+
+    /// The delivered tail of replica `(group, idx)`'s WAL: every frame
+    /// with delivery timestamp strictly greater than `after_ts_raw`, in
+    /// delivery order, as application-level deliveries. A cold-restarting
+    /// application replays this when no live peer can serve a state
+    /// transfer. The read is charged to the calling process.
+    pub fn wal_tail(&self, group: GroupId, idx: usize, after_ts_raw: u64) -> Vec<Delivered> {
+        let Some(disk) = self.wal_disk(group, idx) else {
+            return Vec::new();
+        };
+        crate::wal::read_frames(&disk)
+            .into_iter()
+            .filter(|f| f.ts_raw > after_ts_raw)
+            .map(|f| Delivered {
+                id: MsgId(f.uid),
+                ts: Timestamp::from_raw(f.ts_raw),
+                dests: f.mask,
+                payload: Bytes::from(f.payload),
+            })
+            .collect()
+    }
+
+    /// Number of frames currently in replica `(group, idx)`'s WAL (0 when
+    /// no storage is attached). The log-growth guard tests use this to
+    /// prove truncation keeps the durable log bounded.
+    pub fn wal_frames(&self, group: GroupId, idx: usize) -> usize {
+        self.wal_disk(group, idx)
+            .map(|d| crate::wal::read_frames(&d).len())
+            .unwrap_or(0)
+    }
+
+    /// The epoch currently advertised to replica `(group, idx)` by its
+    /// leader's heartbeat word (0 before any heartbeat lands, and on the
+    /// leader itself, which never writes its own word). Checkpoints are
+    /// stamped with this regime marker.
+    pub fn current_epoch(&self, group: GroupId, idx: usize) -> u64 {
+        let node = &self.inner.nodes[group.0 as usize][idx];
+        node.local_read_word(self.inner.layouts[&node.id()].heartbeat)
+            .unwrap_or(0)
+            >> 32
     }
 
     /// Annotates every ordering-layer memory region as
@@ -158,7 +288,7 @@ impl Mcast {
         for (g, group) in self.inner.nodes.iter().enumerate() {
             for (i, node) in group.iter().enumerate() {
                 let layout = &self.inner.layouts[&node.id()];
-                let regions: [(rdma_sim::Addr, usize, &str); 6] = [
+                let regions: [(rdma_sim::Addr, usize, &str); 8] = [
                     (layout.sub, sizes.sub_region(), "sub"),
                     (layout.ctrl, sizes.ctrl_region(), "ctrl"),
                     (layout.log, sizes.log_region(), "log"),
@@ -169,6 +299,8 @@ impl Mcast {
                         "acks",
                     ),
                     (layout.heartbeat, WORD, "heartbeat"),
+                    (layout.log_floor, WORD, "log-floor"),
+                    (layout.boot_gen, WORD, "boot-gen"),
                 ];
                 for (addr, len, what) in regions {
                     detector.annotate(

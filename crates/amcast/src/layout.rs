@@ -10,7 +10,10 @@
 //!   a `log_seq` word advertising the highest contiguous entry stored;
 //! * an **ack array** (one word per group member; followers post their
 //!   applied sequence number into the leader's array);
-//! * a **heartbeat word** (the leader posts `epoch << 32 | counter`).
+//! * a **heartbeat word** (the leader posts `epoch << 32 | counter`);
+//! * a **log-floor word** (a leader whose durable log was truncated below
+//!   a follower's position posts the first sequence number it can still
+//!   serve; everything before it must be recovered out of band).
 //!
 //! Lanes use *stamp* sequencing instead of locks: each writer stamps its
 //! entries with a private counter starting at 1 and writes slot
@@ -42,6 +45,12 @@ pub(crate) struct NodeLayout {
     pub log_seq: Addr,
     pub acks: Addr,
     pub heartbeat: Addr,
+    pub log_floor: Addr,
+    /// Boot-generation word: a recovering replica publishes its power-cycle
+    /// count here once its WAL is reloaded. Elections treat an alive peer
+    /// whose word lags its cycle count as not-yet-ready and wait, so a
+    /// takeover never adopts a log shorter than a surviving WAL.
+    pub boot_gen: Addr,
 }
 
 /// Size calculations shared by writers and readers.
@@ -304,6 +313,8 @@ mod tests {
             log_seq: Addr(0),
             acks: Addr(0),
             heartbeat: Addr(0),
+            log_floor: Addr(0),
+            boot_gen: Addr(0),
         };
         // Consecutive stamps in a lane advance by one entry and wrap.
         let s1 = sizes.sub_slot(base, 1, 1);

@@ -50,6 +50,7 @@ mod config;
 mod layout;
 mod replica;
 mod timestamp;
+mod wal;
 
 pub use client::McastClient;
 pub use cluster::{Delivered, DeliveryEvent, Mcast};

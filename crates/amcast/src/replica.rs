@@ -76,6 +76,15 @@ struct State {
     /// re-stamped with its own epoch.
     await_epoch: bool,
     entry_epoch_floor: u64,
+    /// First sequence number this replica's rebuilt in-memory log speaks
+    /// for after a WAL reload (earlier entries were truncated behind a
+    /// checkpoint horizon). Zero on replicas that never reloaded: their
+    /// ring still holds whatever the ring window holds.
+    log_floor: u64,
+    /// After a power loss wipes the rings, the stale stamps the cursor
+    /// scan's jump-forward relies on are gone; until this deadline every
+    /// pump rescans all lane slots (local reads only, no events).
+    lanes_suspect_until: SimTime,
 }
 
 /// One multicast replica's protocol driver.
@@ -90,6 +99,9 @@ pub struct McastReplica {
     node: Node,
     my_global: usize,
     layout: NodeLayout,
+    /// This replica's durable WAL namespace, when storage is attached
+    /// (before the replica was constructed — see [`crate::Mcast::attach_wal`]).
+    wal_disk: Option<sim::storage::Disk>,
 }
 
 impl std::fmt::Debug for McastReplica {
@@ -106,6 +118,10 @@ impl McastReplica {
         let node = inner.nodes[group.0 as usize][idx].clone();
         let my_global = inner.global_idx(group, idx);
         let layout = inner.layouts[&node.id()];
+        let wal_disk = inner
+            .wal
+            .get()
+            .map(|s| s.disk(crate::Mcast::wal_namespace(group, idx)));
         McastReplica {
             inner,
             group,
@@ -113,6 +129,7 @@ impl McastReplica {
             node,
             my_global,
             layout,
+            wal_disk,
         }
     }
 
@@ -173,8 +190,11 @@ impl McastReplica {
             election_target: 0,
             await_epoch: false,
             entry_epoch_floor: 0,
+            log_floor: 0,
+            lanes_suspect_until: SimTime::ZERO,
         };
         let mut incarnation = self.node.incarnation();
+        let mut power_cycles = self.node.power_cycles();
         loop {
             if !self.node.is_alive() {
                 // Crashed; idle until recovered.
@@ -212,6 +232,13 @@ impl McastReplica {
                     .node
                     .local_read_word(self.layout.heartbeat)
                     .unwrap_or(0);
+                if self.node.power_cycles() != power_cycles {
+                    // Not just a crash: a power loss wiped our registered
+                    // memory (rings, log, acks, heartbeat). Rebuild from
+                    // the durable WAL.
+                    power_cycles = self.node.power_cycles();
+                    self.reload_after_power_loss(&mut st, &mut qps);
+                }
             }
             self.do_work(&mut st, &mut qps);
             let deadline = if st.is_leader {
@@ -279,6 +306,19 @@ impl McastReplica {
                     return true;
                 }
             }
+            // Truncation horizon advertised past our position? Gated like
+            // the entry check above: `follower_apply_log` ignores the
+            // floor while `await_epoch` holds, so reading it as work
+            // before the first heartbeat would spin without blocking.
+            if !st.await_epoch
+                && self
+                    .node
+                    .local_read_word(self.layout.log_floor)
+                    .unwrap_or(0)
+                    > st.applied_seq
+            {
+                return true;
+            }
             // Heartbeat moved?
             if self
                 .node
@@ -287,6 +327,30 @@ impl McastReplica {
                 != st.last_hb_val
             {
                 return true;
+            }
+        }
+        if sim::now() < st.lanes_suspect_until {
+            // Post-power-loss: wiped lanes can hide fresh writes from the
+            // cursor probes above, so any stamp ahead of a cursor anywhere
+            // in a lane counts as work.
+            for c in 0..sizes.max_clients {
+                for s in 0..sizes.sub_slots {
+                    let addr = sizes.sub_slot(self.layout, c, s as u64 + 1);
+                    if self.node.local_read_word(addr).unwrap_or(0) > st.sub_expected[c] {
+                        return true;
+                    }
+                }
+            }
+            for w in 0..sizes.total_replicas {
+                if w == self.my_global {
+                    continue;
+                }
+                for s in 0..sizes.ctrl_slots {
+                    let addr = sizes.ctrl_slot(self.layout, w, s as u64 + 1);
+                    if self.node.local_read_word(addr).unwrap_or(0) > st.ctrl_expected[w] {
+                        return true;
+                    }
+                }
             }
         }
         false
@@ -298,6 +362,9 @@ impl McastReplica {
 
     fn do_work(&self, st: &mut State, qps: &mut HashMap<usize, QueuePair>) {
         st.ordering_window = 0;
+        if sim::now() < st.lanes_suspect_until {
+            self.resync_lanes(st);
+        }
         self.scan_submissions(st, qps);
         self.scan_ctrl(st, qps);
         if st.is_leader {
@@ -334,6 +401,12 @@ impl McastReplica {
     fn resync_lanes(&self, st: &mut State) {
         let sizes = self.inner.sizes;
         for c in 0..sizes.max_clients {
+            // If the slot the cursor points at is readable, the normal
+            // scan makes progress from here — never jump past it.
+            let cur = sizes.sub_slot(self.layout, c, st.sub_expected[c]);
+            if self.node.local_read_word(cur).unwrap_or(0) >= st.sub_expected[c] {
+                continue;
+            }
             let mut oldest: Option<u64> = None;
             for s in 0..sizes.sub_slots {
                 let addr = sizes.sub_slot(self.layout, c, s as u64 + 1);
@@ -350,6 +423,10 @@ impl McastReplica {
             if w == self.my_global {
                 continue;
             }
+            let cur = sizes.ctrl_slot(self.layout, w, st.ctrl_expected[w]);
+            if self.node.local_read_word(cur).unwrap_or(0) >= st.ctrl_expected[w] {
+                continue;
+            }
             let mut oldest: Option<u64> = None;
             for s in 0..sizes.ctrl_slots {
                 let addr = sizes.ctrl_slot(self.layout, w, s as u64 + 1);
@@ -361,6 +438,89 @@ impl McastReplica {
             if let Some(o) = oldest {
                 st.ctrl_expected[w] = o;
             }
+        }
+    }
+
+    /// Rebuilds protocol state after a power loss wiped this node's
+    /// registered memory. The durable WAL holds every entry we delivered
+    /// (appended before each upcall), and the floor record holds the
+    /// sequence position of any truncated prefix: together they restore
+    /// the delivered set, the log position, and the in-memory tail of the
+    /// group log. Without attached storage the replica rejoins
+    /// empty-handed, exactly like the plain crash path, and relies on
+    /// retransmission and client retries.
+    fn reload_after_power_loss(&self, st: &mut State, qps: &mut HashMap<usize, QueuePair>) {
+        // Wiped lanes lose the stale stamps the cursor scan's jump-forward
+        // relies on; rescan all slots for a while (local reads only).
+        st.lanes_suspect_until = sim::now() + 32 * self.inner.cfg.leader_timeout;
+        // Mark this incarnation as reloaded before anything else: elections
+        // read this word and refuse to conclude while an alive member's
+        // boot generation lags its power-cycle count (its WAL — possibly
+        // the longest surviving log — is not in the ring yet). Without a
+        // WAL there is nothing to reload, so the non-durable path marks too.
+        let _ = self
+            .node
+            .local_write_word(self.layout.boot_gen, self.node.power_cycles());
+        let Some(disk) = &self.wal_disk else {
+            return;
+        };
+        let (floor_seq, _floor_ts) = crate::wal::read_floor(disk);
+        let frames = crate::wal::read_frames(disk);
+        st.delivered.clear();
+        for uid in crate::wal::read_seen(disk) {
+            st.delivered.insert(uid);
+        }
+        let mut end = floor_seq;
+        let mut max_clock = 0u64;
+        for f in &frames {
+            st.delivered.insert(f.uid);
+            end = end.max(f.seq + 1);
+            max_clock = max_clock.max(Timestamp::from_raw(f.ts_raw).clock());
+        }
+        st.done = st.delivered.clone();
+        st.applied_seq = end;
+        st.next_seq = end;
+        st.log_floor = floor_seq;
+        st.max_ts_seen = st.max_ts_seen.max(max_clock);
+        st.clock = st.clock.max(max_clock);
+        // Rebuild the ring tail so takeovers and retransmissions can read
+        // our log again. Only the last window's worth fits; anything older
+        // is served from checkpoints at the application layer.
+        let window_start = end.saturating_sub(self.inner.sizes.log_slots as u64);
+        for f in &frames {
+            if f.seq < window_start {
+                continue;
+            }
+            let buf = encode_log(f.seq, f.uid, f.mask, f.ts_raw, f.epoch, &f.payload);
+            let _ = self
+                .node
+                .local_write(self.inner.sizes.log_slot(self.layout, f.seq), &buf);
+        }
+        let _ = self.node.local_write_word(self.layout.log_seq, end);
+        if self.n() == 1 {
+            // Single-replica group: we are the only possible leader and our
+            // WAL is the whole committed log; resume leading immediately.
+            st.await_epoch = false;
+            st.is_leader = true;
+            return;
+        }
+        // Post our reloaded position into every live peer's ack array so a
+        // surviving leader's retransmission path sees where we really are
+        // (the ack word otherwise only advances on apply progress).
+        for i in 0..self.n() {
+            if i == self.idx {
+                continue;
+            }
+            let target = self.inner.global_idx(self.group, i);
+            if !self.peer_node(target).is_alive() {
+                continue;
+            }
+            let node_id = self.peer_node(target).id();
+            let slot = self
+                .inner
+                .sizes
+                .ack_slot(self.inner.layouts[&node_id], self.idx);
+            let _ = self.qp(qps, target).post_write_word(slot, st.applied_seq);
         }
     }
 
@@ -849,6 +1009,16 @@ impl McastReplica {
         }
     }
 
+    /// Whether our own ring still holds the entry for `seq` (the slot's
+    /// stamp matches). False for wiped slots and truncated prefixes.
+    fn holds_log(&self, seq: u64) -> bool {
+        let addr = self.inner.sizes.log_slot(self.layout, seq);
+        match self.node.local_read(addr, LOG_HDR) {
+            Ok(hdr) => decode_log_header(&hdr).0 == seq + 1,
+            Err(_) => false,
+        }
+    }
+
     fn read_own_log(&self, seq: u64) -> crate::layout::LogEntry {
         let addr = self.inner.sizes.log_slot(self.layout, seq);
         let hdr = self
@@ -886,6 +1056,22 @@ impl McastReplica {
             u64::from(entry.uid),
             &[("ts", entry.ts_raw), ("seq", entry.seq)],
         );
+        // Durability: log the delivery before the upcall, so the set of
+        // messages ever handed to the application survives power loss.
+        // The append charges this process the modeled write + fsync cost.
+        if let Some(disk) = &self.wal_disk {
+            disk.append(
+                crate::wal::WAL_FILE,
+                &encode_log(
+                    entry.seq,
+                    entry.uid,
+                    entry.mask,
+                    entry.ts_raw,
+                    st.epoch,
+                    &entry.payload,
+                ),
+            );
+        }
         // A dead consumer (its process was killed) cannot take deliveries;
         // dropping the event mirrors losing an upcall to a crashed replica.
         let _ = self.inner.deliveries[self.group.0 as usize][self.idx].send(
@@ -938,15 +1124,23 @@ impl McastReplica {
                 continue;
             }
             // Entries older than the log window are gone; the follower
-            // will observe a gap.
+            // will observe a gap. Entries below our reload floor were
+            // truncated behind a checkpoint and are not in the rebuilt
+            // ring at all.
             let window_lo = st
                 .next_seq
                 .saturating_sub(self.inner.sizes.log_slots as u64 / 2);
-            let from = behind.max(window_lo);
+            let from = behind.max(window_lo).max(st.log_floor);
             let to = st.next_seq.min(from + BATCH);
             let node_id = self.peer_node(target).id();
             let peer_layout = self.inner.layouts[&node_id];
             let qp = self.qp(qps, target);
+            if st.log_floor > behind {
+                // The follower sits behind our truncation horizon: its
+                // wiped ring will never show it a lap gap, so advertise
+                // the first sequence number we can actually serve.
+                let _ = qp.post_write_word(peer_layout.log_floor, from);
+            }
             if self.inner.cfg.max_batch > 1 {
                 let mut batch = qp.write_batch();
                 for seq in from..to {
@@ -992,6 +1186,23 @@ impl McastReplica {
             // a deposed regime. Hold all applies until a heartbeat reveals
             // the live leader's epoch (`follower_check_leader` clears this).
             return;
+        }
+        // A leader whose durable log was truncated below our position
+        // advertises its floor here: the dropped prefix can never be
+        // retransmitted, so surface the gap (the application recovers from
+        // a checkpoint) and resume from the floor.
+        let floor = self
+            .node
+            .local_read_word(self.layout.log_floor)
+            .unwrap_or(0);
+        if floor > st.applied_seq {
+            let _ =
+                self.inner.deliveries[self.group.0 as usize][self.idx].send(DeliveryEvent::Gap {
+                    from: st.applied_seq,
+                    to: floor - 1,
+                });
+            st.applied_seq = floor;
+            st.log_floor = st.log_floor.max(floor);
         }
         let mut progressed = false;
         loop {
@@ -1116,6 +1327,17 @@ impl McastReplica {
             let node_id = self.peer_node(target_g).id();
             let qp = self.qp(qps, target_g);
             if let Ok(seq) = qp.read_word(self.inner.layouts[&node_id].log_seq) {
+                // An alive peer whose boot generation lags its power-cycle
+                // count is back up but has not reloaded its WAL into the
+                // ring yet: its log_seq word still reads as wiped. Electing
+                // now could adopt a log shorter than its durable one and
+                // re-sequence entries it will later replay — wait instead.
+                let gen = qp
+                    .read_word(self.inner.layouts[&node_id].boot_gen)
+                    .unwrap_or(0);
+                if gen != self.peer_node(target_g).power_cycles() {
+                    return; // recovering peer not ready; retry next timeout
+                }
                 alive += 1;
                 peer_seq.insert(i, seq);
                 if seq > longest.0 {
@@ -1170,8 +1392,22 @@ impl McastReplica {
             let target_g = self.inner.global_idx(self.group, i);
             let node_id = self.peer_node(target_g).id();
             let peer_layout = self.inner.layouts[&node_id];
+            // A prefix of the adopted log may be gone from our ring: WAL
+            // compaction truncated it, or a power loss wiped it and the
+            // reload found it already behind the checkpoint floor. Those
+            // entries exist only inside checkpoints now — advance the
+            // peer's floor word so it surfaces a gap and the application
+            // recovers the prefix via state transfer, then backfill the
+            // entries we do hold.
+            let mut from = seq;
+            while from < adopt_to && !self.holds_log(from) {
+                from += 1;
+            }
             let qp = self.qp(qps, target_g);
-            for s in seq..adopt_to {
+            if from > seq {
+                let _ = qp.post_write_word(peer_layout.log_floor, from);
+            }
+            for s in from..adopt_to {
                 let entry = self.read_own_log(s);
                 // Backfilled under the new epoch so recovered peers accept.
                 let buf = encode_log(

@@ -16,7 +16,10 @@
 //! history, store divergence, or stall). A failure is shrunk to a minimal
 //! reproduction and the failing seed is printed for replay.
 
-use heron_bench::chaos::{parallel_scenario_for_seed, run, scenario_for_seed, shrink, RunResult};
+use heron_bench::chaos::{
+    parallel_scenario_for_seed, recovery_scenario_for_seed, run, scenario_for_seed, shrink,
+    RunResult,
+};
 use heron_bench::{banner, quick_mode};
 
 fn arg_value(name: &str) -> Option<u64> {
@@ -43,37 +46,49 @@ fn main() {
 
     let mut failures = Vec::new();
     // Serial scenarios, then the same seeds through a width-4 executor
-    // pool (crash mid-batch / state transfer with workers in flight).
+    // pool (crash mid-batch / state transfer with workers in flight), then
+    // the durable-recovery ladder (power loss + checkpoint/WAL rebuild).
     let scenarios = (0..schedules)
         .map(|k| scenario_for_seed(base_seed + k, quick))
-        .chain((0..schedules).map(|k| parallel_scenario_for_seed(base_seed + k, quick)));
+        .chain((0..schedules).map(|k| parallel_scenario_for_seed(base_seed + k, quick)))
+        .chain((0..schedules).map(|k| recovery_scenario_for_seed(base_seed + k, quick)));
     for sc in scenarios {
         let seed = sc.seed;
         let width = sc.width;
+        let kind = if sc.durability_us.is_some() {
+            "recovery"
+        } else if sc.width > 1 {
+            "parallel"
+        } else {
+            "serial"
+        };
         let result = run(&sc);
         match &result {
             RunResult::Pass { ops } => {
                 println!(
-                    "seed {seed} (width {width}): PASS — {ops} ops, {} fault clauses {:?}",
+                    "seed {seed} ({kind}, width {width}): PASS — {ops} ops, {} fault clauses {:?}",
                     sc.clauses.len(),
                     sc.clauses
                 );
             }
             RunResult::Stalled { pending } => {
                 println!(
-                    "seed {seed} (width {width}): STALL — {pending} operations never completed"
+                    "seed {seed} ({kind}, width {width}): STALL — {pending} operations never completed"
                 );
                 failures.push((sc, result));
             }
             RunResult::Failed(v) => {
-                println!("seed {seed} (width {width}): FAIL — {v}");
+                println!("seed {seed} ({kind}, width {width}): FAIL — {v}");
                 failures.push((sc, result));
             }
         }
     }
 
     if failures.is_empty() {
-        println!("chaos suite: all {schedules} schedules passed (serial + width-4 pool)");
+        println!(
+            "chaos suite: all {schedules} schedules passed \
+             (serial + width-4 pool + durable recovery)"
+        );
         return;
     }
 

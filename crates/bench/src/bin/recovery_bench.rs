@@ -1,0 +1,274 @@
+//! Recovery benchmark and regression gate (DESIGN.md §14).
+//!
+//! Measures **cold-restart cost** as a function of the WAL tail a replica
+//! must replay past its last durable checkpoint: a 1×3 durable bank
+//! cluster runs a warm-up, forces a checkpoint on one replica, appends a
+//! tail of `t` further requests, then power-cycles that replica and times
+//! the rebuild (checkpoint read + tail replay) in virtual nanoseconds via
+//! the `recover.ns` / `recover.replayed` registry counters. Recovery time
+//! must scale with the tail, not with the full history — that is the
+//! whole point of checkpoint + truncation.
+//!
+//! The run also records the **durability-off schedule hash** of a fixed
+//! recovery-shaped workload (faults and checkpointing stripped). With
+//! durability disabled the checkpoint subsystem must be fully inert, so
+//! this hash is stable across PRs unless the core protocol itself
+//! changes; the gate pins it against the committed baseline.
+//!
+//! Modes:
+//!
+//! * default — measure and write `bench_results/BENCH_recovery.json`.
+//! * `--gate` — (1) the fixed-seed durable-recovery chaos scenarios must
+//!   pass the linearizability checker, (2) replayed frames and recovery
+//!   time must grow with the tail length, and (3) the durability-off
+//!   schedule hash must equal the one in the committed
+//!   `bench_results/BENCH_recovery.json`. Exits non-zero on any failure;
+//!   the committed file is not rewritten.
+//! * `--quick` — smaller tails and fewer seeds, for CI smoke runs.
+
+use heron_bench::chaos::{self, recovery_scenario_for_seed, Bank, RunResult};
+use heron_bench::{banner, quick_mode, write_results, Json};
+use heron_core::{HeronCluster, HeronConfig, PartitionId};
+use rdma_sim::{Fabric, LatencyModel};
+use sim::SimTime;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One cold-restart measurement: warm the store, force a checkpoint on
+/// replica 2, append `tail` requests, power-cycle the replica, and wait
+/// for the rebuilt replica to catch back up. Returns
+/// (recovery virtual ns, frames replayed, checkpoint image bytes).
+fn measure_recovery(seed: u64, tail: u64) -> (u64, u64, u64) {
+    const ACCOUNTS: u64 = 6;
+    const WARM: u64 = 12;
+    let simulation = sim::Simulation::new(seed);
+    let fabric = Fabric::new(LatencyModel::connectx4());
+    let cfg = HeronConfig::new(1, 3).with_durability(
+        sim::storage::Storage::new(sim::storage::DiskConfig::nvme()),
+        Duration::from_secs(3600), // only the forced checkpoint below runs
+    );
+    let cluster = HeronCluster::build(&fabric, cfg, Arc::new(Bank::new(1, ACCOUNTS)));
+    let metrics = cluster.metrics();
+    metrics.registry().enable();
+    cluster.spawn(&simulation);
+
+    let c2 = cluster.clone();
+    let mut client = cluster.client("rb");
+    let image = Arc::new(std::sync::Mutex::new(0u64));
+    let image2 = image.clone();
+    let metrics2 = metrics.clone();
+    simulation.spawn("rb-driver", move || {
+        let p = PartitionId(0);
+        let mut op = 0u64;
+        let mut next = |client: &mut heron_core::HeronClient| {
+            let from = (seed + op * 7) % ACCOUNTS;
+            let to = (from + 1 + op % (ACCOUNTS - 1)) % ACCOUNTS;
+            if from == to {
+                client.execute(&chaos::enc_read(from));
+            } else {
+                client.execute(&chaos::enc_transfer(from, to, 1 + op % 9));
+            }
+            op += 1;
+        };
+        for _ in 0..WARM {
+            next(&mut client);
+        }
+        sim::sleep(Duration::from_millis(1));
+        let meta = c2
+            .checkpoint_replica(p, 2)
+            .expect("quiescent replica checkpoints");
+        *image2.lock().unwrap() = meta.image_bytes as u64;
+        // The tail past the checkpoint is exactly what the cold restart
+        // must replay from the WAL.
+        for _ in 0..tail {
+            next(&mut client);
+        }
+        sim::sleep(Duration::from_millis(1));
+        c2.power_loss_replica(p, 2);
+        sim::sleep(Duration::from_millis(1));
+        c2.recover_replica(p, 2);
+        let target = c2.last_req(p, 0);
+        let reg = metrics2.registry();
+        let deadline = sim::now() + Duration::from_secs(20);
+        while (reg.counter("recover.cold").get() < 1 || c2.last_req(p, 2) < target)
+            && sim::now() < deadline
+        {
+            sim::sleep(Duration::from_millis(1));
+        }
+        sim::stop();
+    });
+    simulation
+        .run_until(SimTime::from_secs(60))
+        .expect("recovery measurement completes");
+    let reg = metrics.registry();
+    assert_eq!(
+        reg.counter("recover.cold").get(),
+        1,
+        "replica must cold-restart exactly once (seed {seed}, tail {tail})"
+    );
+    let ckpt_bytes = *image.lock().unwrap();
+    (
+        reg.counter("recover.ns").get(),
+        reg.counter("recover.replayed").get(),
+        ckpt_bytes,
+    )
+}
+
+/// Schedule hash of the fixed durability-off workload: the recovery
+/// scenario shape for seed 9004 with its fault clauses and checkpointing
+/// stripped. Pinned by `--gate` against the committed baseline.
+fn durability_off_hash() -> u64 {
+    let mut sc = recovery_scenario_for_seed(9004, true);
+    sc.clauses.clear();
+    sc.durability_us = None;
+    let (result, hash) = chaos::run_with_engine(&sc, sim::EngineConfig::default());
+    match result {
+        RunResult::Pass { .. } => hash,
+        other => {
+            eprintln!("FAIL: durability-off baseline workload did not pass: {other:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Pulls the pinned schedule hash out of the committed baseline JSON.
+/// The file is written by this binary, so a simple string scan is enough
+/// — no JSON parser lives in this offline workspace.
+fn baseline_schedule_hash(text: &str) -> Option<u64> {
+    let key = "\"schedule_hash\": \"0x";
+    let at = text.find(key)? + key.len();
+    let end = text[at..].find('"')? + at;
+    u64::from_str_radix(&text[at..end], 16).ok()
+}
+
+fn main() {
+    banner(
+        "recovery bench — cold-restart cost vs WAL tail, durability-off determinism",
+        "durable extension of §III; recovery model of DESIGN.md §14",
+    );
+    let gate = std::env::args().any(|a| a == "--gate");
+    let quick = quick_mode();
+
+    let tails: &[u64] = if quick { &[4, 24] } else { &[4, 12, 24, 48] };
+    let chaos_seeds: &[u64] = if quick {
+        &[9000, 9001]
+    } else {
+        &[9000, 9001, 9002]
+    };
+
+    // 1. The durable-recovery chaos ladder: fixed seeds through the
+    // linearizability checker. These are the same generators the chaos
+    // suite runs; a regression here means recovery is wrong, not slow.
+    for &seed in chaos_seeds {
+        let sc = recovery_scenario_for_seed(seed, true);
+        match chaos::run(&sc) {
+            RunResult::Pass { ops } => {
+                println!("recovery scenario seed {seed}: PASS — {ops} ops");
+            }
+            other => {
+                eprintln!("FAIL: recovery scenario seed {seed}: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // 2. Cold-restart cost sweep over the tail length.
+    println!(
+        "\n{:<14} {:>16} {:>14} {:>16}",
+        "tail requests", "replayed frames", "recovery µs", "checkpoint bytes"
+    );
+    let mut rows = Vec::new();
+    let mut sweep = Vec::new();
+    for &tail in tails {
+        let (ns, replayed, ckpt_bytes) = measure_recovery(77, tail);
+        println!(
+            "{:<14} {:>16} {:>14.1} {:>16}",
+            tail,
+            replayed,
+            ns as f64 / 1e3,
+            ckpt_bytes
+        );
+        let mut row = Json::obj();
+        row.set("tail_requests", tail)
+            .set("replayed_frames", replayed)
+            .set("recovery_ns", ns)
+            .set("checkpoint_bytes", ckpt_bytes);
+        rows.push(row);
+        sweep.push((tail, replayed, ns));
+    }
+
+    // Recovery must scale with the tail: more frames replayed for longer
+    // tails, and a longer virtual-time rebuild end to end. (Checked in
+    // both modes — a measurement that violates this is not worth
+    // committing as a baseline either.)
+    for pair in sweep.windows(2) {
+        let (t0, r0, _) = pair[0];
+        let (t1, r1, _) = pair[1];
+        if r1 <= r0 {
+            eprintln!(
+                "FAIL: replayed frames not increasing with tail \
+                 ({r0} @ {t0} requests vs {r1} @ {t1})"
+            );
+            std::process::exit(1);
+        }
+    }
+    let (first, last) = (sweep[0], sweep[sweep.len() - 1]);
+    if last.2 <= first.2 {
+        eprintln!(
+            "FAIL: recovery time did not grow with the tail \
+             ({} ns @ {} requests vs {} ns @ {})",
+            first.2, first.0, last.2, last.0
+        );
+        std::process::exit(1);
+    }
+
+    // 3. Durability-off determinism: fixed workload, fixed hash.
+    let hash = durability_off_hash();
+    println!("\ndurability-off schedule hash: {hash:#018x}");
+
+    if gate {
+        let path = "bench_results/BENCH_recovery.json";
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL: cannot read committed baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let Some(pinned) = baseline_schedule_hash(&text) else {
+            eprintln!("FAIL: no schedule_hash field in {path}");
+            std::process::exit(1);
+        };
+        if hash != pinned {
+            eprintln!(
+                "FAIL: durability-off schedule changed: measured {hash:#018x} \
+                 vs committed {pinned:#018x} — with checkpointing disabled \
+                 the durability subsystem must be schedule-invisible"
+            );
+            std::process::exit(1);
+        }
+        println!("gate: schedule hash matches committed baseline");
+        println!("gate: PASS");
+    } else {
+        let mut out = Json::obj();
+        out.set("figure", "recovery")
+            .set("quick", quick)
+            .set("warm_requests", 12u64)
+            .set("rows", Json::Arr(rows));
+        let mut gate_obj = Json::obj();
+        gate_obj.set("schedule_hash", format!("{hash:#018x}")).set(
+            "rule",
+            "recovery_bench --gate fails if the durability-off schedule \
+                 hash moves, if replayed frames / recovery time stop scaling \
+                 with the WAL tail, or if a recovery chaos scenario fails",
+        );
+        out.set("gate", gate_obj);
+        match write_results("BENCH_recovery.json", &out) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("FAIL: could not write results: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

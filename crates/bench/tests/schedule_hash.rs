@@ -103,3 +103,50 @@ fn chaos_verdicts_are_engine_invariant() {
         }
     }
 }
+
+/// A durable recovery scenario — checkpointer, WAL appends, power loss,
+/// cold restart — executes the bit-identical schedule on every engine
+/// and reaches the same verdict. This extends the determinism pin to
+/// the storage layer: modeled disk latency is charged through the same
+/// scheduler paths as every other event.
+#[test]
+fn durable_recovery_is_engine_invariant() {
+    let sc = chaos::recovery_scenario_for_seed(9004, true);
+    let mut baseline: Option<(u64, String, &str)> = None;
+    for (name, engine) in engines() {
+        let (result, hash) = chaos::run_with_engine(&sc, engine);
+        let fp = (hash, format!("{result:?}"), name);
+        match &baseline {
+            None => baseline = Some(fp),
+            Some(b) => assert_eq!(
+                (b.0, &b.1),
+                (fp.0, &fp.1),
+                "engine {} diverged from {}",
+                name,
+                b.2
+            ),
+        }
+    }
+    let (hash, verdict, _) = baseline.unwrap();
+    assert_ne!(hash, 0, "schedule hash must be populated");
+    assert!(
+        verdict.starts_with("Pass"),
+        "recovery scenario must pass: {verdict}"
+    );
+}
+
+/// With durability disabled the checkpoint subsystem must be inert: the
+/// same workload hashes identically whether the config ever mentioned a
+/// storage layer or not. (`recovery_bench --gate` additionally pins this
+/// hash against the committed baseline across PRs.)
+#[test]
+fn durability_off_is_schedule_identical() {
+    let mut sc = chaos::recovery_scenario_for_seed(9004, true);
+    sc.clauses.clear(); // power-loss without a WAL would change the story
+    sc.durability_us = None;
+    let (r1, h1) = chaos::run_with_engine(&sc, sim::EngineConfig::default());
+    let (r2, h2) = chaos::run_with_engine(&sc, sim::EngineConfig::default());
+    assert_eq!(h1, h2, "durability-off run must be reproducible");
+    assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    assert!(format!("{r1:?}").starts_with("Pass"), "{r1:?}");
+}

@@ -60,6 +60,20 @@ pub(crate) struct ReplicaShared {
     pub addr_heard: Mutex<HashMap<ObjectId, Vec<NodeId>>>,
     /// Inbound transfer staging progress (owned by the service process).
     pub transfer: Mutex<TransferProgress>,
+    /// Raw timestamp horizon the update log was last truncated at: entries
+    /// `<= log_floor` are gone from `log`. State-transfer responders whose
+    /// requester asks from below the floor must ship full state. Stays 0
+    /// (and the log untruncated) without durability.
+    pub log_floor: AtomicU64,
+    /// The power-cycle generation the store contents reflect: raised by
+    /// the executor once a cold restart has rebuilt the store. The
+    /// checkpointer refuses to snapshot while this lags
+    /// [`rdma_sim::Node::power_cycles`] — between the wipe and the
+    /// rebuild, the watermarks look quiescent but the slots are zeros.
+    pub restored_cycles: AtomicU64,
+    /// The replica's durable namespace (`heron-p{p}r{i}`), when the
+    /// deployment has a [`crate::DurabilityConfig`].
+    pub disk: Option<sim::storage::Disk>,
     /// Debug trace of request handling: `(ts_raw, event)` where event is
     /// `e`xecuted, `s`kipped, or state-`t`ransferred-to.
     pub exec_trace: Mutex<Vec<(u64, char)>>,
@@ -151,6 +165,13 @@ impl HeronCluster {
             })
             .collect();
         let mcast = Mcast::build(fabric, nodes.clone(), cfg.mcast.clone());
+        if let Some(dur) = &cfg.durability {
+            // The ordering layer shares the storage device: each of its
+            // replicas journals delivered entries to a per-replica WAL
+            // that the checkpointer truncates behind the checkpoint
+            // horizon.
+            mcast.attach_wal(&dur.storage);
+        }
         let detector = cfg.race_detector.then(|| fabric.enable_race_detector());
         if let Some(det) = &detector {
             // The ordering layer's rings are synchronization memory by
@@ -250,6 +271,13 @@ impl HeronCluster {
                     object_map: Mutex::new(HashMap::new()),
                     addr_heard: Mutex::new(HashMap::new()),
                     transfer: Mutex::new(TransferProgress::default()),
+                    log_floor: AtomicU64::new(0),
+                    restored_cycles: AtomicU64::new(0),
+                    disk: inner
+                        .cfg
+                        .durability
+                        .as_ref()
+                        .map(|d| d.storage.disk(format!("heron-p{p}r{i}"))),
                     exec_trace: Mutex::new(Vec::new()),
                     qps: Mutex::new(HashMap::new()),
                 }));
@@ -287,6 +315,15 @@ impl HeronCluster {
                 simulation.spawn(format!("heron-svc-p{p}r{i}"), move || {
                     Service::new(shared).run()
                 });
+                if self.inner.cfg.durability.is_some() {
+                    // Spawned after the executor and service so the
+                    // process roster is a strict extension of the
+                    // durability-off deployment.
+                    let shared = Arc::clone(&self.replicas[p][i]);
+                    simulation.spawn(format!("heron-ckpt-p{p}r{i}"), move || {
+                        crate::checkpoint::run_checkpointer(shared)
+                    });
+                }
             }
         }
     }
@@ -346,6 +383,87 @@ impl HeronCluster {
         self.inner
             .fabric
             .recover(self.inner.nodes[p.0 as usize][i].id());
+    }
+
+    /// Cuts power to replica `(p, i)`: beyond a crash, its registered
+    /// memory (store slots, coordination regions, ordering rings) is wiped.
+    /// On [`HeronCluster::recover_replica`] the executor rebuilds from its
+    /// durable checkpoint plus the ordering WAL tail — or, without
+    /// durability, re-bootstraps and relies on a full state transfer.
+    pub fn power_loss_replica(&self, p: PartitionId, i: usize) {
+        self.inner
+            .fabric
+            .power_loss(self.inner.nodes[p.0 as usize][i].id());
+    }
+
+    /// Forces one checkpoint round at replica `(p, i)` right now (must be
+    /// called from inside the simulation — the disk I/O is charged to the
+    /// calling process). Returns the checkpoint metadata, or `None` if the
+    /// round was skipped (no durability, replica dead or busy).
+    pub fn checkpoint_replica(
+        &self,
+        p: PartitionId,
+        i: usize,
+    ) -> Option<crate::checkpoint::CheckpointMeta> {
+        crate::checkpoint::checkpoint_replica(&self.replicas[p.0 as usize][i])
+    }
+
+    /// The durable checkpoint currently on replica `(p, i)`'s disk, if
+    /// any. Free of modeled I/O when called from the host thread
+    /// (offline inspection).
+    pub fn checkpoint_meta(
+        &self,
+        p: PartitionId,
+        i: usize,
+    ) -> Option<crate::checkpoint::CheckpointMeta> {
+        let disk = self.replicas[p.0 as usize][i].disk.as_ref()?;
+        let file = disk.get(crate::checkpoint::CKPT_FILE)?;
+        Some(crate::checkpoint::decode_file(&file).0)
+    }
+
+    /// The application-state digest of replica `(p, i)` (the
+    /// [`crate::StateMachine::digest`] hook over its live store).
+    pub fn state_digest(&self, p: PartitionId, i: usize) -> u64 {
+        let shared = &self.replicas[p.0 as usize][i];
+        self.inner.app.digest(shared.partition, &shared.store)
+    }
+
+    /// A snapshot image of replica `(p, i)`'s live store through the
+    /// application's [`crate::StateMachine::snapshot`] hook. Host-thread
+    /// diagnostic for the checkpoint round-trip property tests — it is the
+    /// caller's job to ensure the replica is quiescent.
+    pub fn snapshot_image(&self, p: PartitionId, i: usize) -> Vec<u8> {
+        let shared = &self.replicas[p.0 as usize][i];
+        self.inner.app.snapshot(shared.partition, &shared.store)
+    }
+
+    /// Number of entries in replica `(p, i)`'s in-memory update log — with
+    /// [`HeronCluster::wal_frames`], the log-growth guard's probe.
+    pub fn update_log_len(&self, p: PartitionId, i: usize) -> usize {
+        self.replicas[p.0 as usize][i].log.lock().len()
+    }
+
+    /// The update-log truncation horizon of replica `(p, i)` (raw
+    /// timestamp; 0 when never truncated).
+    pub fn log_floor(&self, p: PartitionId, i: usize) -> u64 {
+        self.replicas[p.0 as usize][i]
+            .log_floor
+            .load(Ordering::SeqCst)
+    }
+
+    /// I/O counters of replica `(p, i)`'s durable namespace (`None`
+    /// without durability).
+    pub fn disk_stats(&self, p: PartitionId, i: usize) -> Option<sim::storage::DiskStats> {
+        self.replicas[p.0 as usize][i]
+            .disk
+            .as_ref()
+            .map(|d| d.stats())
+    }
+
+    /// Number of frames in the ordering WAL of replica `(p, i)` (0 without
+    /// durability) — the log-growth guard's probe.
+    pub fn wal_frames(&self, p: PartitionId, i: usize) -> usize {
+        self.inner.mcast.wal_frames(GroupId(p.0), i)
     }
 
     /// Direct read of a committed value at a given replica, for tests and

@@ -1,7 +1,41 @@
 //! Heron deployment configuration.
 
 use amcast::McastConfig;
+use sim::storage::Storage;
 use std::time::Duration;
+
+/// Durable-checkpoint configuration. Present only when the deployment has
+/// a simulated persistent storage device: each replica then appends the
+/// ordering layer's delivery log to a per-replica WAL, periodically
+/// persists an application checkpoint stamped with the executor's commit
+/// watermark and the ordering epoch, and truncates both the in-memory
+/// update log and the WAL behind that horizon. A fully crashed partition
+/// rebuilds from checkpoint + WAL tail instead of live peer memory.
+///
+/// Absent (`HeronConfig::durability == None`, the default), no storage
+/// device is touched, no checkpointer process is spawned and schedules
+/// are bit-identical to a build without this subsystem.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// The shared storage device; each replica carves out its own
+    /// namespaces (`heron-p{p}r{i}` for checkpoints, `mcast-g{g}r{i}`
+    /// for the ordering WAL).
+    pub storage: Storage,
+    /// Period of the per-replica checkpointer process. Each round waits
+    /// for a quiescent executor boundary, persists a checkpoint and
+    /// truncates the logs behind it.
+    pub checkpoint_interval: Duration,
+}
+
+impl DurabilityConfig {
+    /// Checkpointing on `storage` every `interval`.
+    pub fn new(storage: Storage, interval: Duration) -> Self {
+        DurabilityConfig {
+            storage,
+            checkpoint_interval: interval,
+        }
+    }
+}
 
 /// How multi-partition requests execute (paper §III-D2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -84,6 +118,9 @@ pub struct HeronConfig {
     /// race detector catches the resulting protocol violation; never set
     /// this outside that test.
     pub break_dual_version_guard: bool,
+    /// Durable checkpointing (see [`DurabilityConfig`]). `None` (the
+    /// default) runs the original all-in-memory system bit-for-bit.
+    pub durability: Option<DurabilityConfig>,
     /// Ordering-layer configuration.
     pub mcast: McastConfig,
 }
@@ -114,8 +151,16 @@ impl HeronConfig {
             race_detector: false,
             tracing: false,
             break_dual_version_guard: false,
+            durability: None,
             mcast,
         }
+    }
+
+    /// Enables durable checkpointing (see [`DurabilityConfig`]).
+    #[must_use]
+    pub fn with_durability(mut self, storage: Storage, interval: Duration) -> Self {
+        self.durability = Some(DurabilityConfig::new(storage, interval));
+        self
     }
 
     /// Enables (or disables) the Sim-TSan race detector.

@@ -84,6 +84,7 @@
 
 mod app;
 pub mod checker;
+pub mod checkpoint;
 mod client;
 mod cluster;
 mod config;
@@ -96,11 +97,12 @@ mod server;
 mod store;
 mod types;
 
-pub use app::{Execution, LocalReader, ReadSet, StateMachine};
+pub use app::{Execution, LocalReader, ReadSet, SnapshotStore, StateMachine};
 pub use checker::{CheckedClient, Checker, OpRecord, SequentialSpec, Violation};
+pub use checkpoint::CheckpointMeta;
 pub use client::HeronClient;
 pub use cluster::HeronCluster;
-pub use config::{ExecutionMode, HeronConfig};
+pub use config::{DurabilityConfig, ExecutionMode, HeronConfig};
 pub use metrics::{
     Breakdown, Counter, DelayCounters, Histogram, HistogramSnapshot, Metrics, MetricsRegistry,
     TransferRecord,

@@ -33,15 +33,21 @@ pub(crate) struct Executor {
     /// nothing may execute until a state transfer covers everything up to
     /// the next delivery.
     needs_full_sync: bool,
+    /// Power cycles of the node last observed: a bump means our registered
+    /// memory (store slots, coordination regions) was wiped and the
+    /// cold-restart path must rebuild it before anything executes.
+    power_cycles: u64,
 }
 
 impl Executor {
     pub(crate) fn new(shared: Arc<ReplicaShared>, deliveries: Mailbox<DeliveryEvent>) -> Self {
+        let power_cycles = shared.node.power_cycles();
         Executor {
             core: ExecCore { shared, lane: 0 },
             deliveries,
             seen_requests: HashMap::new(),
             needs_full_sync: false,
+            power_cycles,
         }
     }
 
@@ -69,7 +75,23 @@ impl Executor {
                     .poll_until_timeout(|| shared.node.is_alive(), Duration::from_millis(1));
                 continue;
             }
+            let cycles = self.shared().node.power_cycles();
+            if cycles != self.power_cycles {
+                // The node lost power while we were dark: registered
+                // memory is zeroed, so every byte of protocol state must
+                // be rebuilt before a single command may touch it.
+                self.power_cycles = cycles;
+                self.cold_restart();
+            }
             self.serve_transfers();
+            // Serving a transfer yields: if power was cut while we
+            // streamed, loop back to the crash-wait / cold-restart checks
+            // instead of executing a delivery against a wiped store.
+            if !self.shared().node.is_alive()
+                || self.shared().node.power_cycles() != self.power_cycles
+            {
+                continue;
+            }
             if let Some(ev) = self.deliveries.try_recv() {
                 match ev {
                     DeliveryEvent::Deliver(d) => self.on_deliver(d),
@@ -143,6 +165,92 @@ impl Executor {
         let _ = self
             .core
             .run_command(&d, sim::now().as_nanos(), &mut stalls);
+    }
+
+    /// Cold restart after a power loss: rebuild the store from the durable
+    /// checkpoint, reset every piece of volatile protocol state to the
+    /// checkpoint bound, and replay the ordering WAL tail through the
+    /// normal delivery path. Equivalent to a state transfer whose
+    /// responder is the disk — the execution trace restarts with a
+    /// `('t', bound)` entry and replayed commands append fresh `'e'`
+    /// entries past it.
+    ///
+    /// Without durability there is no checkpoint and no WAL: the store is
+    /// re-bootstrapped to time zero and `needs_full_sync` forces the next
+    /// delivery to wait for a live-peer transfer covering everything.
+    fn cold_restart(&mut self) {
+        let shared = Arc::clone(self.shared());
+        let t0 = sim::now();
+        // Volatile protocol state is gone with the memory that backed it.
+        shared.log.lock().clear();
+        shared.exec_trace.lock().clear();
+        shared.object_map.lock().clear();
+        shared.addr_heard.lock().clear();
+        *shared.transfer.lock() = crate::cluster::TransferProgress::default();
+        self.seen_requests.clear();
+        // Rebuild the store image: checkpoint if one exists, time-zero
+        // bootstrap otherwise. The checkpoint read pays modeled disk
+        // latency — the first component of recovery time.
+        let restored = crate::checkpoint::load_checkpoint(&shared);
+        let bound = match &restored {
+            Some(meta) => meta.bound,
+            None => {
+                for (oid, value) in shared.cluster.app.bootstrap(shared.partition) {
+                    shared.store.bootstrap(oid, &value);
+                }
+                0
+            }
+        };
+        shared.last_req.store(bound, Ordering::SeqCst);
+        shared.completed_req.store(bound, Ordering::SeqCst);
+        // Our own update log restarts empty at the bound: a peer asking
+        // for state from below it gets full state, not an empty diff.
+        shared.log_floor.store(bound, Ordering::SeqCst);
+        if bound > 0 {
+            shared.exec_trace.lock().push((bound, 't'));
+        }
+        // The store reflects this power cycle again: re-arm the
+        // checkpointer, which refuses to snapshot while `restored_cycles`
+        // lags the node's cycle count (between the wipe and this line the
+        // watermarks look quiescent but the slots are zeros).
+        shared
+            .restored_cycles
+            .store(self.power_cycles, Ordering::SeqCst);
+        publish_progress(&shared);
+        // With durability the WAL speaks for everything delivered past the
+        // bound (bound 0 = since genesis, before the first checkpoint), so
+        // replay alone restores us. Without it, nothing does: hold
+        // execution until a live-peer transfer covers the next delivery.
+        self.needs_full_sync = shared.disk.is_none();
+        // Replay the WAL tail past the bound through the normal delivery
+        // path — the second component of recovery time. Deliveries the
+        // ordering replica re-sends (or that were already sitting in our
+        // mailbox) re-appear with timestamps the replay has covered and
+        // are skipped by the `last_req` watermark.
+        let group = amcast::GroupId(shared.partition.0);
+        let tail = shared.cluster.mcast.wal_tail(group, shared.idx, bound);
+        let replayed = tail.len();
+        let _span = sim::trace::span_args(
+            "recover.cold",
+            bound,
+            &[("bound", bound), ("tail", replayed as u64)],
+        );
+        for d in tail {
+            // Replay costs virtual time: if power is cut again mid-replay,
+            // stop — the run loop sees the new cycle and restarts recovery
+            // from the (still intact) checkpoint.
+            if !shared.node.is_alive() || shared.node.power_cycles() != self.power_cycles {
+                break;
+            }
+            self.on_deliver(d);
+        }
+        let reg = shared.cluster.metrics.registry();
+        if reg.is_enabled() {
+            reg.counter("recover.cold").add(1);
+            reg.counter("recover.replayed").add(replayed as u64);
+            reg.counter("recover.ns")
+                .add((sim::now() - t0).as_nanos() as u64);
+        }
     }
 
     /// Responder side of Algorithm 3 (lines 7–22): serve pending state
@@ -400,14 +508,25 @@ pub(crate) fn respond_transfer(shared: &Arc<ReplicaShared>, requester: usize, fr
         cfg.transfer_timeout,
     );
     let bound = shared.completed_req.load(Ordering::SeqCst);
-    // Line 12: the update log bounds what must be synchronized.
-    let oids: BTreeSet<ObjectId> = shared
-        .log
-        .lock()
-        .iter()
-        .filter(|(ts, _)| *ts > from)
-        .map(|(_, oid)| *oid)
-        .collect();
+    // Line 12: the update log bounds what must be synchronized — unless
+    // the checkpointer truncated it past the requester's position, in
+    // which case the log no longer covers the deficit and we ship full
+    // state (transfer-from-checkpoint's live-peer analogue). The floor
+    // read and the log scan have no yield between them, and the
+    // checkpointer raises the floor before shrinking the log, so a
+    // truncated log is never mistaken for a complete diff.
+    let floor = shared.log_floor.load(Ordering::SeqCst);
+    let oids: BTreeSet<ObjectId> = if from < floor {
+        shared.store.object_ids().into_iter().collect()
+    } else {
+        shared
+            .log
+            .lock()
+            .iter()
+            .filter(|(ts, _)| *ts > from)
+            .map(|(_, oid)| *oid)
+            .collect()
+    };
     let qp = shared.qp(&target);
     let app = &shared.cluster.app;
     let chunk_cap = cfg.transfer_chunk;

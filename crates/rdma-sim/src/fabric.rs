@@ -102,6 +102,10 @@ pub(crate) struct NodeInner {
     /// Incremented on every recovery; lets colocated processes detect that
     /// the node was crashed and revived while they were parked.
     pub(crate) incarnation: AtomicU64,
+    /// Incremented on every [`Fabric::power_loss`]; lets colocated
+    /// processes distinguish a memory-wiping power loss (cold restart
+    /// required) from a plain crash (memory preserved).
+    pub(crate) power_cycles: AtomicU64,
     /// Notified whenever a remote write lands in this node's memory; local
     /// processes block on it instead of busy-polling.
     pub(crate) mem_cond: Cond,
@@ -284,6 +288,7 @@ impl Fabric {
             }),
             alive: AtomicBool::new(true),
             incarnation: AtomicU64::new(0),
+            power_cycles: AtomicU64::new(0),
             inbox: Mailbox::with_cond(mem_cond.clone()),
             mem_cond,
         });
@@ -324,6 +329,19 @@ impl Fabric {
         self.inner.nodes.read()[id.0 as usize]
             .alive
             .store(false, Ordering::SeqCst);
+    }
+
+    /// Crashes a node *and wipes its registered memory*: every byte is
+    /// zeroed, modeling a power loss that destroys volatile DRAM. The
+    /// allocation map (`brk`) is preserved, so addresses handed out before
+    /// the loss stay valid — they just read as zeros until rewritten.
+    /// Durable state must live in [`sim::storage`] to survive this.
+    pub fn power_loss(&self, id: NodeId) {
+        let node = &self.inner.nodes.read()[id.0 as usize];
+        node.alive.store(false, Ordering::SeqCst);
+        node.power_cycles.fetch_add(1, Ordering::SeqCst);
+        let mut mem = node.mem.lock();
+        mem.bytes.fill(0);
     }
 
     /// Brings a crashed node back. Its memory is as it was at crash time
@@ -392,6 +410,14 @@ impl Node {
     /// while it was blocked.
     pub fn incarnation(&self) -> u64 {
         self.inner.incarnation.load(Ordering::SeqCst)
+    }
+
+    /// How many times this node has lost power ([`Fabric::power_loss`]).
+    /// Compared against a cached value, distinguishes "crashed with memory
+    /// intact" (recover warm) from "memory wiped" (must cold-restart from
+    /// durable storage).
+    pub fn power_cycles(&self) -> u64 {
+        self.inner.power_cycles.load(Ordering::SeqCst)
     }
 
     /// Registers `bytes` of RDMA-accessible memory (zero-initialized,
@@ -655,6 +681,26 @@ mod tests {
         assert_eq!(fabric.node(a.id()).name(), "a");
         assert_eq!(fabric.node(b.id()).name(), "b");
         assert_eq!(fabric.len(), 2);
+    }
+
+    #[test]
+    fn power_loss_wipes_memory_but_preserves_layout() {
+        let fabric = Fabric::new(LatencyModel::zero());
+        let n = fabric.add_node("n");
+        let addr = n.alloc_bytes(16);
+        n.local_write_word(addr, 42).unwrap();
+        n.local_write_word(addr.offset(8), 7).unwrap();
+        assert_eq!(n.power_cycles(), 0);
+        fabric.power_loss(n.id());
+        assert!(!n.is_alive());
+        assert_eq!(n.power_cycles(), 1);
+        fabric.recover(n.id());
+        assert!(n.is_alive());
+        // Addresses stay valid but contents are gone.
+        assert_eq!(n.local_read_word(addr).unwrap(), 0);
+        assert_eq!(n.local_read_word(addr.offset(8)).unwrap(), 0);
+        // New allocations continue past the preserved brk.
+        assert_eq!(n.alloc_bytes(8), addr.offset(16));
     }
 
     #[test]

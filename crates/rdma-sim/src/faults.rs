@@ -46,6 +46,7 @@ use std::time::Duration;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TimedAction {
     Crash(NodeId),
+    PowerLoss(NodeId),
     Recover(NodeId),
 }
 
@@ -170,6 +171,18 @@ impl FaultPlan {
         self
     }
 
+    /// Crashes `node` at virtual time `at` *and wipes its registered
+    /// memory* ([`Fabric::power_loss`]): the fail-stop plus total loss of
+    /// volatile state that a datacenter power event inflicts. Recovery
+    /// (via [`FaultPlan::recover_at`]) brings the node back with zeroed
+    /// memory; only durable storage survives.
+    #[must_use]
+    pub fn power_loss_at(mut self, node: NodeId, at: Duration) -> Self {
+        self.timed
+            .push((at.as_nanos() as u64, TimedAction::PowerLoss(node)));
+        self
+    }
+
     /// Recovers `node` at virtual time `at`.
     #[must_use]
     pub fn recover_at(mut self, node: NodeId, at: Duration) -> Self {
@@ -271,6 +284,7 @@ impl FaultPlan {
                     }
                     match action {
                         TimedAction::Crash(id) => fabric.crash(id),
+                        TimedAction::PowerLoss(id) => fabric.power_loss(id),
                         TimedAction::Recover(id) => fabric.recover(id),
                     }
                 }
@@ -311,6 +325,29 @@ mod tests {
             sim::sleep(Duration::from_micros(20));
             assert!(b.is_alive());
             assert!(qp.read_word(addr).is_ok());
+        });
+        simulation.run().unwrap();
+    }
+
+    #[test]
+    fn timed_power_loss_wipes_memory_before_recovery() {
+        let (simulation, fabric, a, b) = two_nodes();
+        let addr = b.alloc_words(1);
+        FaultPlan::new(1)
+            .power_loss_at(b.id(), Duration::from_micros(10))
+            .recover_at(b.id(), Duration::from_micros(30))
+            .arm(&simulation, &fabric);
+        let b2 = b.clone();
+        simulation.spawn("p", move || {
+            let qp = a.connect(&b);
+            qp.write_word(addr, 41).unwrap();
+            sim::sleep(Duration::from_micros(15));
+            assert!(!b2.is_alive());
+            assert_eq!(b2.power_cycles(), 1);
+            sim::sleep(Duration::from_micros(20));
+            assert!(b2.is_alive());
+            // The write from before the power loss is gone.
+            assert_eq!(qp.read_word(addr).unwrap(), 0);
         });
         simulation.run().unwrap();
     }

@@ -46,6 +46,7 @@ mod error;
 mod kernel;
 mod mailbox;
 mod queue;
+pub mod storage;
 mod time;
 pub mod trace;
 pub mod vclock;

@@ -81,3 +81,16 @@ if ! cargo run -q --release --offline -p heron-bench --bin psmr_scaling -- \
   echo "  cargo run --release -p heron-bench --bin psmr_scaling -- --quick" >&2
   exit 1
 fi
+
+# Recovery gate: durable checkpoints + cold restart (DESIGN.md §14). Runs
+# the fixed-seed durable-recovery chaos scenarios through the checker,
+# requires cold-restart cost to scale with the WAL tail (checkpoint +
+# tail replay, never full history), and pins the durability-off schedule
+# hash against bench_results/BENCH_recovery.json — with checkpointing
+# disabled the durability subsystem must be schedule-invisible.
+if ! cargo run -q --release --offline -p heron-bench --bin recovery_bench -- \
+    --gate --quick; then
+  echo "tier1: recovery gate FAILED — remeasure with:" >&2
+  echo "  cargo run --release -p heron-bench --bin recovery_bench -- --quick" >&2
+  exit 1
+fi
