@@ -310,7 +310,9 @@ impl McastReplica {
             // the entry check above: `follower_apply_log` ignores the
             // floor while `await_epoch` holds, so reading it as work
             // before the first heartbeat would spin without blocking.
-            if !st.await_epoch
+            // (`break_has_work_gate` drops the gate to re-introduce that
+            // exact spin for the livelock-detector self-test.)
+            if (!st.await_epoch || self.inner.cfg.break_has_work_gate)
                 && self
                     .node
                     .local_read_word(self.layout.log_floor)
@@ -461,6 +463,9 @@ impl McastReplica {
         let _ = self
             .node
             .local_write_word(self.layout.boot_gen, self.node.power_cycles());
+        // Boot-readiness watermark advanced: progress for the explorer's
+        // zero-virtual-time livelock guards.
+        sim::note_progress();
         let Some(disk) = &self.wal_disk else {
             return;
         };
@@ -1051,6 +1056,9 @@ impl McastReplica {
         st.max_ts_seen = st
             .max_ts_seen
             .max(Timestamp::from_raw(entry.ts_raw).clock());
+        // Delivery watermark advanced: progress for the explorer's
+        // zero-virtual-time livelock guards.
+        sim::note_progress();
         sim::trace::instant_args(
             "mcast.deliver",
             u64::from(entry.uid),

@@ -624,13 +624,34 @@ pub fn run(sc: &Scenario) -> RunResult {
 /// run's schedule hash. The determinism regression test uses this to prove
 /// every engine executes the same schedule and reaches the same verdict.
 pub fn run_with_engine(sc: &Scenario, engine: sim::EngineConfig) -> (RunResult, u64) {
+    let (result, hash, _) = run_explored(sc, engine, None, false);
+    (result, hash)
+}
+
+/// Like [`run_with_engine`], but optionally under schedule exploration
+/// (returning the detector report) and with the **self-test-only** broken
+/// `has_work` gate (see [`HeronConfig::with_broken_has_work_gate`]). The
+/// `explore_suite` binary drives all its chaos/recovery sweeps and the
+/// livelock self-test through this entry point.
+pub fn run_explored(
+    sc: &Scenario,
+    engine: sim::EngineConfig,
+    explore: Option<sim::ExploreConfig>,
+    break_has_work: bool,
+) -> (RunResult, u64, Option<sim::ExploreReport>) {
     let simulation = sim::Simulation::with_engine(sc.seed, engine);
+    if let Some(cfg) = explore {
+        simulation.enable_exploration(cfg);
+    }
     let fabric = Fabric::new(LatencyModel::connectx4());
     let bank = Arc::new(Bank {
         partitions: sc.partitions as u16,
         accounts: sc.accounts,
     });
     let mut cfg = HeronConfig::new(sc.partitions, sc.replicas).with_executor_width(sc.width);
+    if break_has_work {
+        cfg = cfg.with_broken_has_work_gate();
+    }
     if let Some(interval_us) = sc.durability_us {
         cfg = cfg.with_durability(
             sim::storage::Storage::new(sim::storage::DiskConfig::nvme()),
@@ -675,14 +696,16 @@ pub fn run_with_engine(sc: &Scenario, engine: sim::EngineConfig) -> (RunResult, 
                 pending: pending.max(1),
             },
             simulation.schedule_hash(),
+            simulation.explore_report(),
         );
     }
 
     let hash = simulation.schedule_hash();
+    let report = simulation.explore_report();
     let history = checker.history();
     let pending = history.iter().filter(|o| !o.completed()).count();
     if pending > 0 {
-        return (RunResult::Stalled { pending }, hash);
+        return (RunResult::Stalled { pending }, hash, report);
     }
     if let Some((p, r, oid)) = sc.corrupt {
         cluster.corrupt_value(PartitionId(p), r, ObjectId(oid));
@@ -691,7 +714,7 @@ pub fn run_with_engine(sc: &Scenario, engine: sim::EngineConfig) -> (RunResult, 
         Ok(()) => RunResult::Pass { ops: history.len() },
         Err(v) => RunResult::Failed(v),
     };
-    (verdict, hash)
+    (verdict, hash, report)
 }
 
 /// Shrinks a failing scenario to a minimal reproduction: greedily removes

@@ -78,6 +78,17 @@ pub struct RunConfig {
     /// detector has a real protocol violation to catch (see
     /// [`HeronConfig::break_dual_version_guard`]).
     pub break_guard: bool,
+    /// **Self-test only**: drops the `await_epoch` gate on the ordering
+    /// layer's `has_work` truncation-horizon check, re-introducing the PR 8
+    /// zero-virtual-time livelock (see
+    /// [`HeronConfig::with_broken_has_work_gate`]).
+    pub break_has_work: bool,
+    /// Schedule exploration (Heron only): turns every same-instant ready
+    /// set into an explicit choice point driven by the configured strategy
+    /// and arms the deadlock/livelock detectors; the summary's `explore`
+    /// field then carries the report. `None` (the default) costs one
+    /// relaxed atomic load per pop and leaves schedules bit-identical.
+    pub explore: Option<sim::ExploreConfig>,
     /// Chaos plan (Heron only): crash the last replica of partition 0 at
     /// the first virtual time and recover it at the second, exercising
     /// crash handling and state transfer under load.
@@ -112,9 +123,18 @@ impl RunConfig {
             race_detector: false,
             tracing: false,
             break_guard: false,
+            break_has_work: false,
+            explore: None,
             crash: None,
             engine: sim::EngineConfig::default(),
         }
+    }
+
+    /// Enables schedule exploration with the given configuration.
+    #[must_use]
+    pub fn with_explore(mut self, cfg: sim::ExploreConfig) -> Self {
+        self.explore = Some(cfg);
+        self
     }
 
     /// Sets the executor-pool width per replica.
@@ -258,6 +278,9 @@ pub struct LoadSummary {
     /// Metrics-registry counters, e.g. the imported `fabric.*` verb
     /// counts (empty unless tracing was on).
     pub counters: Vec<(&'static str, u64)>,
+    /// Schedule-exploration report (`None` when exploration was off,
+    /// always `None` for the DynaStar baseline).
+    pub explore: Option<sim::ExploreReport>,
 }
 
 fn percentile_of(sorted: &[u64], q: f64) -> Duration {
@@ -282,6 +305,9 @@ pub fn quantile(sorted_us: &[f64], q: f64) -> f64 {
 pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
     let wall_start = std::time::Instant::now();
     let simulation = sim::Simulation::with_engine(cfg.seed, cfg.engine);
+    if let Some(ex) = &cfg.explore {
+        simulation.enable_exploration(ex.clone());
+    }
     let fabric = Fabric::new(LatencyModel::connectx4());
     let warehouses = cfg.partitions as u16 * cfg.warehouses_per_partition;
     let app: Arc<dyn StateMachine> = match cfg.workload {
@@ -303,6 +329,9 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
         .with_tracing(cfg.tracing);
     if cfg.break_guard {
         hcfg = hcfg.with_broken_dual_version_guard();
+    }
+    if cfg.break_has_work {
+        hcfg = hcfg.with_broken_has_work_gate();
     }
     let cluster = HeronCluster::build(&fabric, hcfg, app);
     cluster.spawn(&simulation);
@@ -429,6 +458,7 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
         .iter()
         .map(|d| d.summary())
         .collect::<Vec<_>>();
+    let explore = simulation.explore_report();
 
     LoadSummary {
         tps: (completed1 - completed0) as f64 / window_secs,
@@ -453,15 +483,20 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
         virtual_ns: simulation.now().as_nanos(),
         schedule_hash: simulation.schedule_hash(),
         tracer: {
-            // Snapshot the fabric's verb counters into the registry so a
+            // Snapshot the fabric's verb counters (and the exploration
+            // counters, when exploration ran) into the registry so a
             // traced run reads them from one place.
             if cfg.tracing {
                 metrics.registry().import_fabric(fabric.stats());
+                if let Some(report) = &explore {
+                    metrics.registry().import_explore(report);
+                }
             }
             cluster.tracer()
         },
         hists: metrics.registry().histogram_snapshots(),
         counters: metrics.registry().counter_values(),
+        explore,
     }
 }
 
@@ -529,5 +564,6 @@ pub fn run_dynastar_tpcc(cfg: &RunConfig) -> LoadSummary {
         tracer: None,
         hists: vec![],
         counters: vec![],
+        explore: None,
     }
 }

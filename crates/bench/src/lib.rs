@@ -15,6 +15,7 @@
 //! | `chaos_suite` | fault model of §IV — seeded fault plans through the consistency checker |
 //! | `race_audit` | Sim-TSan sweep — happens-before race & protocol-lint audit over the fig4/fig5/chaos schedules (DESIGN.md §10) |
 //! | `trace_explain` | virtual-time tracing — Perfetto export, top-k critical paths, Fig. 6 attribution cross-check (DESIGN.md §11) |
+//! | `explore_suite` | Sim-Check — schedule exploration (random / PCT / preemption-bounded) with deadlock & livelock detection over the fig4/chaos/recovery shapes (DESIGN.md §15) |
 //!
 //! Run them with `cargo run -p heron-bench --release --bin <name>`; pass
 //! `--quick` for a shorter, coarser run. Criterion microbenchmarks of the

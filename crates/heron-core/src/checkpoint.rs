@@ -212,6 +212,9 @@ pub(crate) fn checkpoint_replica(shared: &Arc<ReplicaShared>) -> Option<Checkpoi
     // floor and falls back to shipping full state — never a truncated log
     // it mistakes for a complete diff.
     shared.log_floor.store(bound, Ordering::SeqCst);
+    // Checkpoint-floor watermark raised: progress for the explorer's
+    // zero-virtual-time livelock guards.
+    sim::note_progress();
     let log_dropped = {
         let mut log = shared.log.lock();
         let before = log.len();

@@ -186,6 +186,16 @@ impl HeronConfig {
         self
     }
 
+    /// **Self-test only**: drops the `await_epoch` gate on the ordering
+    /// layer's `has_work` truncation-horizon check, re-introducing the
+    /// PR 8 zero-virtual-time livelock so `explore_suite --selftest` can
+    /// prove the livelock detector catches it.
+    #[must_use]
+    pub fn with_broken_has_work_gate(mut self) -> Self {
+        self.mcast.break_has_work_gate = true;
+        self
+    }
+
     /// Sets the multi-partition execution mode.
     #[must_use]
     pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {

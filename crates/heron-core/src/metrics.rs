@@ -289,6 +289,28 @@ impl MetricsRegistry {
             self.counter(name).set(value.load(Ordering::Relaxed));
         }
     }
+
+    /// Imports one schedule-exploration run's counters under `explore.*`
+    /// names (cumulative across runs imported into the same registry), so
+    /// exploration sweeps surface through the same read path as every
+    /// other subsystem.
+    pub fn import_explore(&self, report: &sim::ExploreReport) {
+        self.counter("explore.schedules").add(1);
+        self.counter("explore.steps").add(report.steps);
+        self.counter("explore.preemptions").add(report.preemptions);
+        self.counter("explore.violations")
+            .add(report.violations.len() as u64);
+        self.counter("explore.progress").add(report.progress);
+        // High-water marks, not sums.
+        let update_max = |name, v: u64| {
+            let c = self.counter(name);
+            if v > c.get() {
+                c.set(v);
+            }
+        };
+        update_max("explore.max_ready", report.max_ready as u64);
+        update_max("explore.max_wait_graph", report.max_wait_graph as u64);
+    }
 }
 
 /// One completed state transfer (Fig. 8).

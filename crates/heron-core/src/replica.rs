@@ -229,12 +229,17 @@ impl Executor {
         // are skipped by the `last_req` watermark.
         let group = amcast::GroupId(shared.partition.0);
         let tail = shared.cluster.mcast.wal_tail(group, shared.idx, bound);
-        let replayed = tail.len();
         let _span = sim::trace::span_args(
             "recover.cold",
             bound,
-            &[("bound", bound), ("tail", replayed as u64)],
+            &[("bound", bound), ("tail", tail.len() as u64)],
         );
+        // Count frames actually fed to the delivery path, not the tail
+        // length: a power cut mid-replay aborts the loop below, and the
+        // next cold restart replays (and counts) those frames again —
+        // `recover.replayed` must track work done, or repeated cycles
+        // double-count the untouched remainder.
+        let mut replayed = 0u64;
         for d in tail {
             // Replay costs virtual time: if power is cut again mid-replay,
             // stop — the run loop sees the new cycle and restarts recovery
@@ -242,12 +247,13 @@ impl Executor {
             if !shared.node.is_alive() || shared.node.power_cycles() != self.power_cycles {
                 break;
             }
+            replayed += 1;
             self.on_deliver(d);
         }
         let reg = shared.cluster.metrics.registry();
         if reg.is_enabled() {
             reg.counter("recover.cold").add(1);
-            reg.counter("recover.replayed").add(replayed as u64);
+            reg.counter("recover.replayed").add(replayed);
             reg.counter("recover.ns")
                 .add((sim::now() - t0).as_nanos() as u64);
         }
@@ -319,6 +325,9 @@ impl StallHandler for SerialStalls<'_> {
 
     fn on_completed(&mut self, ts: Timestamp) {
         self.shared.completed_req.store(ts.raw(), Ordering::SeqCst);
+        // Completed-prefix watermark advanced (serial executor — the pool
+        // dispatcher reports via publish_progress).
+        sim::note_progress();
     }
 }
 
@@ -727,6 +736,10 @@ pub(crate) fn coord_status(
 /// through its watermark, and state transfers run on it), so the
 /// posted values are monotonic per QP.
 pub(crate) fn publish_progress(shared: &Arc<ReplicaShared>) {
+    // Completed-prefix watermark advanced: progress for the explorer's
+    // zero-virtual-time livelock guards (regardless of whether the value
+    // is also published to peers below).
+    sim::note_progress();
     if shared.layout.coord_width == 1 {
         return;
     }

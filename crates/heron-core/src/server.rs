@@ -141,12 +141,26 @@ impl Service {
 /// Whether the next expected transfer chunk is staged.
 fn chunk_ready(shared: &ReplicaShared) -> bool {
     let cfg = &shared.cluster.cfg;
-    let expected = shared.transfer.lock().expected;
+    let (expected, stream_bound) = {
+        let prog = shared.transfer.lock();
+        (prog.expected, prog.stream_bound)
+    };
     if expected == 0 {
         return false;
     }
     let slot = shared
         .layout
         .ring_slot(expected, cfg.transfer_slots, cfg.transfer_chunk);
-    shared.node.local_read_word(slot).unwrap_or(0) == expected
+    if shared.node.local_read_word(slot).unwrap_or(0) != expected {
+        return false;
+    }
+    // Mirrors `apply_chunks`' stream-coherence gate exactly: a racing
+    // responder's chunk is left in the slot unconsumed until the owning
+    // stream rewrites it, so counting it as work here would make the
+    // service loop spin in zero virtual time without ever blocking (the
+    // PR 8 `has_work` bug class — the rewriter never gets scheduled).
+    match stream_bound {
+        Some(b) => shared.node.local_read_word(slot.offset(16)).unwrap_or(0) == b,
+        None => true,
+    }
 }

@@ -278,7 +278,7 @@ impl Fabric {
         let id = NodeId(nodes.len() as u32);
         // The inbox shares the node's memory condition so one wait point
         // covers both one-sided writes landing and two-sided messages.
-        let mem_cond = Cond::new();
+        let mem_cond = Cond::labeled("rdma.mem");
         let inner = Arc::new(NodeInner {
             id,
             name: name.into(),

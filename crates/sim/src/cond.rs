@@ -1,6 +1,6 @@
 //! Futex-like condition for simulated processes.
 
-use crate::kernel::{with_ctx, Kernel, Pid};
+use crate::kernel::{try_with_ctx, with_ctx, Kernel, Pid};
 use crate::time::SimTime;
 use crate::vclock::VectorClock;
 use parking_lot::Mutex;
@@ -38,6 +38,19 @@ pub struct Cond {
     /// wait path down to one relaxed load.
     sync_vc: Arc<Mutex<VectorClock>>,
     sync_set: Arc<AtomicBool>,
+    /// Identity for the exploration wait-for graph: a per-kernel
+    /// deterministic id (assigned lazily on first explored use) plus a
+    /// taxonomy label (`"mailbox"`, `"rdma.mem"`, …). Untouched — and the
+    /// id never assigned — unless exploration is on.
+    ident: Arc<Mutex<CondIdent>>,
+}
+
+#[derive(Default)]
+struct CondIdent {
+    /// 0 = not yet assigned.
+    id: u64,
+    /// Empty = the generic `"cond"` label.
+    label: &'static str,
 }
 
 struct Waiter {
@@ -60,6 +73,35 @@ impl Cond {
         Self::default()
     }
 
+    /// Creates a condition carrying an exploration taxonomy label
+    /// (`"mailbox"`, `"rdma.mem"`, …), shown in wait-for-graph edges and
+    /// livelock reports.
+    pub fn labeled(label: &'static str) -> Self {
+        let cond = Self::default();
+        cond.ident.lock().label = label;
+        cond
+    }
+
+    /// Sets the exploration taxonomy label after construction.
+    pub fn set_label(&self, label: &'static str) {
+        self.ident.lock().label = label;
+    }
+
+    /// The cond's deterministic exploration identity, assigning the id on
+    /// first use. Only called when exploration is on.
+    fn explore_ident(&self, kernel: &Kernel) -> (u64, &'static str) {
+        let mut ident = self.ident.lock();
+        if ident.id == 0 {
+            ident.id = kernel.alloc_cond_id();
+        }
+        let label = if ident.label.is_empty() {
+            "cond"
+        } else {
+            ident.label
+        };
+        (ident.id, label)
+    }
+
     /// Blocks the calling process until notified (or spuriously woken).
     ///
     /// # Panics
@@ -73,7 +115,15 @@ impl Cond {
                 pid,
                 token,
             });
+            let ex = kernel.explore_state();
+            if let Some(ex) = &ex {
+                let (id, label) = self.explore_ident(kernel);
+                ex.wait_begin(pid.index(), id, label, false);
+            }
             kernel.yield_and_park(pid);
+            if let Some(ex) = &ex {
+                ex.wait_end(pid.index());
+            }
         });
         self.acquire_sync();
     }
@@ -91,7 +141,15 @@ impl Cond {
                 token,
             });
             kernel.enqueue_wake_at(deadline.as_nanos(), pid, token);
+            let ex = kernel.explore_state();
+            if let Some(ex) = &ex {
+                let (id, label) = self.explore_ident(kernel);
+                ex.wait_begin(pid.index(), id, label, true);
+            }
             kernel.yield_and_park(pid);
+            if let Some(ex) = &ex {
+                ex.wait_end(pid.index());
+            }
             if kernel.now_nanos() >= deadline.as_nanos() {
                 WaitOutcome::TimedOut
             } else {
@@ -107,8 +165,13 @@ impl Cond {
     /// The predicate is checked before the first wait and after every
     /// wakeup.
     pub fn wait_while(&self, mut pred: impl FnMut() -> bool) {
+        let mut blocked = false;
         while pred() {
             self.wait();
+            blocked = true;
+        }
+        if !blocked {
+            self.note_unblocked_pass();
         }
     }
 
@@ -117,13 +180,40 @@ impl Cond {
     /// `false` on timeout.
     pub fn wait_while_timeout(&self, mut pred: impl FnMut() -> bool, timeout: Duration) -> bool {
         let deadline = crate::now() + timeout;
+        let mut blocked = false;
         loop {
             if !pred() {
+                if !blocked {
+                    self.note_unblocked_pass();
+                }
                 return true;
             }
             if self.wait_deadline(deadline) == WaitOutcome::TimedOut {
                 return !pred();
             }
+            blocked = true;
+        }
+    }
+
+    /// Exploration hook for the PR 8 `has_work` bug class: the predicate
+    /// was satisfied without ever blocking. A caller spinning this way
+    /// never re-enters the scheduler, so kernel-side detection cannot see
+    /// it — only the wait site can. When the poll-spin guard trips, the
+    /// violation is already recorded; stop the run and yield so the host
+    /// loop regains control. One relaxed flag load when exploration is off.
+    fn note_unblocked_pass(&self) {
+        let tripped = try_with_ctx(|kernel, pid| match kernel.explore_state() {
+            None => false,
+            Some(ex) => {
+                let (id, label) = self.explore_ident(kernel);
+                let name = kernel.proc_name(pid);
+                ex.note_poll_pass(id, label, &name, kernel.now_nanos())
+            }
+        })
+        .unwrap_or(false);
+        if tripped {
+            with_ctx(|kernel, _| kernel.stop());
+            crate::yield_now();
         }
     }
 
@@ -131,6 +221,16 @@ impl Cond {
     ///
     /// Callable from process context *or* event context (timer closures).
     pub fn notify_all(&self) {
+        // Exploration hook: remember who notifies this cond (process
+        // context only — event-context notifiers can never themselves be
+        // blocked, so they cannot close a wait-for cycle). Recorded even
+        // with no waiters present: the history is what matters.
+        let _ = try_with_ctx(|kernel, pid| {
+            if let Some(ex) = kernel.explore_state() {
+                let (id, _) = self.explore_ident(kernel);
+                ex.note_notify(pid.index(), id);
+            }
+        });
         let vc = crate::vc_current();
         if !vc.is_empty() {
             self.sync_vc.lock().join(&vc);

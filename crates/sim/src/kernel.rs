@@ -27,6 +27,7 @@
 //! accounting, only on different OS threads.
 
 use crate::error::{SimError, SimResult};
+use crate::explore::{Choice, ChoiceActor, ExploreConfig, ExploreState};
 use crate::queue::{Entry, EventQueue, Popped, QueueKind, Wake};
 use crate::time::SimTime;
 use crate::trace::TraceState;
@@ -204,6 +205,40 @@ struct KState {
     stop: bool,
     panic: Option<String>,
     unfinished: usize,
+    /// Deterministic id source for [`crate::Cond`] instances (assignment
+    /// order within the run; 0 means unassigned).
+    cond_seq: u64,
+    /// Debug-build zero-progress watch: `(instant, pid, streak)` of
+    /// consecutive live dispatches of one process at one instant. Trips a
+    /// debug assertion on a runaway same-instant wake loop even when
+    /// exploration is off (see [`crate::explore`] for the real detectors).
+    dbg_spin: (u64, u32, u32),
+}
+
+/// Consecutive same-instant live dispatches of one process before the
+/// debug-build zero-progress assertion fires. Far above any legitimate
+/// same-instant cascade; a genuine `has_work`-class spin blows through it
+/// in microseconds of wall time.
+const DEBUG_SPIN_LIMIT: u32 = 500_000;
+
+/// Debug-build guard on every live process dispatch (host loop and direct
+/// handoff): panics on a zero-virtual-time wake storm so the PR 8 bug
+/// class fails fast in tests even without the exploration detectors.
+fn debug_spin_watch(st: &mut KState, pid: Pid) {
+    let (at, last, streak) = st.dbg_spin;
+    if at == st.now && last == pid.0 {
+        st.dbg_spin.2 = streak.saturating_add(1);
+        debug_assert!(
+            st.dbg_spin.2 < DEBUG_SPIN_LIMIT,
+            "process '{}' dispatched {}x at {} ns without virtual time advancing \
+             (zero-progress spin; see sim::explore livelock detectors)",
+            st.procs[pid.0 as usize].name,
+            st.dbg_spin.2,
+            st.now,
+        );
+    } else {
+        st.dbg_spin = (st.now, pid.0, 0);
+    }
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -231,6 +266,11 @@ pub(crate) struct Kernel {
     /// load, without taking the state lock — the mailbox/Cond send paths
     /// stay allocation- and lock-free.
     vc_on: AtomicBool,
+    /// Exploration gate, mirroring `trace_on`: one relaxed load decides
+    /// every choice-point / detector hook, so the off path costs nothing
+    /// and schedules stay bit-identical either way (see [`crate::explore`]).
+    explore_on: AtomicBool,
+    explore: Mutex<Option<Arc<ExploreState>>>,
 }
 
 thread_local! {
@@ -342,6 +382,8 @@ impl Kernel {
                 stop: false,
                 panic: None,
                 unfinished: 0,
+                cond_seq: 0,
+                dbg_spin: (0, u32::MAX, 0),
             }),
             sched_cv: Condvar::new(),
             seed,
@@ -349,7 +391,38 @@ impl Kernel {
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(None),
             vc_on: AtomicBool::new(false),
+            explore_on: AtomicBool::new(false),
+            explore: Mutex::new(None),
         })
+    }
+
+    /// The exploration state, or `None` when exploration is off (the common
+    /// case: one relaxed load, no state lock).
+    pub(crate) fn explore_state(&self) -> Option<Arc<ExploreState>> {
+        if !self.explore_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.explore.lock().clone()
+    }
+
+    /// Enables schedule exploration (idempotent; the first call's config
+    /// wins) and returns the shared exploration state.
+    pub(crate) fn enable_explore(&self, cfg: ExploreConfig) -> Arc<ExploreState> {
+        let state = {
+            let mut guard = self.explore.lock();
+            Arc::clone(guard.get_or_insert_with(|| Arc::new(ExploreState::new(cfg))))
+        };
+        self.explore_on.store(true, Ordering::Relaxed);
+        state
+    }
+
+    /// Hands out the next deterministic [`crate::Cond`] id (1, 2, 3, … in
+    /// first-use order, which is schedule-determined and thus stable for a
+    /// given seed).
+    pub(crate) fn alloc_cond_id(&self) -> u64 {
+        let mut st = self.state.lock();
+        st.cond_seq += 1;
+        st.cond_seq
     }
 
     /// The trace recording state, or `None` when tracing is off (the common
@@ -579,7 +652,11 @@ impl Kernel {
     /// Decides how the blocking process `pid` leaves the processor.
     fn next_block(&self, st: &mut KState, pid: Pid) -> Block {
         debug_assert_eq!(st.running, Some(pid), "blocking from a non-running process");
-        if !self.handoff {
+        // Under exploration every pop is a choice point, so the self-resume
+        // and direct-handoff fast paths yield back to the host loop, which
+        // owns the chooser. Schedules stay bit-identical (both paths drain
+        // the same queue through the same accounting).
+        if !self.handoff || self.explore_on.load(Ordering::Relaxed) {
             return self.release_to_host(st, pid);
         }
         loop {
@@ -619,10 +696,16 @@ impl Kernel {
                     wake: Wake::Proc { pid: next, token },
                 }) => {
                     Self::book_pop(st, time, seq);
-                    let p = &mut st.procs[next.0 as usize];
-                    if p.finished || !p.parked || p.token != token {
-                        continue; // stale wake
+                    {
+                        let p = &st.procs[next.0 as usize];
+                        if p.finished || !p.parked || p.token != token {
+                            continue; // stale wake
+                        }
                     }
+                    if cfg!(debug_assertions) {
+                        debug_spin_watch(st, next);
+                    }
+                    let p = &mut st.procs[next.0 as usize];
                     p.parked = false;
                     if next == pid {
                         return Block::SelfResume { killed: p.killed };
@@ -757,11 +840,75 @@ impl Kernel {
         self.state.lock().procs[pid.0 as usize].vc.join(other);
     }
 
+    /// One pop under exploration: gathers every entry due at the served
+    /// instant (the ready set, capped), offers it to the strategy, and
+    /// restores the rest unbooked in their original relative order. Stale
+    /// wakes stay in the choice set — they are part of the kernel's native
+    /// pop order, which is what makes the Baseline strategy bit-identical
+    /// to an unexplored run. Works unchanged on both queue engines.
+    fn pop_explored(&self, st: &mut KState, ex: &ExploreState, deadline: Option<u64>) -> Popped {
+        let first = match st.queue.pop_due(deadline) {
+            Popped::Event(e) => e,
+            other => return other,
+        };
+        let time = first.time;
+        let mut ready = vec![first];
+        while ready.len() < ex.ready_cap() {
+            match st.queue.pop_due(Some(time)) {
+                Popped::Event(e) => {
+                    debug_assert_eq!(e.time, time, "same-instant gather crossed instants");
+                    ready.push(e);
+                }
+                _ => break,
+            }
+        }
+        let idx = if ready.len() > 1 {
+            let choices: Vec<Choice> = ready
+                .iter()
+                .map(|e| Choice {
+                    seq: e.seq,
+                    actor: match &e.wake {
+                        Wake::Timer(_) => ChoiceActor::Timer,
+                        Wake::Proc { pid, token } => {
+                            let p = &st.procs[pid.0 as usize];
+                            ChoiceActor::Proc {
+                                pid: pid.0,
+                                stale: p.finished || !p.parked || p.token != *token,
+                            }
+                        }
+                    },
+                })
+                .collect();
+            let (idx, preempted) = ex.choose(time, &choices);
+            if preempted {
+                if let Some(tr) = self.trace_state() {
+                    tr.record_instant_extern(
+                        time,
+                        "explore.preempt",
+                        0,
+                        &[("seq", choices[idx].seq), ("ready", choices.len() as u64)],
+                    );
+                }
+            }
+            idx
+        } else {
+            0
+        };
+        // `remove` (not swap_remove): the leftovers must keep their seq
+        // order for `unpop` to rebuild the same-instant batch correctly.
+        let chosen = ready.remove(idx);
+        for e in ready.into_iter().rev() {
+            st.queue.unpop(e);
+        }
+        Popped::Event(chosen)
+    }
+
     /// Runs the event loop. `deadline` bounds virtual time (inclusive);
     /// `strict` turns an empty run queue with still-blocked processes into a
     /// [`SimError::Deadlock`].
     fn run_loop(&self, deadline: Option<u64>, strict: bool) -> SimResult<()> {
         self.state.lock().limit = deadline;
+        let explore = self.explore_state();
         loop {
             let action = {
                 let mut st = self.state.lock();
@@ -772,16 +919,36 @@ impl Kernel {
                 if st.stop {
                     return Ok(());
                 }
-                match st.queue.pop_due(deadline) {
+                let popped = match &explore {
+                    Some(ex) => self.pop_explored(&mut st, ex, deadline),
+                    None => st.queue.pop_due(deadline),
+                };
+                match popped {
                     Popped::Empty => {
-                        if strict && st.unfinished > 0 {
-                            let blocked = st
-                                .procs
-                                .iter()
-                                .filter(|p| !p.finished)
-                                .map(|p| p.name.clone())
-                                .collect();
-                            return Err(SimError::Deadlock { blocked });
+                        if st.unfinished > 0 {
+                            if let Some(ex) = &explore {
+                                // Quiescence with blocked processes: feed
+                                // the wait-for graph to the deadlock
+                                // detector (strict or not — nothing inside
+                                // the simulation can ever wake them).
+                                let blocked: Vec<(u32, String)> = st
+                                    .procs
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, p)| !p.finished)
+                                    .map(|(i, p)| (i as u32, p.name.clone()))
+                                    .collect();
+                                ex.on_quiescence(&blocked);
+                            }
+                            if strict {
+                                let blocked = st
+                                    .procs
+                                    .iter()
+                                    .filter(|p| !p.finished)
+                                    .map(|p| p.name.clone())
+                                    .collect();
+                                return Err(SimError::Deadlock { blocked });
+                            }
                         }
                         if let Some(d) = deadline {
                             st.now = st.now.max(d);
@@ -797,13 +964,35 @@ impl Kernel {
                         match wake {
                             Wake::Timer(f) => Some(Err(f)),
                             Wake::Proc { pid, token } => {
-                                let p = &mut st.procs[pid.0 as usize];
-                                if p.finished || !p.parked || p.token != token {
+                                let stale = {
+                                    let p = &st.procs[pid.0 as usize];
+                                    p.finished || !p.parked || p.token != token
+                                };
+                                if stale {
                                     None // stale wake
                                 } else {
-                                    p.parked = false;
-                                    st.running = Some(pid);
-                                    Some(Ok(Arc::clone(&st.procs[pid.0 as usize].parker)))
+                                    let tripped = explore.as_ref().is_some_and(|ex| {
+                                        ex.note_dispatch(
+                                            pid.0,
+                                            &st.procs[pid.0 as usize].name,
+                                            st.now,
+                                        )
+                                    });
+                                    if tripped {
+                                        // Zero-progress spin: record the
+                                        // violation and end the run instead
+                                        // of feeding the spin forever.
+                                        st.stop = true;
+                                        None
+                                    } else {
+                                        if cfg!(debug_assertions) {
+                                            debug_spin_watch(&mut st, pid);
+                                        }
+                                        let p = &mut st.procs[pid.0 as usize];
+                                        p.parked = false;
+                                        st.running = Some(pid);
+                                        Some(Ok(Arc::clone(&st.procs[pid.0 as usize].parker)))
+                                    }
                                 }
                             }
                         }
@@ -964,6 +1153,23 @@ impl Simulation {
     /// Re-raises any panic from a simulated process.
     pub fn run_until(&self, deadline: SimTime) -> SimResult<()> {
         self.kernel.run_loop(Some(deadline.as_nanos()), false)
+    }
+
+    /// Enables schedule exploration (idempotent; the first call's config
+    /// wins). Call before running: subsequent [`Simulation::run`] /
+    /// [`Simulation::run_until`] calls route every pop through the
+    /// configured strategy's choice points and arm the deadlock and
+    /// livelock detectors. With [`crate::ExploreConfig`]'s
+    /// [`crate::StrategyKind::Baseline`] the executed schedule is
+    /// bit-identical to an unexplored run.
+    pub fn enable_exploration(&self, cfg: ExploreConfig) {
+        self.kernel.enable_explore(cfg);
+    }
+
+    /// The exploration report so far, or `None` when exploration was never
+    /// enabled.
+    pub fn explore_report(&self) -> Option<crate::explore::ExploreReport> {
+        self.kernel.explore_state().map(|ex| ex.report())
     }
 
     /// Enables virtual-time tracing (idempotent) and returns a

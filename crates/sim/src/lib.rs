@@ -43,6 +43,7 @@
 
 mod cond;
 mod error;
+pub mod explore;
 mod kernel;
 mod mailbox;
 mod queue;
@@ -53,6 +54,10 @@ pub mod vclock;
 
 pub use cond::Cond;
 pub use error::{SimError, SimResult};
+pub use explore::{
+    note_progress, shrink_trace, Choice, ChoiceActor, ChoicePoint, ExploreConfig, ExploreReport,
+    LivelockKind, ScheduleTrace, StrategyKind, Violation, WaitEdge,
+};
 pub use kernel::{EngineConfig, Pid, Simulation};
 pub use mailbox::{Mailbox, MailboxReceiver, MailboxSender, RecvTimeoutError, SendError};
 pub use queue::QueueKind;

@@ -93,7 +93,7 @@ pub struct MailboxReceiver<T>(Mailbox<T>);
 impl<T> Mailbox<T> {
     /// Creates an empty mailbox. Usable from any thread.
     pub fn new() -> Self {
-        Self::with_cond(Cond::new())
+        Self::with_cond(Cond::labeled("mailbox"))
     }
 
     /// Creates a mailbox that notifies `cond` on every send, in addition to

@@ -237,6 +237,19 @@ impl TraceState {
         });
     }
 
+    /// Records an instant on the extern track from host context (the
+    /// explorer's preemption markers fire inside the scheduler loop, where
+    /// there is no process identity to hang a track on).
+    pub(crate) fn record_instant_extern(
+        &self,
+        t_ns: u64,
+        name: &'static str,
+        corr: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        self.instant(t_ns, EXTERN_TRACK, name, corr, SpanArgs::from_slice(args));
+    }
+
     fn instant(&self, t_ns: u64, track: u32, name: &'static str, corr: u64, args: SpanArgs) {
         let mut buf = self.buf.lock();
         let parent = if track != EXTERN_TRACK {

@@ -82,6 +82,23 @@ if ! cargo run -q --release --offline -p heron-bench --bin psmr_scaling -- \
   exit 1
 fi
 
+# Exploration gate: Sim-Check schedule exploration (DESIGN.md §15). Pins
+# the exploration-off schedule hash against a Baseline-explored run on
+# both engines (fig4 + chaos + recovery shapes) and runs a fixed-seed
+# random/PCT budget that must stay free of deadlock/livelock findings.
+if ! cargo run -q --release --offline -p heron-bench --bin explore_suite -- \
+    --gate --quick --seed 42; then
+  echo "tier1: exploration gate FAILED — replay with:" >&2
+  echo "  cargo run --release -p heron-bench --bin explore_suite -- --gate --quick --seed 42" >&2
+  exit 1
+fi
+
+# Detector self-test: inject a deadlock, a livelock, and the re-broken
+# PR 8 has_work gate; require each to be caught and shrunk to a minimal
+# replayable trace (proves the exploration gate can actually fail).
+cargo run -q --release --offline -p heron-bench --bin explore_suite -- \
+    --quick --selftest
+
 # Recovery gate: durable checkpoints + cold restart (DESIGN.md §14). Runs
 # the fixed-seed durable-recovery chaos scenarios through the checker,
 # requires cold-restart cost to scale with the WAL tail (checkpoint +
