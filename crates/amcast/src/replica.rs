@@ -195,6 +195,15 @@ impl McastReplica {
         };
         let mut incarnation = self.node.incarnation();
         let mut power_cycles = self.node.power_cycles();
+        // Sequencer backlog timeline for the profiler (inert when off):
+        // proposals awaiting finalization plus finalized-but-undelivered
+        // messages held by the group-commit window.
+        let backlog = if sim::prof::enabled() {
+            sim::prof::gauge(format!("amcast.backlog.g{}r{}", self.group.0, self.idx))
+        } else {
+            sim::prof::Gauge::disabled()
+        };
+        let mut backlog_last = 0u64;
         loop {
             if !self.node.is_alive() {
                 // Crashed; idle until recovered.
@@ -241,6 +250,15 @@ impl McastReplica {
                 }
             }
             self.do_work(&mut st, &mut qps);
+            if backlog.is_enabled() {
+                // Only a changed value moves the step function; skipping
+                // the no-op updates keeps the clock reads off the hot loop.
+                let v = (st.pending.len() + st.finalized.len()) as u64;
+                if v != backlog_last {
+                    backlog.set(v);
+                    backlog_last = v;
+                }
+            }
             let deadline = if st.is_leader {
                 st.last_hb_sent + self.inner.cfg.heartbeat_interval
             } else {

@@ -5,7 +5,7 @@
 //! cluster runs a warm-up, forces a checkpoint on one replica, appends a
 //! tail of `t` further requests, then power-cycles that replica and times
 //! the rebuild (checkpoint read + tail replay) in virtual nanoseconds via
-//! the `recover.ns` / `recover.replayed` registry counters. Recovery time
+//! the `recover.time_ns` / `recover.replayed` registry counters. Recovery time
 //! must scale with the tail, not with the full history — that is the
 //! whole point of checkpoint + truncation.
 //!
@@ -108,7 +108,7 @@ fn measure_recovery(seed: u64, tail: u64) -> (u64, u64, u64) {
     );
     let ckpt_bytes = *image.lock().unwrap();
     (
-        reg.counter("recover.ns").get(),
+        reg.counter("recover.time_ns").get(),
         reg.counter("recover.replayed").get(),
         ckpt_bytes,
     )

@@ -74,6 +74,10 @@ pub struct RunConfig {
     /// Enables virtual-time tracing for the run (Heron only); the
     /// summary's `tracer` field then carries the recorded spans.
     pub tracing: bool,
+    /// Enables the Sim-Prof wait-state profiler (Heron only); the
+    /// summary's `prof` field then carries the report. Like tracing and
+    /// the race detector, schedules stay bit-identical either way.
+    pub profiling: bool,
     /// **Self-test only**: breaks the dual-versioning victim guard so the
     /// detector has a real protocol violation to catch (see
     /// [`HeronConfig::break_dual_version_guard`]).
@@ -122,6 +126,7 @@ impl RunConfig {
             requests: None,
             race_detector: false,
             tracing: false,
+            profiling: false,
             break_guard: false,
             break_has_work: false,
             explore: None,
@@ -170,6 +175,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enables (or disables) the Sim-Prof wait-state profiler.
+    #[must_use]
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
         self
     }
 
@@ -281,6 +293,12 @@ pub struct LoadSummary {
     /// Schedule-exploration report (`None` when exploration was off,
     /// always `None` for the DynaStar baseline).
     pub explore: Option<sim::ExploreReport>,
+    /// Sim-Prof report (`None` when profiling was off, always `None` for
+    /// the DynaStar baseline).
+    pub prof: Option<sim::prof::ProfReport>,
+    /// `(latency_ns, uid)` tail exemplars of `client.latency_ns` (empty
+    /// unless tracing was on), slowest first — the p999 attribution input.
+    pub exemplars: Vec<(u64, u64)>,
 }
 
 fn percentile_of(sorted: &[u64], q: f64) -> Duration {
@@ -308,6 +326,7 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
     if let Some(ex) = &cfg.explore {
         simulation.enable_exploration(ex.clone());
     }
+    let profiler = cfg.profiling.then(|| simulation.enable_profiling());
     let fabric = Fabric::new(LatencyModel::connectx4());
     let warehouses = cfg.partitions as u16 * cfg.warehouses_per_partition;
     let app: Arc<dyn StateMachine> = match cfg.workload {
@@ -497,6 +516,15 @@ pub fn run_heron(cfg: &RunConfig) -> LoadSummary {
         hists: metrics.registry().histogram_snapshots(),
         counters: metrics.registry().counter_values(),
         explore,
+        prof: profiler.map(|p| p.report()),
+        exemplars: if cfg.tracing {
+            metrics
+                .registry()
+                .histogram("client.latency_ns")
+                .exemplars()
+        } else {
+            Vec::new()
+        },
     }
 }
 
@@ -565,5 +593,7 @@ pub fn run_dynastar_tpcc(cfg: &RunConfig) -> LoadSummary {
         hists: vec![],
         counters: vec![],
         explore: None,
+        prof: None,
+        exemplars: Vec::new(),
     }
 }

@@ -166,15 +166,20 @@ pub(crate) fn checkpoint_replica(shared: &Arc<ReplicaShared>) -> Option<Checkpoi
     // mutating slots underneath us. The executor passes through such a
     // boundary between any two commands; if the replica stays busy for a
     // whole interval, skip the round rather than snapshot a torn state.
-    let quiet = node.poll_until_timeout(
-        || {
-            shared.in_write_phase.load(Ordering::SeqCst) == 0
-                && shared.last_req.load(Ordering::SeqCst)
-                    == shared.completed_req.load(Ordering::SeqCst)
-                && shared.transfer.lock().expected == 0
-        },
-        interval,
-    );
+    let quiet = {
+        // The profiler attributes this wait to the checkpointer's quiesce
+        // park rather than a generic condition wait.
+        let _wait = sim::prof::parked_scope("ckpt_quiesce");
+        node.poll_until_timeout(
+            || {
+                shared.in_write_phase.load(Ordering::SeqCst) == 0
+                    && shared.last_req.load(Ordering::SeqCst)
+                        == shared.completed_req.load(Ordering::SeqCst)
+                    && shared.transfer.lock().expected == 0
+            },
+            interval,
+        )
+    };
     if !quiet || !node.is_alive() || node.power_cycles() != cycles {
         let reg = shared.cluster.metrics.registry();
         if reg.is_enabled() {

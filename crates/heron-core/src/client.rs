@@ -133,8 +133,17 @@ impl HeronClient {
             // Retry: the believed leader of some group may have failed.
             self.mcast.resubmit(uid, &groups, &envelope);
         }
+        // End the root span before measuring, so the traced span duration
+        // and the recorded latency are the same number: the blame
+        // analyzer's per-exemplar decomposition must sum to exactly the
+        // histogram's value.
+        drop(req_span);
         let latency = sim::now() - t0;
-        self.cluster.metrics.record_latency(latency);
+        // Tag the sample with the message uid — the same correlation key the
+        // trace spans carry — so tail exemplars lead back to their spans.
+        self.cluster
+            .metrics
+            .record_latency_tagged(latency, u64::from(uid.0));
         // Prefer the first partition with a non-empty response: in
         // active-only execution the passive partitions answer with empty
         // acknowledgments.

@@ -176,6 +176,10 @@ pub struct RequestPath {
     pub client_track: u32,
     /// Partitions the request involved.
     pub partitions: u64,
+    /// Span id of the home partition's `exec.request` span the path
+    /// follows (0 when the request was untraced) — the anchor the blame
+    /// analyzer hangs nested wait spans off.
+    pub home_span: u64,
     /// End-to-end latency (the `client.request` span), ns.
     pub total_ns: u64,
     /// Stage segments summing to `total_ns`.
@@ -287,6 +291,7 @@ pub fn critical_paths(events: &[TraceEvent]) -> Vec<RequestPath> {
                 .get(&root.corr)
                 .and_then(|h| h.arg("partitions"))
                 .unwrap_or(0),
+            home_span: home.get(&root.corr).map(|h| h.id).unwrap_or(0),
             total_ns: total,
             segments,
         });

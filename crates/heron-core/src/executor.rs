@@ -1003,7 +1003,25 @@ impl Dispatcher {
 
     /// Runs the dispatcher loop forever.
     pub(crate) fn run(mut self) {
+        // Executors-per-replica occupancy timeline (inert when profiling
+        // is off): how many of the pool's workers hold a command.
+        let busy = if sim::prof::enabled() {
+            sim::prof::gauge(format!(
+                "pool.busy.p{}r{}",
+                self.shared.partition.0, self.shared.idx
+            ))
+        } else {
+            sim::prof::Gauge::disabled()
+        };
+        let mut busy_last = 0u64;
         loop {
+            if busy.is_enabled() {
+                let v = self.inflight.len() as u64;
+                if v != busy_last {
+                    busy.set(v);
+                    busy_last = v;
+                }
+            }
             if !self.shared.node.is_alive() {
                 // Crashed: stop dispatching until recovery; workers caught
                 // mid-command keep going against failing verbs, exactly
@@ -1373,6 +1391,24 @@ struct PoolStalls<'a> {
 
 impl PoolStalls<'_> {
     fn park(&self, ts: Timestamp, reason: ParkReason) -> StallOutcome {
+        // The park's whole duration is observable: a `pool.park` span nested
+        // under the stalled command's span (so `trace_explain` and the blame
+        // analyzer both see it), and a parked wait-state for the profiler.
+        let label = match &reason {
+            ParkReason::Phase2Starved { .. } => "phase2_starved",
+            ParkReason::Lagging => "lagging",
+        };
+        let lagging = u64::from(matches!(reason, ParkReason::Lagging));
+        let _span = sim::trace::span_args(
+            "pool.park",
+            0,
+            &[
+                ("ts", ts.raw()),
+                ("worker", self.index as u64),
+                ("lagging", lagging),
+            ],
+        );
+        let _wait = sim::prof::parked_scope(label);
         let _ = self.events.send(WorkerEvent::Parked {
             worker: self.index,
             ts: ts.raw(),

@@ -83,6 +83,7 @@
 #![forbid(unsafe_code)]
 
 mod app;
+pub mod blame;
 pub mod checker;
 pub mod checkpoint;
 mod client;
@@ -105,7 +106,7 @@ pub use cluster::HeronCluster;
 pub use config::{DurabilityConfig, ExecutionMode, HeronConfig};
 pub use metrics::{
     Breakdown, Counter, DelayCounters, Histogram, HistogramSnapshot, Metrics, MetricsRegistry,
-    TransferRecord,
+    TransferRecord, EXEMPLAR_K,
 };
 pub use store::{Slot, SlotVersions, VersionedStore};
 pub use types::{ObjectId, PartitionId, Placement, StorageKind};

@@ -66,12 +66,23 @@ impl DelayCounters {
 /// A log-bucketed histogram (HDR-style): 16 linear sub-buckets per power of
 /// two, giving ≤ 1/16 (≈ 6%) relative quantile error over the full `u64`
 /// range with a fixed 976-bucket footprint and lock-free recording.
+///
+/// Values recorded through [`Histogram::record_tagged`] additionally compete
+/// for the top-[`EXEMPLAR_K`] exemplar slots: the slowest tagged samples keep
+/// their tag (a request uid), so tail quantiles can be traced back to the
+/// concrete requests that produced them (Sim-Prof's p999 attribution).
 pub struct Histogram {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// `(value, tag)` pairs for the largest tagged samples, sorted
+    /// descending by value (ties broken by smaller tag, deterministically).
+    exemplars: Mutex<Vec<(u64, u64)>>,
 }
+
+/// How many tail exemplars each histogram retains.
+pub const EXEMPLAR_K: usize = 8;
 
 /// Buckets: values below 16 map 1:1; above, the top 4 bits after the
 /// leading one select a linear sub-bucket within the value's power of two.
@@ -101,6 +112,7 @@ impl Default for Histogram {
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
+            exemplars: Mutex::new(Vec::new()),
         }
     }
 }
@@ -121,6 +133,24 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records one value carrying a tag (a request uid; 0 = untagged).
+    /// Tagged values compete for the top-[`EXEMPLAR_K`] exemplar slots.
+    pub fn record_tagged(&self, v: u64, tag: u64) {
+        self.record(v);
+        if tag == 0 {
+            return;
+        }
+        let mut ex = self.exemplars.lock();
+        ex.push((v, tag));
+        ex.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        ex.truncate(EXEMPLAR_K);
+    }
+
+    /// The retained `(value, tag)` exemplars, largest value first.
+    pub fn exemplars(&self) -> Vec<(u64, u64)> {
+        self.exemplars.lock().clone()
     }
 
     /// Number of recorded values.
@@ -217,6 +247,25 @@ impl Counter {
 /// behind the same knob as tracing ([`crate::HeronConfig::tracing`]); the
 /// only hot-path cost when disabled is one relaxed load
 /// ([`MetricsRegistry::is_enabled`]).
+///
+/// # Naming scheme
+///
+/// Every name is `<subsystem>.<measure>[_<unit>]`, all lowercase:
+///
+/// * `<subsystem>` — the producing layer: `client`, `exec`, `fabric`,
+///   `recover`, `explore`, `pool`.
+/// * `<measure>` — a noun phrase in `snake_case`. Event counts are the bare
+///   plural verb/noun (`fabric.reads`, `explore.preemptions`); byte counts
+///   are `<verb>_bytes` (`fabric.read_bytes`); high-water marks end in
+///   `_peak` (`explore.ready_peak`).
+/// * `_<unit>` — appended when the value has one: `_ns` for virtual
+///   nanoseconds (`client.latency_ns`, `recover.time_ns`). Unitless counts
+///   take no suffix.
+///
+/// Importers ([`import_fabric`](Self::import_fabric),
+/// [`import_explore`](Self::import_explore)) translate source-struct field
+/// names into this scheme; the struct fields themselves are not part of the
+/// metric namespace.
 #[derive(Default)]
 pub struct MetricsRegistry {
     enabled: std::sync::atomic::AtomicBool,
@@ -283,8 +332,8 @@ impl MetricsRegistry {
             ("fabric.cas_ops", &stats.cas_ops),
             ("fabric.sends", &stats.sends),
             ("fabric.doorbells", &stats.doorbells),
-            ("fabric.bytes_read", &stats.bytes_read),
-            ("fabric.bytes_written", &stats.bytes_written),
+            ("fabric.read_bytes", &stats.bytes_read),
+            ("fabric.write_bytes", &stats.bytes_written),
         ] {
             self.counter(name).set(value.load(Ordering::Relaxed));
         }
@@ -308,8 +357,8 @@ impl MetricsRegistry {
                 c.set(v);
             }
         };
-        update_max("explore.max_ready", report.max_ready as u64);
-        update_max("explore.max_wait_graph", report.max_wait_graph as u64);
+        update_max("explore.ready_peak", report.max_ready as u64);
+        update_max("explore.wait_graph_peak", report.max_wait_graph as u64);
     }
 }
 
@@ -373,11 +422,20 @@ impl Metrics {
 
     /// Records a client-observed latency.
     pub fn record_latency(&self, d: Duration) {
+        self.record_latency_tagged(d, 0);
+    }
+
+    /// Records a client-observed latency tagged with the request uid, so
+    /// the `client.latency_ns` histogram can retain it as a tail exemplar
+    /// (uid 0 = untagged, exemplar-exempt).
+    pub fn record_latency_tagged(&self, d: Duration, uid: u64) {
         let ns = d.as_nanos() as u64;
         self.latencies.lock().push(ns);
         self.completed.fetch_add(1, Ordering::Relaxed);
         if self.registry.is_enabled() {
-            self.registry.histogram("client.latency_ns").record(ns);
+            self.registry
+                .histogram("client.latency_ns")
+                .record_tagged(ns, uid);
         }
     }
 
@@ -589,6 +647,49 @@ mod tests {
         assert_eq!(m.registry().histogram("client.latency_ns").count(), 1);
         m.registry().counter("fabric.reads").add(3);
         assert_eq!(m.registry().counter_values(), vec![("fabric.reads", 3)]);
+    }
+
+    #[test]
+    fn exemplars_keep_the_k_slowest_tagged_samples() {
+        let h = Histogram::default();
+        for uid in 1..=20u64 {
+            h.record_tagged(uid * 100, uid);
+        }
+        h.record_tagged(5, 0); // untagged: counted, never an exemplar
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), EXEMPLAR_K);
+        assert_eq!(ex[0], (2000, 20), "slowest first");
+        assert_eq!(ex[EXEMPLAR_K - 1], (1300, 13));
+        assert!(ex.windows(2).all(|w| w[0].0 >= w[1].0), "sorted descending");
+        assert_eq!(h.count(), 21, "tagging never changes the distribution");
+    }
+
+    #[test]
+    fn importer_names_follow_the_documented_scheme() {
+        // Byte counts are `<verb>_bytes`, peaks end in `_peak`: the drift
+        // the scheme in the `MetricsRegistry` docs exists to prevent.
+        let m = Metrics::new(1);
+        m.registry().enable();
+        m.registry()
+            .import_fabric(&rdma_sim::FabricStats::default());
+        let names: Vec<&str> = m
+            .registry()
+            .counter_values()
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert!(names.contains(&"fabric.read_bytes"));
+        assert!(names.contains(&"fabric.write_bytes"));
+        assert!(!names.contains(&"fabric.bytes_read"), "old name retired");
+        for n in names {
+            let (subsys, rest) = n.split_once('.').expect("subsystem prefix");
+            assert!(!subsys.is_empty() && !rest.is_empty());
+            assert!(
+                n.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_'),
+                "non-conforming name {n}"
+            );
+        }
     }
 
     #[test]

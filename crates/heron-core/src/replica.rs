@@ -254,7 +254,7 @@ impl Executor {
         if reg.is_enabled() {
             reg.counter("recover.cold").add(1);
             reg.counter("recover.replayed").add(replayed);
-            reg.counter("recover.ns")
+            reg.counter("recover.time_ns")
                 .add((sim::now() - t0).as_nanos() as u64);
         }
     }

@@ -140,6 +140,13 @@ pub(crate) struct FabricInner {
     /// `faults_on` — detector-off memory accesses cost one relaxed load.
     pub(crate) tsan_on: AtomicBool,
     pub(crate) tsan: Mutex<Option<Arc<crate::tsan::TsanState>>>,
+    /// Unsignaled writes posted but not yet landed, fabric-wide: the value
+    /// behind the profiler's `qp.sendq` occupancy gauge.
+    pub(crate) posted_inflight: AtomicU64,
+    /// The `qp.sendq` occupancy gauge, registered once per fabric on the
+    /// first profiled write (post_write is far too hot for a per-call
+    /// name lookup).
+    pub(crate) sendq_gauge: std::sync::OnceLock<sim::prof::Gauge>,
 }
 
 /// Busy-until times of every directed link, stored as a dense `n × n`
@@ -241,6 +248,8 @@ impl Fabric {
                 faults: Mutex::new(None),
                 tsan_on: AtomicBool::new(false),
                 tsan: Mutex::new(None),
+                posted_inflight: AtomicU64::new(0),
+                sendq_gauge: std::sync::OnceLock::new(),
             }),
         }
     }

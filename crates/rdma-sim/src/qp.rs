@@ -4,6 +4,7 @@ use crate::error::{RdmaError, RdmaResult};
 use crate::fabric::{Addr, Message, Node, NodeId};
 use std::fmt;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// A reliable-connection (RC) queue pair from a local node to a remote
 /// node — in-order, reliable delivery, the transport mode Heron uses
@@ -266,7 +267,29 @@ impl QueuePair {
             )
         });
         let flight = sim::trace::flight_begin("rdma.write.flight", 0, &self.verb_args(addr, 0));
+        // Send-queue occupancy for the profiler: posted here, drained by
+        // the landing event one (FIFO-ordered) delay later.
+        let sendq = if sim::prof::enabled() {
+            let fabric = &self.local.fabric;
+            let g = fabric
+                .sendq_gauge
+                .get_or_init(|| sim::prof::gauge("qp.sendq"))
+                .clone();
+            g.set_at(
+                now,
+                fabric.posted_inflight.fetch_add(1, Ordering::Relaxed) + 1,
+            );
+            Some((g, Arc::clone(&self.local.fabric)))
+        } else {
+            None
+        };
         sim::schedule_ns(delay, move || {
+            if let Some((g, fabric)) = sendq {
+                g.set_at(
+                    now + delay,
+                    fabric.posted_inflight.fetch_sub(1, Ordering::Relaxed) - 1,
+                );
+            }
             if let Some(flight) = flight {
                 flight.end_at(now + delay);
             }

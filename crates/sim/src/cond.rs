@@ -87,6 +87,16 @@ impl Cond {
         self.ident.lock().label = label;
     }
 
+    /// Stamps the impending block with this cond's taxonomy label for the
+    /// wait-state profiler. Reads the label only — unlike
+    /// [`Cond::explore_ident`] it must not assign the exploration id, whose
+    /// allocation order is part of the explored-run fingerprint.
+    fn prof_stamp(&self, kernel: &Kernel) {
+        if kernel.prof_enabled() {
+            crate::prof::set_oneshot_blocked(self.ident.lock().label);
+        }
+    }
+
     /// The cond's deterministic exploration identity, assigning the id on
     /// first use. Only called when exploration is on.
     fn explore_ident(&self, kernel: &Kernel) -> (u64, &'static str) {
@@ -120,6 +130,7 @@ impl Cond {
                 let (id, label) = self.explore_ident(kernel);
                 ex.wait_begin(pid.index(), id, label, false);
             }
+            self.prof_stamp(kernel);
             kernel.yield_and_park(pid);
             if let Some(ex) = &ex {
                 ex.wait_end(pid.index());
@@ -146,6 +157,7 @@ impl Cond {
                 let (id, label) = self.explore_ident(kernel);
                 ex.wait_begin(pid.index(), id, label, true);
             }
+            self.prof_stamp(kernel);
             kernel.yield_and_park(pid);
             if let Some(ex) = &ex {
                 ex.wait_end(pid.index());

@@ -28,6 +28,7 @@
 
 use crate::error::{SimError, SimResult};
 use crate::explore::{Choice, ChoiceActor, ExploreConfig, ExploreState};
+use crate::prof::ProfState;
 use crate::queue::{Entry, EventQueue, Popped, QueueKind, Wake};
 use crate::time::SimTime;
 use crate::trace::TraceState;
@@ -213,6 +214,10 @@ struct KState {
     /// debug assertion on a runaway same-instant wake loop even when
     /// exploration is off (see [`crate::explore`] for the real detectors).
     dbg_spin: (u64, u32, u32),
+    /// Per-process wait-state accounting ([`crate::prof`]); lives here so
+    /// the hot hooks run under the lock they already hold — no second
+    /// lock, no `Arc` traffic per event.
+    prof: Option<crate::prof::ProfProcs>,
 }
 
 /// Consecutive same-instant live dispatches of one process before the
@@ -271,6 +276,11 @@ pub(crate) struct Kernel {
     /// and schedules stay bit-identical either way (see [`crate::explore`]).
     explore_on: AtomicBool,
     explore: Mutex<Option<Arc<ExploreState>>>,
+    /// Profiling gate, mirroring `trace_on`: one relaxed load decides
+    /// every wait-state hook, so the off path costs nothing and schedules
+    /// stay bit-identical either way (see [`crate::prof`]).
+    prof_on: AtomicBool,
+    prof: Mutex<Option<Arc<ProfState>>>,
 }
 
 thread_local! {
@@ -384,6 +394,7 @@ impl Kernel {
                 unfinished: 0,
                 cond_seq: 0,
                 dbg_spin: (0, u32::MAX, 0),
+                prof: None,
             }),
             sched_cv: Condvar::new(),
             seed,
@@ -393,7 +404,54 @@ impl Kernel {
             vc_on: AtomicBool::new(false),
             explore_on: AtomicBool::new(false),
             explore: Mutex::new(None),
+            prof_on: AtomicBool::new(false),
+            prof: Mutex::new(None),
         })
+    }
+
+    /// The profiler state, or `None` when profiling is off (the common
+    /// case: one relaxed load, no state lock).
+    pub(crate) fn prof_state(&self) -> Option<Arc<ProfState>> {
+        if !self.prof_on.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.prof.lock().clone()
+    }
+
+    /// Whether wait-state profiling is on (one relaxed load).
+    pub(crate) fn prof_enabled(&self) -> bool {
+        self.prof_on.load(Ordering::Relaxed)
+    }
+
+    /// Enables wait-state profiling (idempotent; the first call's bucket
+    /// width wins) and returns the shared profiler state.
+    pub(crate) fn enable_prof(&self, bucket_ns: u64) -> Arc<ProfState> {
+        let state = {
+            let mut guard = self.prof.lock();
+            Arc::clone(guard.get_or_insert_with(|| Arc::new(ProfState::new(bucket_ns))))
+        };
+        {
+            let mut st = self.state.lock();
+            if st.prof.is_none() {
+                st.prof = Some(crate::prof::ProfProcs::new());
+            }
+        }
+        self.prof_on.store(true, Ordering::Relaxed);
+        state
+    }
+
+    /// Snapshot of the per-process wait-state totals as of "now" (for
+    /// [`crate::prof::Profiler::report`]); empty when profiling is off.
+    pub(crate) fn prof_proc_totals(
+        &self,
+    ) -> (u64, Vec<Vec<(crate::prof::Key, crate::prof::Stat)>>) {
+        let st = self.state.lock();
+        let totals = st
+            .prof
+            .as_ref()
+            .map(|p| p.snapshot(st.now))
+            .unwrap_or_default();
+        (st.now, totals)
     }
 
     /// The exploration state, or `None` when exploration is off (the common
@@ -545,12 +603,19 @@ impl Kernel {
         st.unfinished += 1;
         let now = st.now;
         Self::push_entry(&mut st, now, Wake::Proc { pid, token: 0 });
+        if let Some(pr) = &mut st.prof {
+            pr.on_spawn(pid, now);
+        }
         pid
     }
 
     /// Marks a process finished and hands control back to the scheduler.
     fn finish(&self, pid: Pid, panic_msg: Option<String>) {
         let mut st = self.state.lock();
+        let now = st.now;
+        if let Some(pr) = &mut st.prof {
+            pr.on_finish(pid, now);
+        }
         let p = &mut st.procs[pid.0 as usize];
         p.finished = true;
         p.parked = false;
@@ -600,8 +665,18 @@ impl Kernel {
     ///
     /// Unwinds with [`KilledToken`] if the process was killed while parked.
     pub(crate) fn yield_and_park(&self, pid: Pid) {
+        self.yield_and_park_as(pid, crate::prof::BLOCKED_COND);
+    }
+
+    /// [`Kernel::yield_and_park`] with an explicit profiler wait-state
+    /// default for sites that are not cond waits (the classic sleep path).
+    fn yield_and_park_as(&self, pid: Pid, default: crate::prof::Key) {
         let block = {
             let mut st = self.state.lock();
+            let now = st.now;
+            if let Some(pr) = &mut st.prof {
+                pr.on_block(pid, now, crate::prof::resolve_block_key(default));
+            }
             self.next_block(&mut st, pid)
         };
         self.finish_block(pid, block);
@@ -705,12 +780,19 @@ impl Kernel {
                     if cfg!(debug_assertions) {
                         debug_spin_watch(st, next);
                     }
-                    let p = &mut st.procs[next.0 as usize];
-                    p.parked = false;
-                    if next == pid {
-                        return Block::SelfResume { killed: p.killed };
+                    let killed = {
+                        let p = &mut st.procs[next.0 as usize];
+                        p.parked = false;
+                        p.killed
+                    };
+                    let now = st.now;
+                    if let Some(pr) = &mut st.prof {
+                        pr.on_dispatch(next, now);
                     }
-                    let next_parker = Arc::clone(&p.parker);
+                    if next == pid {
+                        return Block::SelfResume { killed };
+                    }
+                    let next_parker = Arc::clone(&st.procs[next.0 as usize].parker);
                     st.running = Some(next);
                     return Block::Handoff {
                         next: next_parker,
@@ -735,7 +817,7 @@ impl Kernel {
             let token = self.begin_block(pid);
             let at = self.state.lock().now.saturating_add(nanos);
             self.enqueue_wake_at(at, pid, token);
-            self.yield_and_park(pid);
+            self.yield_and_park_as(pid, crate::prof::SLEEP);
             return;
         }
         let block = {
@@ -746,6 +828,10 @@ impl Kernel {
             let token = p.token;
             let at = st.now.saturating_add(nanos);
             Self::push_entry(&mut st, at, Wake::Proc { pid, token });
+            let now = st.now;
+            if let Some(pr) = &mut st.prof {
+                pr.on_block(pid, now, crate::prof::resolve_block_key(crate::prof::SLEEP));
+            }
             self.next_block(&mut st, pid)
         };
         self.finish_block(pid, block);
@@ -988,9 +1074,12 @@ impl Kernel {
                                         if cfg!(debug_assertions) {
                                             debug_spin_watch(&mut st, pid);
                                         }
-                                        let p = &mut st.procs[pid.0 as usize];
-                                        p.parked = false;
+                                        st.procs[pid.0 as usize].parked = false;
                                         st.running = Some(pid);
+                                        let now = st.now;
+                                        if let Some(pr) = &mut st.prof {
+                                            pr.on_dispatch(pid, now);
+                                        }
                                         Some(Ok(Arc::clone(&st.procs[pid.0 as usize].parker)))
                                     }
                                 }
@@ -1179,6 +1268,15 @@ impl Simulation {
     pub fn enable_tracing(&self) -> crate::trace::Tracer {
         let state = self.kernel.enable_trace();
         crate::trace::Tracer::new(state, Arc::clone(&self.kernel))
+    }
+
+    /// Enables wait-state profiling (idempotent) and returns a
+    /// [`crate::prof::Profiler`] handle. Like tracing, profiling never
+    /// perturbs the schedule: runs are bit-identical with it on or off
+    /// (see [`crate::prof`]).
+    pub fn enable_profiling(&self) -> crate::prof::Profiler {
+        let state = self.kernel.enable_prof(crate::prof::DEFAULT_BUCKET_NS);
+        crate::prof::Profiler::new(state, Arc::clone(&self.kernel))
     }
 
     /// Runs for `d` more virtual time from the current instant.

@@ -46,6 +46,7 @@ mod error;
 pub mod explore;
 mod kernel;
 mod mailbox;
+pub mod prof;
 mod queue;
 pub mod storage;
 mod time;

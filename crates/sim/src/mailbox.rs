@@ -344,6 +344,7 @@ mod tests {
     fn send_to_crashed_process_errors_deterministically() {
         // The receiver blocks in recv(), is killed, and every later send
         // must fail — at the same virtual instant on every run.
+        #[allow(clippy::type_complexity)]
         fn run() -> (u64, Result<(), SendError<u32>>, Result<(), SendError<u32>>) {
             let sim = Simulation::new(17);
             let (tx, rx) = Mailbox::<u32>::pair();

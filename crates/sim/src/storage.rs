@@ -78,6 +78,13 @@ struct Namespace {
 #[derive(Default)]
 struct StorageInner {
     namespaces: Mutex<BTreeMap<String, Namespace>>,
+    /// In-flight charged operations, for the profiler's `disk.busy` gauge.
+    busy: std::sync::atomic::AtomicU64,
+    /// The `disk.busy` gauge, registered once per device on the first
+    /// profiled charge (charges are per-append, too hot for a per-call
+    /// name lookup). A `Storage` carried across simulations keeps the
+    /// first simulation's gauge; only that run's profile sees the device.
+    gauge: std::sync::OnceLock<crate::prof::Gauge>,
 }
 
 /// A simulated durable storage device, shared by every node of a
@@ -127,8 +134,35 @@ impl Storage {
     }
 
     fn charge(&self, nanos: u64) {
-        if nanos > 0 && crate::try_now().is_some() {
+        use std::sync::atomic::Ordering;
+        if nanos == 0 {
+            return;
+        }
+        if let Some(t0) = crate::try_now() {
+            // Attribute the wait to the disk, not to a generic sleep, and
+            // drive the device-occupancy gauge across the charged interval.
+            let _scope = crate::prof::blocked_scope("disk");
+            let gauge = if crate::prof::enabled() {
+                self.inner
+                    .gauge
+                    .get_or_init(|| crate::prof::gauge("disk.busy"))
+                    .clone()
+            } else {
+                crate::prof::Gauge::disabled()
+            };
+            if gauge.is_enabled() {
+                gauge.set_at(
+                    t0.as_nanos(),
+                    self.inner.busy.fetch_add(1, Ordering::Relaxed) + 1,
+                );
+            }
             crate::sleep_ns(nanos);
+            if gauge.is_enabled() {
+                gauge.set_at(
+                    t0.as_nanos() + nanos,
+                    self.inner.busy.fetch_sub(1, Ordering::Relaxed) - 1,
+                );
+            }
         }
     }
 

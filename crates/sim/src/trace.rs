@@ -628,6 +628,40 @@ pub fn export_chrome_json(events: &[TraceEvent], track_names: &[String]) -> Stri
     out
 }
 
+/// Like [`export_chrome_json`], but appends Perfetto counter (`"C"`) tracks
+/// after the span events — one named track per entry in `counters`, each a
+/// series of `(t_ns, value)` points. The profiler's
+/// [`counter_tracks`](crate::prof::ProfReport::counter_tracks) output plugs in
+/// directly, so resource-utilization timelines render alongside the spans.
+pub fn export_chrome_json_with_counters(
+    events: &[TraceEvent],
+    track_names: &[String],
+    counters: &[(String, Vec<(u64, f64)>)],
+) -> String {
+    let mut out = export_chrome_json(events, track_names);
+    // The base export always ends with "]}"; splice counter events in
+    // before the closing brackets rather than re-deriving the body.
+    let body_had_events = !out.ends_with("[]}");
+    out.truncate(out.len() - 2);
+    let mut first = !body_had_events;
+    for (name, points) in counters {
+        for &(t_ns, value) in points {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{},\"name\":\"{}\",\
+                 \"args\":{{\"value\":{value}}}}}",
+                micros(t_ns),
+                json_escape(name)
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -764,6 +798,42 @@ mod tests {
             "]}"
         );
         assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn counter_export_appends_counter_events() {
+        let events = Vec::new();
+        let counters = vec![
+            ("pool.busy".to_string(), vec![(0, 2.0), (100_000, 1.5)]),
+            ("qp.sendq".to_string(), vec![(2000, 1.0)]),
+        ];
+        let json = export_chrome_json_with_counters(&events, &[], &counters);
+        let expected = concat!(
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[",
+            "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",",
+            "\"args\":{\"name\":\"heron-sim\"}},",
+            "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":0.000,",
+            "\"name\":\"pool.busy\",\"args\":{\"value\":2}},",
+            "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":100.000,",
+            "\"name\":\"pool.busy\",\"args\":{\"value\":1.5}},",
+            "{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":2.000,",
+            "\"name\":\"qp.sendq\",\"args\":{\"value\":1}}",
+            "]}"
+        );
+        assert_eq!(json, expected);
+    }
+
+    #[test]
+    fn counter_export_without_counters_matches_base_export() {
+        let sim = Simulation::new(9);
+        let tracer = sim.enable_tracing();
+        sim.spawn("p0", || {
+            instant("mark", 0);
+        });
+        sim.run().unwrap();
+        let base = tracer.export_chrome_json();
+        let with = export_chrome_json_with_counters(&tracer.events(), &tracer.track_names(), &[]);
+        assert_eq!(base, with);
     }
 
     #[test]

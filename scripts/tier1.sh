@@ -99,6 +99,24 @@ fi
 cargo run -q --release --offline -p heron-bench --bin explore_suite -- \
     --quick --selftest
 
+# Profiling gate: Sim-Prof wait-state profiler (DESIGN.md §16). Pins the
+# profiler-off schedule hash against a profiler-on run on both engines
+# (fig4 + chaos + psmr-w4 shapes), requires every p999 exemplar's
+# wait-state decomposition to sum exactly to its end-to-end latency and
+# the blamed aggregate to match the legacy Fig. 6 breakdown within 1 %,
+# and bounds the profiling wall overhead at 5 %.
+if ! cargo run -q --release --offline -p heron-bench --bin prof_explain -- \
+    --gate --quick --seed 42; then
+  echo "tier1: profiling gate FAILED — replay with:" >&2
+  echo "  cargo run --release -p heron-bench --bin prof_explain -- --gate --quick --seed 42" >&2
+  exit 1
+fi
+
+# Bench trend gate: fresh BENCH_*.json vs the committed baselines; a >20 %
+# geomean regression on the psmr / recovery / scheduler figures fails.
+# (Skips figure pairs that are not apples-to-apples, e.g. quick vs full.)
+python3 scripts/bench_trend.py
+
 # Recovery gate: durable checkpoints + cold restart (DESIGN.md §14). Runs
 # the fixed-seed durable-recovery chaos scenarios through the checker,
 # requires cold-restart cost to scale with the WAL tail (checkpoint +
